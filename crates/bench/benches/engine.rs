@@ -1,0 +1,109 @@
+//! Engine microbenchmarks: reachability generation, CTMC absorption solve,
+//! uniformization transient, GDH key agreement, mobility/connectivity step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsids::config::SystemConfig;
+use gcsids::model::build_model;
+use manet::{ConnectivityGraph, MobilityConfig, RandomWaypoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn::ctmc::{Ctmc, TransientOptions};
+use spn::reach::{explore, ExploreOptions};
+use std::hint::black_box;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spn_reachability");
+    g.sample_size(10);
+    for &n in &[25u32, 50, 100] {
+        g.bench_with_input(BenchmarkId::new("N", n), &n, |b, &n| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.node_count = n;
+            cfg.vote_participants = 3;
+            let model = build_model(&cfg);
+            b.iter(|| explore(black_box(&model.net), &ExploreOptions::default()).unwrap().state_count())
+        });
+    }
+    g.finish();
+}
+
+fn bench_absorption(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctmc_absorption");
+    g.sample_size(10);
+    for &n in &[25u32, 50, 100] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.node_count = n;
+        cfg.vote_participants = 3;
+        let model = build_model(&cfg);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        let ctmc = Ctmc::from_graph(&graph).unwrap();
+        g.bench_with_input(BenchmarkId::new("N", n), &n, |b, _| {
+            b.iter(|| black_box(&ctmc).mean_time_to_absorption().unwrap().mtta)
+        });
+    }
+    g.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.node_count = 25;
+    cfg.vote_participants = 3;
+    let model = build_model(&cfg);
+    let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+    let ctmc = Ctmc::from_graph(&graph).unwrap();
+    let mut g = c.benchmark_group("ctmc_transient");
+    g.sample_size(10);
+    g.bench_function("occupancy_t1e4", |b| {
+        b.iter(|| ctmc.expected_occupancy(black_box(1.0e4), &TransientOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_gdh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gdh_family");
+    for &n in &[8usize, 32, 100] {
+        g.bench_with_input(BenchmarkId::new("gdh2_members", n), &n, |b, &n| {
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut s = gcs::gdh::GdhSession::new(&ids, &mut rng);
+                s.run()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gdh3_members", n), &n, |b, &n| {
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut s = gcs::gdh3::Gdh3Session::new(&ids, &mut rng);
+                s.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mobility_step_and_connectivity");
+    for &n in &[100usize, 400] {
+        g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            let cfg = MobilityConfig { node_count: n, ..Default::default() };
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut m = RandomWaypoint::new(cfg, &mut rng);
+            b.iter(|| {
+                m.step(1.0, &mut rng);
+                let pos = m.positions();
+                ConnectivityGraph::build(black_box(&pos), 250.0).component_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reachability,
+    bench_absorption,
+    bench_transient,
+    bench_gdh,
+    bench_mobility
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benchmark of the Figure-2 computation: one full MTTSF
+//! evaluation per (m, TIDS) representative point at paper scale (N = 100).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsids::config::SystemConfig;
+use gcsids::metrics::evaluate;
+use std::hint::black_box;
+
+fn bench_fig2_points(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig2_mttsf_point");
+    g.sample_size(10);
+    for &m in SystemConfig::paper_m_grid() {
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            let cfg = cfg.with_vote_participants(m).with_tids(120.0);
+            b.iter(|| evaluate(black_box(&cfg)).unwrap().mttsf_seconds);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2_points);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark of the Figure-3 computation: C_total evaluation per
+//! representative (m, TIDS) point, plus the per-state cost-model kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsids::config::SystemConfig;
+use gcsids::cost::cost_breakdown;
+use gcsids::metrics::evaluate;
+use gcsids::model::Population;
+use std::hint::black_box;
+
+fn bench_fig3_points(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig3_cost_point");
+    g.sample_size(10);
+    for &m in &[3u32, 9] {
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            let cfg = cfg.with_vote_participants(m).with_tids(240.0);
+            b.iter(|| evaluate(black_box(&cfg)).unwrap().c_total_hop_bits_per_sec);
+        });
+    }
+    g.finish();
+}
+
+fn bench_cost_kernel(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    c.bench_function("cost_breakdown_kernel", |b| {
+        let pop = Population { trusted: 80, undetected: 10, groups: 2 };
+        b.iter(|| cost_breakdown(black_box(&cfg), black_box(&pop)).total());
+    });
+}
+
+criterion_group!(benches, bench_fig3_points, bench_cost_kernel);
+criterion_main!(benches);

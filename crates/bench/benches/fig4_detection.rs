@@ -1,0 +1,24 @@
+//! Criterion benchmark of the Figure-4 computation: MTTSF evaluation per
+//! detection shape at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsids::config::SystemConfig;
+use gcsids::metrics::evaluate;
+use ids::functions::RateShape;
+use std::hint::black_box;
+
+fn bench_fig4_points(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig4_mttsf_by_detection");
+    g.sample_size(10);
+    for shape in RateShape::all() {
+        g.bench_with_input(BenchmarkId::new("shape", shape.name()), &shape, |b, &shape| {
+            let cfg = cfg.with_detection_shape(shape).with_tids(120.0);
+            b.iter(|| evaluate(black_box(&cfg)).unwrap().mttsf_seconds);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4_points);
+criterion_main!(benches);

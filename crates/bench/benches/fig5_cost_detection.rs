@@ -1,0 +1,39 @@
+//! Criterion benchmark of the Figure-5 computation: C_total evaluation per
+//! detection shape, plus the voting-probability kernel the rates call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcsids::config::SystemConfig;
+use gcsids::metrics::evaluate;
+use ids::functions::RateShape;
+use ids::voting::{p_false_negative, p_false_positive};
+use std::hint::black_box;
+
+fn bench_fig5_points(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig5_cost_by_detection");
+    g.sample_size(10);
+    for shape in RateShape::all() {
+        g.bench_with_input(BenchmarkId::new("shape", shape.name()), &shape, |b, &shape| {
+            let cfg = cfg.with_detection_shape(shape).with_tids(240.0);
+            b.iter(|| evaluate(black_box(&cfg)).unwrap().c_total_hop_bits_per_sec);
+        });
+    }
+    g.finish();
+}
+
+fn bench_voting_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voting_probabilities");
+    for &m in SystemConfig::paper_m_grid() {
+        g.bench_with_input(criterion::BenchmarkId::new("pfp_pfn_m", m), &m, |b, &m| {
+            b.iter(|| {
+                let fp = p_false_positive(black_box(70), black_box(20), m, 0.01);
+                let fnn = p_false_negative(black_box(70), black_box(20), m, 0.01);
+                fp + fnn
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5_points, bench_voting_kernel);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Mobility calibration: estimate the group partition/merge birth-death
+//! rates and hop statistics the SPN consumes (paper section 4.1: "We obtain
+//! group merging/partitioning rates by simulation for a sufficiently long
+//! period of time").
+
+use manet::{calibrate, CalibrationConfig, MobilityConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cfg = CalibrationConfig {
+        duration,
+        seeds,
+        mobility: MobilityConfig::default(),
+        ..Default::default()
+    };
+    eprintln!(
+        "calibrating: {} nodes, {:.0} m disc, {:.0} m range, {} x {:.0} s",
+        cfg.mobility.node_count, cfg.mobility.area_radius, cfg.radio_range, seeds, duration
+    );
+    let t0 = std::time::Instant::now();
+    let r = calibrate(&cfg, 2009);
+    println!("simulated_time_s,{:.0}", r.total_time);
+    println!("mean_group_count,{:.4}", r.mean_group_count);
+    println!("mean_group_size,{:.2}", r.mean_group_size);
+    println!("partition_rate_per_group_hz,{:.6e}", r.partition_rate_per_group);
+    println!("merge_rate_per_group_hz,{:.6e}", r.merge_rate_per_group);
+    println!("mean_hops,{:.3}", r.mean_hops);
+    for g in 1..=6 {
+        if r.time_at.get(g).copied().unwrap_or(0.0) > 0.0 {
+            println!(
+                "bin,g={g},time_s={:.0},partitions={},merges={}",
+                r.time_at[g], r.partitions_at[g], r.merges_at[g]
+            );
+        }
+    }
+    eprintln!("elapsed: {:?}", t0.elapsed());
+}

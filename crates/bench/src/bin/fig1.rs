@@ -1,0 +1,26 @@
+//! Regenerate Figure 1: the SPN model itself, exported as Graphviz DOT
+//! (places Tm/UCm/DCm/GF/NG and transitions T_CP, T_IDS, T_FA, T_DRQ,
+//! T_PAR, T_MER, T_RK), plus the structural invariant report.
+
+use gcsids::config::SystemConfig;
+use gcsids::model::build_model;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let model = build_model(&cfg);
+    let dot = spn::dot::net_to_dot(&model.net);
+    let dir = std::path::PathBuf::from(
+        std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("fig1_spn_model.dot");
+    std::fs::write(&path, &dot).expect("write dot");
+    println!("{dot}");
+    eprintln!("dot written: {} (render with `dot -Tpdf`)", path.display());
+
+    let report = spn::structural::analyze(&model.net);
+    eprintln!("structural P-invariants (Tm, UCm, DCm, GF, NG):");
+    for inv in &report.p_invariants {
+        eprintln!("  {inv:?}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 2: MTTSF vs TIDS as the number of vote participants m
+//! varies (linear attacker, linear detection).
+//!
+//! Paper reference points: optimal TIDS = 480, 60, 15, 5 s for
+//! m = 3, 5, 7, 9, with MTTSF increasing in m.
+
+use bench_harness::{emit, fig2};
+use gcsids::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = fig2(&cfg).expect("figure 2 evaluation");
+    emit(&t, "fig2_mttsf_vs_tids_by_m.csv", true).expect("write results");
+}

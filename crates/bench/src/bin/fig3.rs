@@ -1,0 +1,14 @@
+//! Regenerate Figure 3: C_total vs TIDS as the number of vote participants
+//! m varies (linear attacker, linear detection).
+//!
+//! Paper reference: each curve has an interior optimal TIDS; larger m costs
+//! more.
+
+use bench_harness::{emit, fig3};
+use gcsids::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = fig3(&cfg).expect("figure 3 evaluation");
+    emit(&t, "fig3_cost_vs_tids_by_m.csv", false).expect("write results");
+}

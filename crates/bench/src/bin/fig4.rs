@@ -1,0 +1,15 @@
+//! Regenerate Figure 4: MTTSF vs TIDS for logarithmic / linear / polynomial
+//! detection under a linear attacker with m = 5.
+//!
+//! Paper reference: linear detection peaks near TIDS = 120 s; polynomial
+//! detection does comparatively well at large TIDS (> 240 s); logarithmic
+//! does comparatively well at small TIDS (< 15 s).
+
+use bench_harness::{emit, fig4};
+use gcsids::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = fig4(&cfg).expect("figure 4 evaluation");
+    emit(&t, "fig4_mttsf_vs_tids_by_detection.csv", true).expect("write results");
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 5: C_total vs TIDS for the three detection functions
+//! under a linear attacker with m = 5.
+//!
+//! Paper reference: linear detection is cheapest near TIDS = 240 s;
+//! polynomial is the most expensive at small TIDS; logarithmic becomes the
+//! expensive one at large TIDS.
+
+use bench_harness::{emit, fig5};
+use gcsids::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = fig5(&cfg).expect("figure 5 evaluation");
+    emit(&t, "fig5_cost_vs_tids_by_detection.csv", false).expect("write results");
+}

@@ -1,0 +1,59 @@
+//! Cross-validate the analytic SPN model against (a) the SPN Monte-Carlo
+//! token game and (b) the protocol-level discrete-event simulation.
+//!
+//! An accelerated parameterization (faster attacker) keeps wall-clock time
+//! reasonable while exercising exactly the same code paths; pass a first
+//! argument `paper` to run the (slow) paper-scale validation instead.
+
+use gcsids::config::SystemConfig;
+use gcsids::des::{run_des_replications, DesConfig};
+use gcsids::metrics::evaluate;
+use gcsids::model::build_model;
+use spn::reward::RewardSet;
+use spn::sim::{SimOptions, Simulator};
+
+fn main() {
+    let paper_scale = std::env::args().nth(1).as_deref() == Some("paper");
+    let mut cfg = SystemConfig::paper_default();
+    let replications: u64 = if paper_scale {
+        200
+    } else {
+        cfg.node_count = 30;
+        cfg.attacker.base_rate = 1.0 / 1800.0; // one base compromise per 30 min
+        cfg.detection = cfg.detection.with_interval(60.0);
+        2_000
+    };
+
+    let analytic = evaluate(&cfg).expect("analytic evaluation");
+    println!("analytic : MTTSF = {:.4e} s, C_total = {:.4e} hop·bits/s", 
+        analytic.mttsf_seconds, analytic.c_total_hop_bits_per_sec);
+    println!(
+        "analytic : P[C1] = {:.3}, P[C2] = {:.3}, states = {}",
+        analytic.p_failure_c1, analytic.p_failure_c2, analytic.state_count
+    );
+
+    // (a) SPN token-game simulation — same abstraction, independent solver.
+    let model = build_model(&cfg);
+    let rewards = RewardSet::new();
+    let sim = Simulator::new(&model.net, &rewards, SimOptions::default());
+    let stats = sim.run_replications(replications, 42).expect("token game");
+    let ci = stats.mtta_ci(0.95);
+    println!(
+        "token game: MTTSF = {:.4e} s ± {:.2e} (95% CI, n = {}) → analytic inside: {}",
+        ci.mean,
+        ci.half_width,
+        replications,
+        ci.contains(analytic.mttsf_seconds)
+    );
+
+    // (b) protocol-level DES — actual votes, actual rekey accounting.
+    let des = DesConfig::new(cfg.clone());
+    let d = run_des_replications(&des, replications, 43);
+    let dci = d.mttsf.confidence_interval(0.95);
+    println!(
+        "protocol  : MTTSF = {:.4e} s ± {:.2e} (95% CI), C1/C2 = {}/{}, cost rate = {:.4e}",
+        dci.mean, dci.half_width, d.c1_failures, d.c2_failures, d.cost_rate.mean()
+    );
+    let rel = (dci.mean - analytic.mttsf_seconds).abs() / analytic.mttsf_seconds;
+    println!("protocol  : relative MTTSF deviation from analytic = {:.1}%", rel * 100.0);
+}

@@ -1,0 +1,639 @@
+//! Protocol-level discrete-event simulation.
+//!
+//! Where the SPN abstracts the voting IDS into the analytic `Pfn`/`Pfp`,
+//! this simulator *executes the protocols*: host-IDS verdicts are sampled
+//! per voter, vote participants are drawn without replacement from the
+//! target's actual group, colluding voters follow the paper's strategy,
+//! rekey traffic is charged from the exact GDH accounting, and groups
+//! split/merge as a birth–death process with the mobility-calibrated
+//! rates. Agreement between this simulator and the analytic model (see
+//! EXPERIMENTS.md) validates the Equation-1 reconstruction and the SPN
+//! structure.
+//!
+//! Event classes (exponential race, rates refreshed after every event):
+//! compromise (`A(mc)`), per-node IDS evaluation (`(T+U)·D(md)`), data
+//! request by a compromised node (`λq·U`, leaks with probability `p1` —
+//! condition C1), group partition/merge, and join/leave rekey events
+//! (population-neutral, matching the SPN; see DESIGN.md §2.1). Failure is
+//! declared on C1 or when any single group crosses the C2 Byzantine ratio.
+
+use crate::config::SystemConfig;
+use crate::cost::gdh_rekey_hop_bits;
+use ids::adaptive::AdaptiveController;
+use ids::host::HostIds;
+use ids::voting::{run_vote_with_collusion, VotingConfig};
+use numerics::dist::sample_exponential;
+use numerics::rng::child_seed;
+use numerics::stats::Welford;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// How a replication ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCause {
+    /// C1: data leaked to a compromised, undetected member.
+    DataLeak,
+    /// C2: some group exceeded the 1/3 Byzantine ratio undetected.
+    ByzantineCapture,
+    /// Everyone was evicted (attrition) — not a paper failure mode, tracked
+    /// separately.
+    Attrition,
+    /// The time horizon expired first.
+    Censored,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct DesConfig {
+    /// The system under test.
+    pub system: SystemConfig,
+    /// Censoring horizon (s).
+    pub max_time: f64,
+    /// Enable the adaptive controller (re-selects the detection shape from
+    /// observed compromise pacing; oracle observations — see module docs).
+    pub adaptive: bool,
+}
+
+impl DesConfig {
+    /// Defaults: paper system, one-year horizon, no adaptation.
+    pub fn new(system: SystemConfig) -> Self {
+        Self { system, max_time: 3.15e7, adaptive: false }
+    }
+}
+
+/// Outcome of one replication.
+#[derive(Debug, Clone)]
+pub struct DesOutcome {
+    /// Time of failure (or censoring).
+    pub time: f64,
+    /// Why the run ended.
+    pub cause: FailureCause,
+    /// Accumulated traffic (hop·bits).
+    pub hop_bits: f64,
+    /// Time-averaged cost rate (hop·bits/s).
+    pub mean_cost_rate: f64,
+    /// Nodes compromised by the attacker.
+    pub compromises: u64,
+    /// Compromised nodes caught by the voting IDS.
+    pub true_evictions: u64,
+    /// Healthy nodes falsely evicted.
+    pub false_evictions: u64,
+    /// Voting rounds executed.
+    pub votes: u64,
+}
+
+/// Aggregate statistics over replications.
+#[derive(Debug, Clone)]
+pub struct DesStats {
+    /// Time-to-failure statistics over non-censored replications.
+    pub mttsf: Welford,
+    /// Cost-rate statistics over all replications.
+    pub cost_rate: Welford,
+    /// C1 failures.
+    pub c1_failures: u64,
+    /// C2 failures.
+    pub c2_failures: u64,
+    /// Attrition endings.
+    pub attritions: u64,
+    /// Censored replications.
+    pub censored: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeStatus {
+    Trusted,
+    Compromised,
+    Evicted,
+}
+
+struct World {
+    cfg: SystemConfig,
+    status: Vec<NodeStatus>,
+    groups: Vec<Vec<u32>>,
+    host: HostIds,
+}
+
+impl World {
+    fn new(cfg: &SystemConfig) -> Self {
+        let n = cfg.node_count as usize;
+        Self {
+            cfg: cfg.clone(),
+            status: vec![NodeStatus::Trusted; n],
+            groups: vec![(0..n as u32).collect()],
+            host: HostIds::new(cfg.p1_host_false_negative, cfg.p2_host_false_positive),
+        }
+    }
+
+    fn count(&self, s: NodeStatus) -> u32 {
+        self.status.iter().filter(|&&x| x == s).count() as u32
+    }
+
+    fn trusted(&self) -> u32 {
+        self.count(NodeStatus::Trusted)
+    }
+
+    fn undetected(&self) -> u32 {
+        self.count(NodeStatus::Compromised)
+    }
+
+    fn group_of(&self, node: u32) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&node))
+            .expect("every live node belongs to a group")
+    }
+
+    /// C2 check on actual per-group composition.
+    fn any_group_byzantine(&self) -> bool {
+        self.groups.iter().any(|g| {
+            let (mut t, mut u) = (0u32, 0u32);
+            for &n in g {
+                match self.status[n as usize] {
+                    NodeStatus::Trusted => t += 1,
+                    NodeStatus::Compromised => u += 1,
+                    NodeStatus::Evicted => {}
+                }
+            }
+            2 * u > t && (t + u) > 0
+        })
+    }
+
+    /// Background traffic rate over the actual group layout (hop·bits/s):
+    /// data dissemination + status + beacons. Vote and rekey traffic is
+    /// charged per event.
+    fn background_rate(&self) -> f64 {
+        let cfg = &self.cfg;
+        let mut rate = 0.0;
+        for g in &self.groups {
+            let live: u32 = g
+                .iter()
+                .filter(|&&n| self.status[n as usize] != NodeStatus::Evicted)
+                .count() as u32;
+            let nf = live as f64;
+            rate += cfg.group_comm_rate * nf * cfg.data_packet_bits as f64 * nf;
+            rate += nf * cfg.status_packet_bits as f64 * nf / cfg.status_period;
+            rate += nf * cfg.beacon_bits as f64 / cfg.beacon_period;
+        }
+        rate
+    }
+
+    /// Remove an evicted node from its group.
+    fn evict(&mut self, node: u32) -> f64 {
+        let gi = self.group_of(node);
+        self.groups[gi].retain(|&n| n != node);
+        self.status[node as usize] = NodeStatus::Evicted;
+        let size = self.groups[gi].len() as u32;
+        let cost = gdh_rekey_hop_bits(&self.cfg, size.max(1));
+        if self.groups[gi].is_empty() {
+            self.groups.remove(gi);
+        }
+        cost
+    }
+}
+
+/// Run one replication.
+pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
+    let sys = &cfg.system;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut world = World::new(sys);
+    let mut detection = sys.detection;
+    let mut controller = AdaptiveController::new(sys.attacker.exponent, detection.base_interval);
+    let mut last_compromise_at = 0.0f64;
+
+    let mut t = 0.0f64;
+    let mut hop_bits = 0.0f64;
+    let mut compromises = 0u64;
+    let mut true_evictions = 0u64;
+    let mut false_evictions = 0u64;
+    let mut votes = 0u64;
+
+    let outcome = |t: f64, cause, hop_bits: f64, c, te, fe, v| DesOutcome {
+        time: t,
+        cause,
+        hop_bits,
+        mean_cost_rate: if t > 0.0 { hop_bits / t } else { 0.0 },
+        compromises: c,
+        true_evictions: te,
+        false_evictions: fe,
+        votes: v,
+    };
+
+    loop {
+        let trusted = world.trusted();
+        let undetected = world.undetected();
+        let live = trusted + undetected;
+        if live == 0 {
+            return outcome(
+                t,
+                FailureCause::Attrition,
+                hop_bits,
+                compromises,
+                true_evictions,
+                false_evictions,
+                votes,
+            );
+        }
+        let g = world.groups.len() as f64;
+
+        // --- event rates ---------------------------------------------------
+        let r_compromise = if trusted > 0 { sys.attacker.rate(trusted, undetected) } else { 0.0 };
+        let r_evaluate = live as f64 * detection.rate(sys.node_count, trusted, undetected);
+        let r_leak = sys.group_comm_rate * undetected as f64;
+        let can_partition = world.groups.iter().any(|grp| grp.len() >= 2)
+            && (world.groups.len() as u32) < sys.max_groups;
+        let r_partition = if can_partition { sys.partition_rate_per_group * g } else { 0.0 };
+        let r_merge =
+            if world.groups.len() >= 2 { sys.merge_rate_per_group * (g - 1.0) } else { 0.0 };
+        let r_joinleave = sys.join_rate * (sys.node_count - live) as f64
+            + sys.leave_rate * live as f64;
+        let total = r_compromise + r_evaluate + r_leak + r_partition + r_merge + r_joinleave;
+        if total <= 0.0 {
+            return outcome(
+                cfg.max_time,
+                FailureCause::Censored,
+                hop_bits + world.background_rate() * (cfg.max_time - t),
+                compromises,
+                true_evictions,
+                false_evictions,
+                votes,
+            );
+        }
+
+        let dt = sample_exponential(&mut rng, total);
+        let step = dt.min(cfg.max_time - t);
+        hop_bits += world.background_rate() * step;
+        if t + dt >= cfg.max_time {
+            return outcome(
+                cfg.max_time,
+                FailureCause::Censored,
+                hop_bits,
+                compromises,
+                true_evictions,
+                false_evictions,
+                votes,
+            );
+        }
+        t += dt;
+
+        // --- pick the event -------------------------------------------------
+        let mut pick = rng.gen::<f64>() * total;
+        if pick < r_compromise {
+            // attacker compromises a random trusted node
+            let victims: Vec<u32> = (0..world.status.len() as u32)
+                .filter(|&n| world.status[n as usize] == NodeStatus::Trusted)
+                .collect();
+            let &victim = victims.choose(&mut rng).expect("trusted node exists");
+            world.status[victim as usize] = NodeStatus::Compromised;
+            compromises += 1;
+            if cfg.adaptive {
+                let dt_c = (t - last_compromise_at).max(1e-9);
+                last_compromise_at = t;
+                let mc = ids::functions::AttackerProfile::mc(
+                    world.trusted().max(1),
+                    world.undetected(),
+                );
+                controller.observe(dt_c, mc);
+                detection = detection.with_interval(detection.base_interval);
+                detection.shape = controller.matching_shape();
+            }
+        } else if {
+            pick -= r_compromise;
+            pick < r_evaluate
+        } {
+            // evaluate a random live node with an actual voting round
+            let live_nodes: Vec<u32> = (0..world.status.len() as u32)
+                .filter(|&n| world.status[n as usize] != NodeStatus::Evicted)
+                .collect();
+            let &target = live_nodes.choose(&mut rng).expect("live node exists");
+            let gi = world.group_of(target);
+            let peers: Vec<bool> = world.groups[gi]
+                .iter()
+                .filter(|&&n| n != target)
+                .map(|&n| world.status[n as usize] == NodeStatus::Compromised)
+                .collect();
+            let vote_cfg = VotingConfig { participants: sys.vote_participants, host: world.host };
+            let target_bad = world.status[target as usize] == NodeStatus::Compromised;
+            let o = run_vote_with_collusion(&vote_cfg, target_bad, &peers, sys.collusion, &mut rng);
+            votes += 1;
+            // votes flood the target's group (Byzantine accountability)
+            let group_live = world.groups[gi].len() as f64;
+            hop_bits += o.votes as f64 * sys.vote_packet_bits as f64 * group_live;
+            if o.evicted {
+                hop_bits += world.evict(target);
+                if target_bad {
+                    true_evictions += 1;
+                } else {
+                    false_evictions += 1;
+                }
+            }
+        } else if {
+            pick -= r_evaluate;
+            pick < r_leak
+        } {
+            // a compromised node requests data; the responder leaks iff its
+            // host IDS misses the requester
+            hop_bits += sys.data_packet_bits as f64 * sys.mean_hops;
+            if rng.gen::<f64>() < sys.p1_host_false_negative {
+                return outcome(
+                    t,
+                    FailureCause::DataLeak,
+                    hop_bits,
+                    compromises,
+                    true_evictions,
+                    false_evictions,
+                    votes,
+                );
+            }
+        } else if {
+            pick -= r_leak;
+            pick < r_partition
+        } {
+            // split a random group (≥ 2 members) in half
+            let candidates: Vec<usize> = (0..world.groups.len())
+                .filter(|&i| world.groups[i].len() >= 2)
+                .collect();
+            let &gi = candidates.choose(&mut rng).expect("partitionable group exists");
+            let mut members = std::mem::take(&mut world.groups[gi]);
+            members.shuffle(&mut rng);
+            let half = members.len() / 2;
+            let other = members.split_off(half);
+            hop_bits += gdh_rekey_hop_bits(sys, members.len() as u32)
+                + gdh_rekey_hop_bits(sys, other.len() as u32);
+            world.groups[gi] = members;
+            world.groups.push(other);
+        } else if {
+            pick -= r_partition;
+            pick < r_merge
+        } {
+            // merge two random groups
+            let a = rng.gen_range(0..world.groups.len());
+            let mut b = rng.gen_range(0..world.groups.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            let moved = std::mem::take(&mut world.groups[b]);
+            world.groups[a].extend(moved);
+            hop_bits += gdh_rekey_hop_bits(sys, world.groups[a].len() as u32);
+            world.groups.remove(b);
+        } else {
+            // join/leave rekey event (population-neutral; SPN-equivalent)
+            let gi = rng.gen_range(0..world.groups.len());
+            hop_bits += gdh_rekey_hop_bits(sys, world.groups[gi].len() as u32);
+        }
+
+        // --- failure check ---------------------------------------------------
+        if world.any_group_byzantine() {
+            return outcome(
+                t,
+                FailureCause::ByzantineCapture,
+                hop_bits,
+                compromises,
+                true_evictions,
+                false_evictions,
+                votes,
+            );
+        }
+    }
+}
+
+/// Run `n` replications in parallel with derived seeds.
+pub fn run_des_replications(cfg: &DesConfig, n: u64, master_seed: u64) -> DesStats {
+    let outcomes: Vec<DesOutcome> =
+        (0..n).into_par_iter().map(|i| run_des(cfg, child_seed(master_seed, i))).collect();
+    let mut mttsf = Welford::new();
+    let mut cost_rate = Welford::new();
+    let (mut c1, mut c2, mut attrition, mut censored) = (0u64, 0u64, 0u64, 0u64);
+    for o in &outcomes {
+        cost_rate.push(o.mean_cost_rate);
+        match o.cause {
+            FailureCause::DataLeak => {
+                c1 += 1;
+                mttsf.push(o.time);
+            }
+            FailureCause::ByzantineCapture => {
+                c2 += 1;
+                mttsf.push(o.time);
+            }
+            FailureCause::Attrition => {
+                attrition += 1;
+                mttsf.push(o.time);
+            }
+            FailureCause::Censored => censored += 1,
+        }
+    }
+    DesStats { mttsf, cost_rate, c1_failures: c1, c2_failures: c2, attritions: attrition, censored }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accelerated system so replications end quickly.
+    fn hot_system(n: u32) -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = n;
+        c.vote_participants = 3;
+        c.attacker.base_rate = 1.0 / 600.0; // one compromise per 10 min
+        c.detection = c.detection.with_interval(120.0);
+        c
+    }
+
+    #[test]
+    fn replication_terminates_with_failure() {
+        let cfg = DesConfig::new(hot_system(16));
+        let o = run_des(&cfg, 42);
+        assert!(matches!(
+            o.cause,
+            FailureCause::DataLeak | FailureCause::ByzantineCapture | FailureCause::Attrition
+        ));
+        assert!(o.time > 0.0);
+        assert!(o.hop_bits > 0.0);
+        assert!(o.mean_cost_rate > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DesConfig::new(hot_system(12));
+        let a = run_des(&cfg, 7);
+        let b = run_des(&cfg, 7);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.compromises, b.compromises);
+        assert_eq!(a.hop_bits, b.hop_bits);
+    }
+
+    #[test]
+    fn censoring_respected() {
+        let mut cfg = DesConfig::new(hot_system(12));
+        cfg.max_time = 1.0; // far below any failure time
+        let o = run_des(&cfg, 3);
+        assert_eq!(o.cause, FailureCause::Censored);
+        assert_eq!(o.time, 1.0);
+    }
+
+    #[test]
+    fn votes_and_evictions_happen() {
+        let cfg = DesConfig::new(hot_system(20));
+        let stats: Vec<DesOutcome> = (0..10).map(|s| run_des(&cfg, s)).collect();
+        let votes: u64 = stats.iter().map(|o| o.votes).sum();
+        let evictions: u64 =
+            stats.iter().map(|o| o.true_evictions + o.false_evictions).sum();
+        assert!(votes > 0);
+        assert!(evictions > 0);
+    }
+
+    #[test]
+    fn aggressive_detection_catches_more() {
+        let slow = DesConfig::new({
+            let mut c = hot_system(20);
+            c.detection = c.detection.with_interval(100_000.0);
+            c
+        });
+        let fast = DesConfig::new({
+            let mut c = hot_system(20);
+            c.detection = c.detection.with_interval(30.0);
+            c
+        });
+        let s = run_des_replications(&slow, 40, 1);
+        let f = run_des_replications(&fast, 40, 1);
+        // nearly no detections without IDS → C1 dominates
+        assert!(s.c1_failures > s.c2_failures, "slow: {s:?}");
+        // aggressive IDS survives longer on average
+        assert!(f.mttsf.mean() > s.mttsf.mean(), "fast {} vs slow {}", f.mttsf.mean(), s.mttsf.mean());
+    }
+
+    #[test]
+    fn replication_stats_aggregate() {
+        let cfg = DesConfig::new(hot_system(14));
+        let stats = run_des_replications(&cfg, 30, 5);
+        assert_eq!(
+            stats.c1_failures + stats.c2_failures + stats.attritions + stats.censored,
+            30
+        );
+        assert!(stats.mttsf.count() > 0);
+        assert!(stats.cost_rate.mean() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_mode_runs() {
+        let mut cfg = DesConfig::new(hot_system(16));
+        cfg.adaptive = true;
+        let o = run_des(&cfg, 11);
+        assert!(o.time > 0.0);
+    }
+}
+
+/// Empirical survival function from replication outcomes: for each horizon
+/// `t`, the fraction of replications still failure-free at `t` (censored
+/// runs count as surviving up to their censoring time and are excluded
+/// beyond it — a simplified Kaplan–Meier suited to a common censoring
+/// horizon).
+///
+/// The paper's §2.1 states the security requirement as surviving "past the
+/// minimum mission time" — a survival-probability statement that the MTTSF
+/// point metric only summarizes; this estimator answers it directly.
+///
+/// # Panics
+/// Panics if `outcomes` is empty.
+pub fn survival_curve(outcomes: &[DesOutcome], horizons: &[f64]) -> Vec<f64> {
+    assert!(!outcomes.is_empty(), "survival curve needs outcomes");
+    horizons
+        .iter()
+        .map(|&t| {
+            let mut at_risk = 0u64;
+            let mut surviving = 0u64;
+            for o in outcomes {
+                // runs censored before t carry no information about t
+                if o.cause == FailureCause::Censored && o.time < t {
+                    continue;
+                }
+                at_risk += 1;
+                if o.time >= t {
+                    surviving += 1;
+                }
+            }
+            if at_risk == 0 {
+                f64::NAN
+            } else {
+                surviving as f64 / at_risk as f64
+            }
+        })
+        .collect()
+}
+
+/// Probability of completing a mission of the given duration without a
+/// security failure, estimated from `n` fresh replications.
+pub fn mission_success_probability(
+    cfg: &DesConfig,
+    mission_time: f64,
+    n: u64,
+    master_seed: u64,
+) -> f64 {
+    let outcomes: Vec<DesOutcome> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut c = cfg.clone();
+            // censor right after the mission: later behaviour is irrelevant
+            c.max_time = c.max_time.min(mission_time * 1.001);
+            run_des(&c, child_seed(master_seed, i))
+        })
+        .collect();
+    survival_curve(&outcomes, &[mission_time])[0]
+}
+
+#[cfg(test)]
+mod survival_tests {
+    use super::*;
+
+    fn hot(n: u32) -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = n;
+        c.vote_participants = 3;
+        c.attacker.base_rate = 1.0 / 600.0;
+        c
+    }
+
+    #[test]
+    fn survival_curve_monotone_from_one_to_zero() {
+        let cfg = DesConfig::new(hot(16));
+        let outcomes: Vec<DesOutcome> = (0..200).map(|s| run_des(&cfg, s)).collect();
+        let horizons: Vec<f64> = (0..12).map(|i| i as f64 * 20_000.0).collect();
+        let s = survival_curve(&outcomes, &horizons);
+        assert!((s[0] - 1.0).abs() < 1e-12, "everyone survives t = 0");
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "survival must not increase: {s:?}");
+        }
+        assert!(*s.last().unwrap() < 0.5, "long horizons should kill most runs: {s:?}");
+    }
+
+    #[test]
+    fn censored_runs_do_not_bias_tail() {
+        // outcomes censored at 10 must not count as failures at t = 20
+        let survivor = DesOutcome {
+            time: 10.0,
+            cause: FailureCause::Censored,
+            hop_bits: 0.0,
+            mean_cost_rate: 0.0,
+            compromises: 0,
+            true_evictions: 0,
+            false_evictions: 0,
+            votes: 0,
+        };
+        let failure = DesOutcome { time: 5.0, cause: FailureCause::DataLeak, ..survivor.clone() };
+        let s = survival_curve(&[survivor, failure], &[2.0, 7.0, 20.0]);
+        assert_eq!(s[0], 1.0); // both alive at t=2
+        assert_eq!(s[1], 0.5); // failure dead at 7, censored alive
+        assert_eq!(s[2], 0.0); // only the failed run informs t=20
+    }
+
+    #[test]
+    fn mission_success_probability_decreasing_in_duration() {
+        let cfg = DesConfig::new(hot(14));
+        let p_short = mission_success_probability(&cfg, 5_000.0, 300, 9);
+        let p_long = mission_success_probability(&cfg, 200_000.0, 300, 9);
+        assert!(p_short > p_long, "{p_short} vs {p_long}");
+        assert!((0.0..=1.0).contains(&p_short));
+        assert!((0.0..=1.0).contains(&p_long));
+    }
+}

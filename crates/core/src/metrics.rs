@@ -1,0 +1,238 @@
+//! End-to-end evaluation: configuration → SPN → CTMC → (MTTSF, Ĉtotal).
+//!
+//! `MTTSF` is the mean time to absorption of the CTMC (reward 1 on every
+//! non-failed state); `Ĉtotal` is the expected accumulated communication
+//! cost until absorption divided by MTTSF, with the six §2.5 components as
+//! rate rewards and eviction rekeys charged as impulse rewards on the
+//! transitions that cause them.
+
+use crate::config::SystemConfig;
+use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
+use crate::model::{build_model, population, GcsIdsModel};
+use spn::ctmc::Ctmc;
+use spn::error::SpnError;
+use spn::reach::{explore, ExploreOptions, ReachabilityGraph};
+use spn::reward::{ImpulseReward, RateReward};
+
+/// Evaluation output for one configuration.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Mean time to security failure (seconds).
+    pub mttsf_seconds: f64,
+    /// Time-averaged communication cost until failure (hop·bits/s).
+    pub c_total_hop_bits_per_sec: f64,
+    /// Per-component time-averaged costs.
+    pub cost_components: CostBreakdown,
+    /// Probability the failure was a data leak (condition C1).
+    pub p_failure_c1: f64,
+    /// Probability the failure was Byzantine capture (condition C2).
+    pub p_failure_c2: f64,
+    /// Number of tangible CTMC states.
+    pub state_count: usize,
+    /// Number of CTMC transitions.
+    pub edge_count: usize,
+}
+
+/// Evaluate MTTSF and Ĉtotal for a configuration.
+///
+/// # Errors
+/// Propagates configuration validation failures (as
+/// [`SpnError::InvalidModel`]) and solver errors.
+pub fn evaluate(cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
+    cfg.validate().map_err(SpnError::InvalidModel)?;
+    let model = build_model(cfg);
+    let graph = explore(&model.net, &ExploreOptions::default())?;
+    evaluate_prebuilt(&model, &graph)
+}
+
+/// Evaluate a model whose reachability graph is already known (lets sweeps
+/// that only change rates reuse the exploration when the structure is
+/// unchanged — note rates are baked into edges, so this is only valid for
+/// the graph built from the same model).
+pub fn evaluate_prebuilt(
+    model: &GcsIdsModel,
+    graph: &ReachabilityGraph,
+) -> Result<Evaluation, SpnError> {
+    let cfg = &model.config;
+    let places = model.places;
+    let ctmc = Ctmc::from_graph(graph)?;
+    let absorption = ctmc.mean_time_to_absorption()?;
+
+    // --- cost rewards -----------------------------------------------------
+    // Rate components evaluated per state.
+    let rate_components: Vec<CostBreakdown> = graph
+        .states
+        .iter()
+        .map(|m| cost_breakdown(cfg, &population(&places, m)))
+        .collect();
+
+    // Impulse rewards: a GDH rekey per eviction (T_IDS / T_FA firing).
+    let mut impulse_rates = vec![0.0; graph.state_count()];
+    for name in ["T_IDS", "T_FA"] {
+        let t = model
+            .net
+            .transition_by_name(name)
+            .ok_or_else(|| SpnError::InvalidModel(format!("missing transition {name}")))?;
+        let imp = ImpulseReward::new(format!("evict-rekey-{name}"), t, {
+            let cfg = cfg.clone();
+            let places = places;
+            move |m: &spn::model::Marking| {
+                let pop = population(&places, m);
+                gdh_rekey_hop_bits(&cfg, pop.per_group_live())
+            }
+        });
+        for (acc, v) in impulse_rates.iter_mut().zip(imp.per_state(&model.net, graph)) {
+            *acc += v;
+        }
+    }
+
+    let mttsf = absorption.mtta;
+    // Accumulate each component over the sojourn vector.
+    let mut accumulated = CostBreakdown::default();
+    let mut accumulated_impulse = 0.0;
+    for (i, sojourn) in absorption.sojourn.iter().enumerate() {
+        if *sojourn > 0.0 {
+            accumulated = accumulated.add(&rate_components[i].scale(*sojourn));
+            accumulated_impulse += impulse_rates[i] * sojourn;
+        }
+    }
+    // Eviction rekeys belong to the rekey component.
+    accumulated.rekey += accumulated_impulse;
+
+    let components = if mttsf > 0.0 {
+        accumulated.scale(1.0 / mttsf)
+    } else {
+        CostBreakdown::default()
+    };
+
+    // --- failure-cause split ------------------------------------------------
+    let mut p_c1 = 0.0;
+    let mut p_c2 = 0.0;
+    for (i, &p) in absorption.absorption_probability.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        let m = &graph.states[i];
+        if m.tokens(places.gf) > 0 {
+            p_c1 += p;
+        } else {
+            p_c2 += p;
+        }
+    }
+
+    Ok(Evaluation {
+        mttsf_seconds: mttsf,
+        c_total_hop_bits_per_sec: components.total(),
+        cost_components: components,
+        p_failure_c1: p_c1,
+        p_failure_c2: p_c2,
+        state_count: graph.state_count(),
+        edge_count: graph.edge_count(),
+    })
+}
+
+/// A RateReward adapter for the total cost (exposed for reuse by the
+/// simulation validator, which integrates the same per-state rates).
+pub fn total_cost_reward(cfg: &SystemConfig, model: &GcsIdsModel) -> RateReward {
+    let cfg = cfg.clone();
+    let places = model.places;
+    RateReward::new("c_total_rate", move |m| {
+        cost_breakdown(&cfg, &population(&places, m)).total()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::functions::RateShape;
+
+    fn small(n: u32, m: u32, tids: f64) -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = n;
+        c.vote_participants = m;
+        c.detection = c.detection.with_interval(tids);
+        c
+    }
+
+    #[test]
+    fn evaluation_produces_finite_metrics() {
+        let e = evaluate(&small(12, 3, 120.0)).unwrap();
+        assert!(e.mttsf_seconds.is_finite() && e.mttsf_seconds > 0.0);
+        assert!(e.c_total_hop_bits_per_sec > 0.0);
+        assert!(e.state_count > 10);
+        assert!(e.edge_count > e.state_count);
+    }
+
+    #[test]
+    fn failure_probabilities_form_distribution() {
+        let e = evaluate(&small(12, 3, 120.0)).unwrap();
+        assert!((e.p_failure_c1 + e.p_failure_c2 - 1.0).abs() < 1e-6);
+        assert!(e.p_failure_c1 > 0.0);
+        assert!(e.p_failure_c2 > 0.0);
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let e = evaluate(&small(12, 3, 120.0)).unwrap();
+        assert!((e.cost_components.total() - e.c_total_hop_bits_per_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = 0;
+        assert!(matches!(evaluate(&c), Err(SpnError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn stronger_attacker_lowers_mttsf() {
+        let base = small(12, 3, 120.0);
+        let mut hot = base.clone();
+        hot.attacker.base_rate *= 10.0;
+        let e0 = evaluate(&base).unwrap();
+        let e1 = evaluate(&hot).unwrap();
+        assert!(e1.mttsf_seconds < e0.mttsf_seconds);
+    }
+
+    #[test]
+    fn very_long_tids_fails_mostly_by_c1() {
+        // with detection nearly off, compromised nodes leak data first
+        let e = evaluate(&small(12, 3, 1.0e6)).unwrap();
+        assert!(e.p_failure_c1 > 0.5, "C1 share = {}", e.p_failure_c1);
+    }
+
+    #[test]
+    fn very_short_tids_increases_c2_share() {
+        // aggressive IDS evicts good nodes, pushing toward Byzantine ratio
+        let slow = evaluate(&small(12, 3, 600.0)).unwrap();
+        let fast = evaluate(&small(12, 3, 1.0)).unwrap();
+        assert!(
+            fast.p_failure_c2 > slow.p_failure_c2,
+            "fast {} vs slow {}",
+            fast.p_failure_c2,
+            slow.p_failure_c2
+        );
+    }
+
+    #[test]
+    fn detection_shape_changes_metrics() {
+        let lin = evaluate(&small(12, 3, 60.0)).unwrap();
+        let log = evaluate(&small(12, 3, 60.0).with_detection_shape(RateShape::Logarithmic))
+            .unwrap();
+        assert_ne!(lin.mttsf_seconds, log.mttsf_seconds);
+    }
+
+    #[test]
+    fn total_cost_reward_matches_breakdown() {
+        let cfg = small(10, 3, 120.0);
+        let model = build_model(&cfg);
+        let r = total_cost_reward(&cfg, &model);
+        let init = model.net.initial_marking();
+        let direct = cost_breakdown(
+            &cfg,
+            &population(&model.places, &init),
+        )
+        .total();
+        assert!(((r.rate)(&init) - direct).abs() < 1e-9);
+    }
+}

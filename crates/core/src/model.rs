@@ -1,0 +1,413 @@
+//! Construction of the paper's Figure-1 SPN.
+//!
+//! Marking layout (places): `Tm` trusted members, `UCm` compromised but
+//! undetected, `DCm` detected (evicted), `GF` data-leak failure flag, `NG`
+//! number of groups. `Tm`/`UCm`/`DCm` hold *system-wide* counts; per-group
+//! quantities divide by `mark(NG)` (DESIGN.md §2.1).
+//!
+//! | transition | effect | rate |
+//! |---|---|---|
+//! | `T_CP`  | `Tm → UCm` | `A(mc)`, `mc = (T+U)/T` |
+//! | `T_IDS` | `UCm → DCm` | `U · D(md) · (1 − Pfn)` |
+//! | `T_FA`  | `Tm → DCm` | `T · D(md) · Pfp` |
+//! | `T_DRQ` | token into `GF` | `p1 · λq · U` |
+//! | `T_PAR` | `NG += 1` | `ν_p · NG` |
+//! | `T_MER` | `NG −= 1` | `ν_m · (NG − 1)` |
+//! | `T_RK`  | none (cost-only) | join/leave rekey event rate |
+//!
+//! Every transition is disabled once a failure condition holds (the global
+//! absorbing predicate): **C1** `mark(GF) > 0` (data leaked to a
+//! compromised member) or **C2** `U/(T+U) > 1/3` (Byzantine capture),
+//! checked exactly as `2U > T` in integers.
+
+use crate::config::SystemConfig;
+use ids::voting::{p_false_negative_with_collusion, p_false_positive_with_collusion};
+use spn::model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef};
+
+/// Place handles of the constructed net.
+#[derive(Debug, Clone, Copy)]
+pub struct Places {
+    /// Trusted members (system-wide).
+    pub tm: PlaceId,
+    /// Compromised, undetected members.
+    pub ucm: PlaceId,
+    /// Detected (evicted) members.
+    pub dcm: PlaceId,
+    /// Data-leak failure flag.
+    pub gf: PlaceId,
+    /// Number of groups.
+    pub ng: PlaceId,
+}
+
+/// The model: net plus place handles and the configuration it was built
+/// from.
+pub struct GcsIdsModel {
+    /// The stochastic Petri net.
+    pub net: Spn,
+    /// Place handles.
+    pub places: Places,
+    /// Configuration snapshot.
+    pub config: SystemConfig,
+}
+
+/// Population snapshot extracted from a marking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Population {
+    /// Trusted members `T`.
+    pub trusted: u32,
+    /// Compromised undetected `U`.
+    pub undetected: u32,
+    /// Number of groups `g`.
+    pub groups: u32,
+}
+
+impl Population {
+    /// Live members `T + U`.
+    pub fn live(&self) -> u32 {
+        self.trusted + self.undetected
+    }
+
+    /// Per-group live population (at least 1 when any member lives).
+    pub fn per_group_live(&self) -> u32 {
+        if self.live() == 0 {
+            0
+        } else {
+            (self.live() as f64 / self.groups as f64).round().max(1.0) as u32
+        }
+    }
+
+    /// Per-group (good, bad) split for a **bad** target's group: the target
+    /// itself is bad, so the bad count is at least 1.
+    pub fn per_group_for_bad_target(&self) -> (u32, u32) {
+        let n_g = self.per_group_live();
+        let bad =
+            ((self.undetected as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
+        (n_g - bad, bad)
+    }
+
+    /// Per-group (good, bad) split for a **good** target's group: the
+    /// target itself is good, so the good count is at least 1.
+    pub fn per_group_for_good_target(&self) -> (u32, u32) {
+        let n_g = self.per_group_live();
+        let good =
+            ((self.trusted as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
+        (good, n_g - good)
+    }
+}
+
+/// Extract the population from a marking.
+pub fn population(places: &Places, m: &Marking) -> Population {
+    Population {
+        trusted: m.tokens(places.tm),
+        undetected: m.tokens(places.ucm),
+        groups: m.tokens(places.ng).max(1),
+    }
+}
+
+/// The C2 Byzantine condition `U/(T+U) > 1/3`, evaluated exactly.
+pub fn c2_holds(trusted: u32, undetected: u32) -> bool {
+    2 * undetected > trusted
+}
+
+/// Voting false-negative probability `Pfn` in the given population state.
+pub fn pfn_for(cfg: &SystemConfig, pop: &Population) -> f64 {
+    if pop.undetected == 0 {
+        return 0.0;
+    }
+    let (good, bad) = pop.per_group_for_bad_target();
+    p_false_negative_with_collusion(
+        good,
+        bad,
+        cfg.vote_participants,
+        cfg.p1_host_false_negative,
+        cfg.collusion,
+    )
+}
+
+/// Voting false-positive probability `Pfp` in the given population state.
+pub fn pfp_for(cfg: &SystemConfig, pop: &Population) -> f64 {
+    if pop.trusted == 0 {
+        return 0.0;
+    }
+    let (good, bad) = pop.per_group_for_good_target();
+    p_false_positive_with_collusion(
+        good,
+        bad,
+        cfg.vote_participants,
+        cfg.p2_host_false_positive,
+        cfg.collusion,
+    )
+}
+
+/// Build the SPN for a configuration.
+///
+/// # Panics
+/// Panics if the configuration fails [`SystemConfig::validate`] — call it
+/// first for a recoverable error.
+pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
+    cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    let mut b = SpnBuilder::new();
+    let tm = b.add_place("Tm", cfg.node_count);
+    let ucm = b.add_place("UCm", 0);
+    let dcm = b.add_place("DCm", 0);
+    let gf = b.add_place("GF", 0);
+    let ng = b.add_place("NG", 1);
+    let places = Places { tm, ucm, dcm, gf, ng };
+
+    // Global absorbing predicate: C1 or C2 (or total attrition).
+    b.absorbing_when(move |m| {
+        let t = m.tokens(tm);
+        let u = m.tokens(ucm);
+        m.tokens(gf) > 0 || c2_holds(t, u) || t + u == 0
+    });
+
+    // T_CP: a trusted node is compromised at the attacker rate A(mc).
+    {
+        let attacker = cfg.attacker;
+        b.add_transition(
+            TransitionDef::timed("T_CP", move |m| {
+                attacker.rate(m.tokens(tm), m.tokens(ucm))
+            })
+            .input(tm, 1)
+            .output(ucm, 1),
+        );
+    }
+
+    // T_IDS: voting IDS catches an undetected compromised node.
+    {
+        let cfg_c = cfg.clone();
+        let n_init = cfg.node_count;
+        b.add_transition(
+            TransitionDef::timed("T_IDS", move |m| {
+                let pop = population(
+                    &Places { tm, ucm, dcm, gf, ng },
+                    m,
+                );
+                let d = cfg_c.detection.rate(n_init, pop.trusted, pop.undetected);
+                pop.undetected as f64 * d * (1.0 - pfn_for(&cfg_c, &pop))
+            })
+            .input(ucm, 1)
+            .output(dcm, 1),
+        );
+    }
+
+    // T_FA: voting IDS falsely evicts a trusted node.
+    {
+        let cfg_c = cfg.clone();
+        let n_init = cfg.node_count;
+        b.add_transition(
+            TransitionDef::timed("T_FA", move |m| {
+                let pop = population(&Places { tm, ucm, dcm, gf, ng }, m);
+                let d = cfg_c.detection.rate(n_init, pop.trusted, pop.undetected);
+                pop.trusted as f64 * d * pfp_for(&cfg_c, &pop)
+            })
+            .input(tm, 1)
+            .output(dcm, 1),
+        );
+    }
+
+    // T_DRQ: an undetected compromised member obtains data (C1). The
+    // responding member replies only if its host IDS misses the requester
+    // (probability p1).
+    {
+        let p1 = cfg.p1_host_false_negative;
+        let lambda_q = cfg.group_comm_rate;
+        b.add_transition(
+            TransitionDef::timed("T_DRQ", move |m| {
+                p1 * lambda_q * m.tokens(ucm) as f64
+            })
+            .input(ucm, 1)
+            .output(ucm, 1)
+            .output(gf, 1),
+        );
+    }
+
+    // T_PAR / T_MER: birth–death on the group count, rates calibrated from
+    // mobility simulation. Partition requires enough members for one more
+    // group.
+    {
+        let nu_p = cfg.partition_rate_per_group;
+        let max_groups = cfg.max_groups;
+        b.add_transition(
+            TransitionDef::timed("T_PAR", move |m| nu_p * m.tokens(ng) as f64)
+                .output(ng, 1)
+                .guard(move |m| {
+                    let g = m.tokens(ng);
+                    g < max_groups && m.tokens(tm) + m.tokens(ucm) > g
+                }),
+        );
+        let nu_m = cfg.merge_rate_per_group;
+        b.add_transition(
+            TransitionDef::timed("T_MER", move |m| {
+                nu_m * (m.tokens(ng).saturating_sub(1)) as f64
+            })
+            .input(ng, 1)
+            .guard(move |m| m.tokens(ng) >= 2),
+        );
+    }
+
+    // T_RK: join/leave rekeying. State-preserving (cost-only self loop);
+    // eviction and partition/merge rekeys are charged as impulse rewards on
+    // their own transitions.
+    {
+        let lambda = cfg.join_rate;
+        let mu = cfg.leave_rate;
+        let n_init = cfg.node_count;
+        b.add_transition(TransitionDef::timed("T_RK", move |m| {
+            let live = m.tokens(tm) + m.tokens(ucm);
+            lambda * (n_init - live.min(n_init)) as f64 + mu * live as f64
+        }));
+    }
+
+    let net = b.build().expect("model construction is internally consistent");
+    GcsIdsModel { net, places, config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn::reach::{explore, ExploreOptions};
+
+    fn small_cfg() -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = 10;
+        c.vote_participants = 3;
+        c
+    }
+
+    #[test]
+    fn model_builds_with_paper_defaults() {
+        let m = build_model(&SystemConfig::paper_default());
+        assert_eq!(m.net.place_count(), 5);
+        assert_eq!(m.net.transition_count(), 7);
+        for t in ["T_CP", "T_IDS", "T_FA", "T_DRQ", "T_PAR", "T_MER", "T_RK"] {
+            assert!(m.net.transition_by_name(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn initial_marking_matches_config() {
+        let m = build_model(&small_cfg());
+        let init = m.net.initial_marking();
+        assert_eq!(init.tokens(m.places.tm), 10);
+        assert_eq!(init.tokens(m.places.ucm), 0);
+        assert_eq!(init.tokens(m.places.ng), 1);
+        assert!(!m.net.is_absorbing_marking(&init));
+    }
+
+    #[test]
+    fn c2_boundary_exact() {
+        // U/(T+U) > 1/3 ⟺ 2U > T
+        assert!(!c2_holds(2, 1)); // exactly 1/3: not a failure
+        assert!(c2_holds(1, 1)); // 1/2 > 1/3
+        assert!(!c2_holds(10, 5)); // exactly 1/3
+        assert!(c2_holds(9, 5));
+        assert!(!c2_holds(0, 0));
+        assert!(c2_holds(0, 1)); // fully compromised
+    }
+
+    #[test]
+    fn absorbing_on_gf_token() {
+        let m = build_model(&small_cfg());
+        let mut marking = m.net.initial_marking();
+        marking.set_tokens(m.places.gf, 1);
+        assert!(m.net.is_absorbing_marking(&marking));
+    }
+
+    #[test]
+    fn reachability_is_finite_and_bounded() {
+        let m = build_model(&small_cfg());
+        let g = explore(&m.net, &ExploreOptions::default()).unwrap();
+        // (T, U, NG, GF) with T+U ≤ 10, NG ≤ 4: comfortably small
+        assert!(g.state_count() < 2_000, "{} states", g.state_count());
+        assert!(g.absorbing_states().next().is_some());
+        // every state conserves T + U + D = N
+        for s in &g.states {
+            let total = s.tokens(m.places.tm) + s.tokens(m.places.ucm) + s.tokens(m.places.dcm);
+            assert_eq!(total, 10);
+        }
+    }
+
+    #[test]
+    fn group_count_stays_in_bounds() {
+        let m = build_model(&small_cfg());
+        let g = explore(&m.net, &ExploreOptions::default()).unwrap();
+        for s in &g.states {
+            let ngv = s.tokens(m.places.ng);
+            assert!(ngv >= 1 && ngv <= m.config.max_groups, "NG = {ngv}");
+        }
+    }
+
+    #[test]
+    fn population_per_group_splits() {
+        let pop = Population { trusted: 60, undetected: 20, groups: 2 };
+        assert_eq!(pop.live(), 80);
+        assert_eq!(pop.per_group_live(), 40);
+        let (good_b, bad_b) = pop.per_group_for_bad_target();
+        assert_eq!(bad_b, 10);
+        assert_eq!(good_b, 30);
+        let (good_g, bad_g) = pop.per_group_for_good_target();
+        assert_eq!(good_g, 30);
+        assert_eq!(bad_g, 10);
+    }
+
+    #[test]
+    fn per_group_bad_target_never_zero_bad() {
+        // U = 1 spread over 4 groups still leaves the target's group with
+        // one bad node (the target itself).
+        let pop = Population { trusted: 79, undetected: 1, groups: 4 };
+        let (_, bad) = pop.per_group_for_bad_target();
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn pfn_pfp_edge_cases() {
+        let cfg = small_cfg();
+        let no_bad = Population { trusted: 10, undetected: 0, groups: 1 };
+        assert_eq!(pfn_for(&cfg, &no_bad), 0.0);
+        assert!(pfp_for(&cfg, &no_bad) > 0.0); // pure host-IDS false alarms
+        let no_good = Population { trusted: 0, undetected: 5, groups: 1 };
+        assert_eq!(pfp_for(&cfg, &no_good), 0.0);
+        assert!(pfn_for(&cfg, &no_good) > 0.9); // colluders protect each other
+    }
+
+    #[test]
+    fn rates_positive_in_initial_state() {
+        let m = build_model(&small_cfg());
+        let init = m.net.initial_marking();
+        let enabled = m.net.enabled_timed(&init).unwrap();
+        let names: Vec<&str> =
+            enabled.iter().map(|&(t, _)| m.net.transition_name(t)).collect();
+        // At T=N, U=0: T_CP (attack), T_FA (false alarms), T_PAR, T_RK are
+        // live; T_IDS and T_DRQ need U ≥ 1; T_MER needs NG ≥ 2.
+        assert!(names.contains(&"T_CP"));
+        assert!(names.contains(&"T_FA"));
+        assert!(names.contains(&"T_PAR"));
+        assert!(!names.contains(&"T_IDS"));
+        assert!(!names.contains(&"T_DRQ"));
+        assert!(!names.contains(&"T_MER"));
+    }
+
+    #[test]
+    fn t_rk_is_cost_only_self_loop() {
+        let m = build_model(&small_cfg());
+        let g = explore(&m.net, &ExploreOptions::default()).unwrap();
+        let t_rk = m.net.transition_by_name("T_RK").unwrap();
+        // T_RK never appears as a CTMC edge, but its rate is recorded
+        let on_edges = g.edges.iter().flatten().any(|e| e.transition == t_rk);
+        assert!(!on_edges);
+        let recorded = g.self_loop_rates.iter().flatten().any(|&(t, _)| t == t_rk);
+        assert!(recorded);
+    }
+
+    #[test]
+    fn higher_attack_rate_adds_no_states() {
+        // structure is rate-independent
+        let cfg = small_cfg();
+        let mut hot = cfg.clone();
+        hot.attacker.base_rate *= 100.0;
+        let g1 = explore(&build_model(&cfg).net, &ExploreOptions::default()).unwrap();
+        let g2 = explore(&build_model(&hot).net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g1.state_count(), g2.state_count());
+    }
+}

@@ -1,0 +1,161 @@
+//! Security-vs-performance trade-off analysis: the design-space enumeration
+//! and Pareto frontier behind the paper's closing recommendation ("select
+//! the best intrusion detection interval to maximize MTTSF while satisfying
+//! the Ĉtotal performance requirement").
+
+use crate::config::SystemConfig;
+use crate::metrics::{evaluate, Evaluation};
+use rayon::prelude::*;
+use spn::error::SpnError;
+
+/// One evaluated design alternative.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Vote participants.
+    pub m: u32,
+    /// Base detection interval (s).
+    pub t_ids: f64,
+    /// Full evaluation.
+    pub evaluation: Evaluation,
+}
+
+impl DesignPoint {
+    /// True when `other` is at least as good on both objectives and
+    /// strictly better on one (maximize MTTSF, minimize Ĉtotal).
+    pub fn dominated_by(&self, other: &DesignPoint) -> bool {
+        let better_mttsf = other.evaluation.mttsf_seconds >= self.evaluation.mttsf_seconds;
+        let better_cost = other.evaluation.c_total_hop_bits_per_sec
+            <= self.evaluation.c_total_hop_bits_per_sec;
+        let strictly = other.evaluation.mttsf_seconds > self.evaluation.mttsf_seconds
+            || other.evaluation.c_total_hop_bits_per_sec
+                < self.evaluation.c_total_hop_bits_per_sec;
+        better_mttsf && better_cost && strictly
+    }
+}
+
+/// Evaluate the full `(m, T_IDS)` design space in parallel.
+///
+/// # Errors
+/// Returns the first evaluation failure.
+pub fn design_space(
+    cfg: &SystemConfig,
+    ms: &[u32],
+    tids_grid: &[f64],
+) -> Result<Vec<DesignPoint>, SpnError> {
+    let combos: Vec<(u32, f64)> =
+        ms.iter().flat_map(|&m| tids_grid.iter().map(move |&t| (m, t))).collect();
+    combos
+        .par_iter()
+        .map(|&(m, t)| {
+            let e = evaluate(&cfg.with_vote_participants(m).with_tids(t))?;
+            Ok(DesignPoint { m, t_ids: t, evaluation: e })
+        })
+        .collect()
+}
+
+/// Pareto-efficient subset (maximize MTTSF, minimize Ĉtotal), sorted by
+/// increasing cost.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| p.dominated_by(q)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        a.evaluation
+            .c_total_hop_bits_per_sec
+            .partial_cmp(&b.evaluation.c_total_hop_bits_per_sec)
+            .expect("finite costs")
+    });
+    front
+}
+
+/// The cheapest design meeting an MTTSF floor, if any.
+pub fn cheapest_meeting_mttsf(points: &[DesignPoint], min_mttsf: f64) -> Option<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.evaluation.mttsf_seconds >= min_mttsf)
+        .min_by(|a, b| {
+            a.evaluation
+                .c_total_hop_bits_per_sec
+                .partial_cmp(&b.evaluation.c_total_hop_bits_per_sec)
+                .expect("finite costs")
+        })
+        .cloned()
+}
+
+/// The most survivable design under a cost ceiling, if any.
+pub fn best_mttsf_under_cost(points: &[DesignPoint], max_cost: f64) -> Option<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.evaluation.c_total_hop_bits_per_sec <= max_cost)
+        .max_by(|a, b| {
+            a.evaluation
+                .mttsf_seconds
+                .partial_cmp(&b.evaluation.mttsf_seconds)
+                .expect("finite MTTSF")
+        })
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = 14;
+        c
+    }
+
+    #[test]
+    fn design_space_covers_grid() {
+        let pts = design_space(&small(), &[3, 5], &[30.0, 120.0, 480.0]).unwrap();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.iter().all(|p| p.evaluation.mttsf_seconds > 0.0));
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated_and_sorted() {
+        let pts = design_space(&small(), &[3, 5, 7], &[15.0, 60.0, 240.0, 600.0]).unwrap();
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        assert!(front.len() <= pts.len());
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominated_by(b) || std::ptr::eq(a, b));
+            }
+        }
+        for w in front.windows(2) {
+            assert!(
+                w[0].evaluation.c_total_hop_bits_per_sec
+                    <= w[1].evaluation.c_total_hop_bits_per_sec
+            );
+            // along a sorted front, more cost must buy more survivability
+            assert!(w[0].evaluation.mttsf_seconds <= w[1].evaluation.mttsf_seconds);
+        }
+    }
+
+    #[test]
+    fn constrained_selection() {
+        let pts = design_space(&small(), &[3, 5], &[15.0, 60.0, 240.0]).unwrap();
+        let best_mttsf =
+            pts.iter().map(|p| p.evaluation.mttsf_seconds).fold(f64::MIN, f64::max);
+        // floor just below the best: must pick something
+        let pick = cheapest_meeting_mttsf(&pts, best_mttsf * 0.999).unwrap();
+        assert!(pick.evaluation.mttsf_seconds >= best_mttsf * 0.999);
+        // impossible floor: none
+        assert!(cheapest_meeting_mttsf(&pts, best_mttsf * 10.0).is_none());
+        // generous ceiling: the most survivable overall
+        let under = best_mttsf_under_cost(&pts, f64::INFINITY).unwrap();
+        assert!((under.evaluation.mttsf_seconds - best_mttsf).abs() < 1e-9);
+        // impossible ceiling: none
+        assert!(best_mttsf_under_cost(&pts, 0.0).is_none());
+    }
+
+    #[test]
+    fn domination_is_irreflexive() {
+        let pts = design_space(&small(), &[3], &[60.0]).unwrap();
+        assert!(!pts[0].dominated_by(&pts[0]));
+    }
+}

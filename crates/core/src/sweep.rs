@@ -1,0 +1,198 @@
+//! Parameter sweeps: the machinery behind Figures 2–5.
+//!
+//! Each sweep evaluates the exact model over a grid of base detection
+//! intervals (the paper's x-axis), optionally crossed with the number of
+//! vote participants `m` (Figures 2–3) or the detection shape
+//! (Figures 4–5). Grid points are independent, so they evaluate in
+//! parallel under rayon.
+
+use crate::config::SystemConfig;
+use crate::metrics::{evaluate, Evaluation};
+use ids::functions::RateShape;
+use rayon::prelude::*;
+use spn::error::SpnError;
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Base detection interval (s).
+    pub t_ids: f64,
+    /// Full evaluation at this point.
+    pub evaluation: Evaluation,
+}
+
+/// A labelled series (one curve of a figure).
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Legend label (e.g. `m=5` or `linear detection`).
+    pub label: String,
+    /// Points in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// The interval maximizing MTTSF.
+    pub fn optimal_tids_for_mttsf(&self) -> f64 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.evaluation
+                    .mttsf_seconds
+                    .partial_cmp(&b.evaluation.mttsf_seconds)
+                    .expect("MTTSF is never NaN")
+            })
+            .expect("series is non-empty")
+            .t_ids
+    }
+
+    /// The interval minimizing Ĉtotal.
+    pub fn optimal_tids_for_cost(&self) -> f64 {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.evaluation
+                    .c_total_hop_bits_per_sec
+                    .partial_cmp(&b.evaluation.c_total_hop_bits_per_sec)
+                    .expect("cost is never NaN")
+            })
+            .expect("series is non-empty")
+            .t_ids
+    }
+
+    /// `(t_ids, mttsf)` pairs — the response surface consumed by the
+    /// adaptive controller.
+    pub fn mttsf_surface(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.t_ids, p.evaluation.mttsf_seconds)).collect()
+    }
+
+    /// `(t_ids, c_total)` pairs.
+    pub fn cost_surface(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.t_ids, p.evaluation.c_total_hop_bits_per_sec))
+            .collect()
+    }
+}
+
+/// Evaluate one configuration across a TIDS grid (in parallel).
+///
+/// # Errors
+/// Returns the first evaluation error.
+pub fn sweep_tids(
+    cfg: &SystemConfig,
+    grid: &[f64],
+    label: impl Into<String>,
+) -> Result<SweepSeries, SpnError> {
+    let points: Result<Vec<SweepPoint>, SpnError> = grid
+        .par_iter()
+        .map(|&t| {
+            let e = evaluate(&cfg.with_tids(t))?;
+            Ok(SweepPoint { t_ids: t, evaluation: e })
+        })
+        .collect();
+    Ok(SweepSeries { label: label.into(), points: points? })
+}
+
+/// Figure 2/3 sweep: one series per vote-participant count.
+pub fn sweep_tids_by_m(
+    cfg: &SystemConfig,
+    grid: &[f64],
+    ms: &[u32],
+) -> Result<Vec<SweepSeries>, SpnError> {
+    ms.iter()
+        .map(|&m| sweep_tids(&cfg.with_vote_participants(m), grid, format!("m={m}")))
+        .collect()
+}
+
+/// Figure 4/5 sweep: one series per detection shape.
+pub fn sweep_tids_by_detection_shape(
+    cfg: &SystemConfig,
+    grid: &[f64],
+) -> Result<Vec<SweepSeries>, SpnError> {
+    RateShape::all()
+        .iter()
+        .map(|&shape| {
+            sweep_tids(
+                &cfg.with_detection_shape(shape),
+                grid,
+                format!("{} detection", shape.name()),
+            )
+        })
+        .collect()
+}
+
+/// Convenience: the MTTSF-optimal interval for a configuration over the
+/// paper grid.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn optimal_tids_for_mttsf(cfg: &SystemConfig) -> Result<f64, SpnError> {
+    Ok(sweep_tids(cfg, SystemConfig::paper_tids_grid(), "optimal")?.optimal_tids_for_mttsf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = 12;
+        c.vote_participants = 3;
+        c
+    }
+
+    const GRID: [f64; 5] = [5.0, 30.0, 120.0, 480.0, 1200.0];
+
+    #[test]
+    fn sweep_evaluates_every_point() {
+        let s = sweep_tids(&small(), &GRID, "test").unwrap();
+        assert_eq!(s.points.len(), GRID.len());
+        for (p, &t) in s.points.iter().zip(&GRID) {
+            assert_eq!(p.t_ids, t);
+            assert!(p.evaluation.mttsf_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn mttsf_has_interior_optimum_shape() {
+        // The paper's core claim: MTTSF rises then falls in TIDS. With a
+        // small system the optimum may sit at an edge of a coarse grid, so
+        // use a wide grid and check non-monotonicity.
+        let s = sweep_tids(&small(), &[1.0, 60.0, 5_000.0, 100_000.0], "test").unwrap();
+        let v: Vec<f64> = s.points.iter().map(|p| p.evaluation.mttsf_seconds).collect();
+        let opt = s.optimal_tids_for_mttsf();
+        // the extremes are both worse than the optimum
+        let at_opt = v.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(at_opt > v[0], "short-TIDS end should be sub-optimal");
+        assert!(at_opt > *v.last().unwrap(), "long-TIDS end should be sub-optimal");
+        assert!(opt > 1.0 && opt < 100_000.0);
+    }
+
+    #[test]
+    fn series_by_m_are_labelled() {
+        let all = sweep_tids_by_m(&small(), &[30.0, 120.0], &[3, 5]).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].label, "m=3");
+        assert_eq!(all[1].label, "m=5");
+    }
+
+    #[test]
+    fn series_by_shape_cover_all_three() {
+        let all = sweep_tids_by_detection_shape(&small(), &[60.0]).unwrap();
+        let labels: Vec<&str> = all.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["logarithmic detection", "linear detection", "polynomial detection"]
+        );
+    }
+
+    #[test]
+    fn surfaces_expose_points() {
+        let s = sweep_tids(&small(), &[30.0, 120.0], "test").unwrap();
+        let m = s.mttsf_surface();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, 30.0);
+        let c = s.cost_surface();
+        assert!(c.iter().all(|&(_, v)| v > 0.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! Group communication system (GCS) substrate.
+//!
+//! The paper's GCS assumes: reliable view-synchronous delivery, a shared
+//! symmetric *group key* agreed upon with a contributory key agreement
+//! protocol (GDH [Steiner–Tsudik–Waidner '96]) because MANETs have no
+//! trusted key server, and rekeying on every join/leave/eviction to keep
+//! forward and backward secrecy. This crate implements those substrates:
+//!
+//! * [`membership`] — group views and membership events;
+//! * [`vsync`] — a view-synchronous broadcast channel (sender order
+//!   preserved, view-atomic delivery);
+//! * [`gdh`] — GDH.2 group Diffie–Hellman over a 61-bit prime field with
+//!   per-stage message accounting;
+//! * [`gdh3`] — the communication-optimized GDH.3 variant (constant-size
+//!   messages, O(n) total elements) with exponent-inverse factoring;
+//! * [`rekey`] — rekey scheduling (immediate or batched) and the
+//!   communication-cost/latency accounting (`Tcm`) consumed by the SPN's
+//!   `T_RK` rate and the Ĉrekey cost component.
+
+pub mod gdh;
+pub mod gdh3;
+pub mod membership;
+pub mod rekey;
+pub mod vsync;
+
+pub use gdh::{GdhSession, RekeyCost};
+pub use gdh3::{Gdh3Cost, Gdh3Session};
+pub use membership::{GroupView, MembershipEvent, NodeId};
+pub use rekey::{RekeyPolicy, RekeyScheduler, RekeyStats};
+pub use vsync::ViewSyncChannel;

@@ -1,0 +1,256 @@
+//! Rekey scheduling and accounting.
+//!
+//! Every membership change must refresh the group key (forward + backward
+//! secrecy). The baseline policy rekeys immediately on each event — this is
+//! what the paper models (`T_RK` fires per join/leave/eviction with rate
+//! `1/Tcm`). As an extension (the authors' companion work), a *batch*
+//! policy aggregates events within a rekey interval and performs a single
+//! GDH run; the scheduler here supports both so the ablation bench can
+//! compare their traffic.
+
+use crate::gdh::{GdhSession, RekeyCost};
+use crate::membership::{GroupView, MembershipEvent, ViewHistory};
+use rand::Rng;
+
+/// When to run the GDH agreement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RekeyPolicy {
+    /// One GDH run per membership event (the paper's model).
+    Immediate,
+    /// Aggregate events and rekey every `interval` seconds (companion-work
+    /// extension; evictions still trigger an immediate rekey because a
+    /// compromised member must not hold a valid key).
+    Batch {
+        /// Batch window in seconds.
+        interval: f64,
+    },
+}
+
+/// Cumulative rekey statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RekeyStats {
+    /// GDH runs performed.
+    pub runs: u64,
+    /// Membership events processed.
+    pub events: u64,
+    /// Total field elements transmitted.
+    pub total_elements: u64,
+    /// Total unicast + broadcast messages.
+    pub total_messages: u64,
+}
+
+/// Tracks views, keys, and rekey traffic under a [`RekeyPolicy`].
+#[derive(Debug)]
+pub struct RekeyScheduler {
+    history: ViewHistory,
+    policy: RekeyPolicy,
+    stats: RekeyStats,
+    current_key: Option<u64>,
+    /// Events accumulated since the last batch rekey.
+    pending_events: u64,
+    /// Simulation-time of the last batch rekey.
+    last_batch_rekey: f64,
+}
+
+impl RekeyScheduler {
+    /// Start with an initial view and run the first key agreement.
+    pub fn new<R: Rng + ?Sized>(view: GroupView, policy: RekeyPolicy, rng: &mut R) -> Self {
+        let mut s = Self {
+            history: ViewHistory::new(view),
+            policy,
+            stats: RekeyStats::default(),
+            current_key: None,
+            pending_events: 0,
+            last_batch_rekey: 0.0,
+        };
+        s.run_gdh(rng);
+        s
+    }
+
+    /// Current group view.
+    pub fn view(&self) -> &GroupView {
+        self.history.current()
+    }
+
+    /// Current group key (None only for an empty group).
+    pub fn key(&self) -> Option<u64> {
+        self.current_key
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &RekeyStats {
+        &self.stats
+    }
+
+    /// Events waiting for the next batch rekey.
+    pub fn pending_events(&self) -> u64 {
+        self.pending_events
+    }
+
+    fn run_gdh<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let members = self.view().ordered_members();
+        if members.is_empty() {
+            self.current_key = None;
+            return;
+        }
+        let mut session = GdhSession::new(&members, rng);
+        self.current_key = Some(session.run());
+        let cost = session.measured_cost();
+        self.stats.runs += 1;
+        self.stats.total_elements += cost.total_elements;
+        self.stats.total_messages +=
+            cost.unicast_messages as u64 + cost.broadcast_messages as u64;
+        self.pending_events = 0;
+    }
+
+    /// Process a membership event at simulation time `now`. Returns `true`
+    /// when a GDH rekey ran.
+    pub fn on_event<R: Rng + ?Sized>(
+        &mut self,
+        now: f64,
+        event: MembershipEvent,
+        rng: &mut R,
+    ) -> bool {
+        let is_eviction = matches!(event, MembershipEvent::Evict(_));
+        self.history.install(event);
+        self.stats.events += 1;
+        self.pending_events += 1;
+        match self.policy {
+            RekeyPolicy::Immediate => {
+                self.run_gdh(rng);
+                true
+            }
+            RekeyPolicy::Batch { interval } => {
+                if is_eviction || now - self.last_batch_rekey >= interval {
+                    self.last_batch_rekey = now;
+                    self.run_gdh(rng);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Batch-policy timer tick: rekey if the window expired and events are
+    /// pending. Returns `true` when a rekey ran.
+    pub fn on_tick<R: Rng + ?Sized>(&mut self, now: f64, rng: &mut R) -> bool {
+        if let RekeyPolicy::Batch { interval } = self.policy {
+            if self.pending_events > 0 && now - self.last_batch_rekey >= interval {
+                self.last_batch_rekey = now;
+                self.run_gdh(rng);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Analytic per-event rekey cost at the current group size (used by the
+    /// SPN cost model).
+    pub fn analytic_event_cost(&self) -> RekeyCost {
+        RekeyCost::for_group_size(self.view().size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn initial_agreement_runs() {
+        let mut r = rng();
+        let s = RekeyScheduler::new(GroupView::initial([1, 2, 3]), RekeyPolicy::Immediate, &mut r);
+        assert!(s.key().is_some());
+        assert_eq!(s.stats().runs, 1);
+    }
+
+    #[test]
+    fn immediate_policy_rekeys_every_event() {
+        let mut r = rng();
+        let mut s =
+            RekeyScheduler::new(GroupView::initial([1, 2, 3]), RekeyPolicy::Immediate, &mut r);
+        let k0 = s.key();
+        assert!(s.on_event(1.0, MembershipEvent::Join(4), &mut r));
+        let k1 = s.key();
+        assert!(s.on_event(2.0, MembershipEvent::Leave(1), &mut r));
+        let k2 = s.key();
+        assert_ne!(k0, k1);
+        assert_ne!(k1, k2);
+        assert_eq!(s.stats().runs, 3);
+        assert_eq!(s.stats().events, 2);
+        assert_eq!(s.view().ordered_members(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_policy_defers_joins_and_leaves() {
+        let mut r = rng();
+        let mut s = RekeyScheduler::new(
+            GroupView::initial([1, 2, 3]),
+            RekeyPolicy::Batch { interval: 10.0 },
+            &mut r,
+        );
+        assert!(!s.on_event(1.0, MembershipEvent::Join(4), &mut r));
+        assert!(!s.on_event(2.0, MembershipEvent::Join(5), &mut r));
+        assert_eq!(s.pending_events(), 2);
+        // window expires
+        assert!(s.on_tick(12.0, &mut r));
+        assert_eq!(s.pending_events(), 0);
+        assert_eq!(s.stats().runs, 2); // initial + batch
+    }
+
+    #[test]
+    fn batch_policy_evictions_rekey_immediately() {
+        let mut r = rng();
+        let mut s = RekeyScheduler::new(
+            GroupView::initial([1, 2, 3]),
+            RekeyPolicy::Batch { interval: 1e9 },
+            &mut r,
+        );
+        let k0 = s.key();
+        assert!(s.on_event(1.0, MembershipEvent::Evict(2), &mut r));
+        assert_ne!(s.key(), k0);
+        assert!(!s.view().contains(2));
+    }
+
+    #[test]
+    fn batch_traffic_less_than_immediate() {
+        let events: Vec<MembershipEvent> =
+            (10..30).map(MembershipEvent::Join).collect();
+        let run = |policy| {
+            let mut r = rng();
+            let mut s = RekeyScheduler::new(GroupView::initial([1, 2, 3]), policy, &mut r);
+            for (i, e) in events.iter().cloned().enumerate() {
+                s.on_event(i as f64, e, &mut r);
+            }
+            s.on_tick(1e9, &mut r);
+            s.stats().clone()
+        };
+        let imm = run(RekeyPolicy::Immediate);
+        let batch = run(RekeyPolicy::Batch { interval: 5.0 });
+        assert!(batch.runs < imm.runs);
+        assert!(batch.total_elements < imm.total_elements);
+        // both end at the same view size
+    }
+
+    #[test]
+    fn empty_group_after_all_leave() {
+        let mut r = rng();
+        let mut s = RekeyScheduler::new(GroupView::initial([1]), RekeyPolicy::Immediate, &mut r);
+        s.on_event(0.0, MembershipEvent::Leave(1), &mut r);
+        assert_eq!(s.key(), None);
+        assert_eq!(s.view().size(), 0);
+    }
+
+    #[test]
+    fn analytic_cost_tracks_view_size() {
+        let mut r = rng();
+        let s = RekeyScheduler::new(GroupView::initial([1, 2, 3, 4]), RekeyPolicy::Immediate, &mut r);
+        assert_eq!(s.analytic_event_cost(), RekeyCost::for_group_size(4));
+    }
+}

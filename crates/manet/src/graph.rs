@@ -1,0 +1,178 @@
+//! Unit-disc connectivity graph: adjacency, connected components (mobile
+//! groups), and BFS hop counts.
+
+use crate::geometry::Vec2;
+use crate::grid::SpatialGrid;
+use numerics::UnionFind;
+use std::collections::VecDeque;
+
+/// Snapshot of the communication graph at one instant.
+#[derive(Debug)]
+pub struct ConnectivityGraph {
+    adjacency: Vec<Vec<u32>>,
+    labels: Vec<u32>,
+    component_sizes: Vec<u32>,
+}
+
+impl ConnectivityGraph {
+    /// Build the unit-disc graph over `positions` with the given
+    /// `radio_range` (two nodes are linked iff within range).
+    pub fn build(positions: &[Vec2], radio_range: f64) -> Self {
+        let n = positions.len();
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut uf = UnionFind::new(n);
+        if n > 0 {
+            let grid = SpatialGrid::build(positions, radio_range.max(1e-9));
+            grid.for_each_pair_within(positions, radio_range, |a, b| {
+                adjacency[a as usize].push(b);
+                adjacency[b as usize].push(a);
+                uf.union(a as usize, b as usize);
+            });
+        }
+        let (labels, component_sizes) =
+            if n > 0 { uf.component_labels() } else { (Vec::new(), Vec::new()) };
+        Self { adjacency, labels, component_sizes }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adjacency[i]
+    }
+
+    /// Dense component label of node `i`.
+    pub fn component_of(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// Component labels for all nodes.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of connected components (mobile groups).
+    pub fn component_count(&self) -> usize {
+        self.component_sizes.len()
+    }
+
+    /// Size of each component.
+    pub fn component_sizes(&self) -> &[u32] {
+        &self.component_sizes
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// BFS hop distances from `source` (`u32::MAX` for unreachable nodes).
+    pub fn hop_distances(&self, source: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut q = VecDeque::new();
+        dist[source] = 0;
+        q.push_back(source as u32);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u as usize];
+            for &v in &self.adjacency[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Mean hop count over all connected ordered pairs reachable from
+    /// `source` (excluding the source itself); `None` if the source is
+    /// isolated.
+    pub fn mean_hops_from(&self, source: usize) -> Option<f64> {
+        let dist = self.hop_distances(source);
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (i, &d) in dist.iter().enumerate() {
+            if i != source && d != u32::MAX {
+                total += d as u64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total as f64 / count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<Vec2> {
+        (0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // nodes 100 m apart, range 150: a path graph
+        let pts = line(5, 100.0);
+        let g = ConnectivityGraph::build(&pts, 150.0);
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.hop_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.mean_hops_from(0), Some(2.5));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut pts = line(3, 10.0);
+        pts.push(Vec2::new(1_000.0, 0.0));
+        pts.push(Vec2::new(1_000.0, 5.0));
+        let g = ConnectivityGraph::build(&pts, 20.0);
+        assert_eq!(g.component_count(), 2);
+        let mut sizes = g.component_sizes().to_vec();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+        // cross-component distance is unreachable
+        assert_eq!(g.hop_distances(0)[3], u32::MAX);
+        assert_eq!(g.component_of(0), g.component_of(2));
+        assert_ne!(g.component_of(0), g.component_of(3));
+    }
+
+    #[test]
+    fn complete_graph_when_dense() {
+        let pts = line(4, 1.0);
+        let g = ConnectivityGraph::build(&pts, 10.0);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.mean_hops_from(2), Some(1.0));
+    }
+
+    #[test]
+    fn isolated_node_mean_hops_none() {
+        let pts = vec![Vec2::ZERO, Vec2::new(1_000.0, 0.0)];
+        let g = ConnectivityGraph::build(&pts, 10.0);
+        assert_eq!(g.mean_hops_from(0), None);
+        assert_eq!(g.component_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConnectivityGraph::build(&[], 10.0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.component_count(), 0);
+    }
+
+    #[test]
+    fn range_boundary_inclusive() {
+        let pts = vec![Vec2::ZERO, Vec2::new(100.0, 0.0)];
+        let g = ConnectivityGraph::build(&pts, 100.0);
+        assert_eq!(g.edge_count(), 1);
+        let g2 = ConnectivityGraph::build(&pts, 99.999);
+        assert_eq!(g2.edge_count(), 0);
+    }
+}

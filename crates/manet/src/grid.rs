@@ -1,0 +1,152 @@
+//! Spatial hash grid for neighbor queries.
+//!
+//! Building the unit-disc connectivity graph naively is O(n²) distance
+//! checks per step; binning nodes into cells of side `radio_range` reduces
+//! that to scanning the 3×3 neighborhood of each node's cell — the standard
+//! cell-list technique from molecular dynamics.
+
+use crate::geometry::Vec2;
+use std::collections::HashMap;
+
+/// Spatial hash over points with a fixed cell size.
+#[derive(Debug)]
+pub struct SpatialGrid {
+    cell: f64,
+    bins: HashMap<(i32, i32), Vec<u32>>,
+}
+
+impl SpatialGrid {
+    /// Bin `points` into cells of side `cell_size`.
+    ///
+    /// # Panics
+    /// Panics if `cell_size <= 0`.
+    pub fn build(points: &[Vec2], cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let mut bins: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            bins.entry(Self::key(p, cell_size)).or_default().push(i as u32);
+        }
+        Self { cell: cell_size, bins }
+    }
+
+    fn key(p: &Vec2, cell: f64) -> (i32, i32) {
+        ((p.x / cell).floor() as i32, (p.y / cell).floor() as i32)
+    }
+
+    /// Visit every unordered pair `(i, j)` with `i < j` whose distance is at
+    /// most `radius` (`radius` must be ≤ the build cell size).
+    ///
+    /// # Panics
+    /// Panics if `radius` exceeds the cell size.
+    pub fn for_each_pair_within(&self, points: &[Vec2], radius: f64, mut f: impl FnMut(u32, u32)) {
+        assert!(radius <= self.cell * (1.0 + 1e-12), "radius {radius} exceeds cell {}", self.cell);
+        let r2 = radius * radius;
+        for (&(cx, cy), members) in &self.bins {
+            // pairs within the same cell
+            for (a_idx, &a) in members.iter().enumerate() {
+                for &b in &members[a_idx + 1..] {
+                    if points[a as usize].distance_sq(points[b as usize]) <= r2 {
+                        f(a.min(b), a.max(b));
+                    }
+                }
+            }
+            // pairs with forward neighbor cells (half of the 8 neighbors, to
+            // visit each cell pair once)
+            for (dx, dy) in [(1, 0), (1, 1), (0, 1), (-1, 1)] {
+                if let Some(others) = self.bins.get(&(cx + dx, cy + dy)) {
+                    for &a in members {
+                        for &b in others {
+                            if points[a as usize].distance_sq(points[b as usize]) <= r2 {
+                                f(a.min(b), a.max(b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force_pairs(points: &[Vec2], radius: f64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        for i in 0..points.len() {
+            for j in i + 1..points.len() {
+                if points[i].distance_sq(points[j]) <= r2 {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..120);
+            let points: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0)))
+                .collect();
+            let radius = rng.gen_range(10.0..300.0);
+            let grid = SpatialGrid::build(&points, radius);
+            let mut got = Vec::new();
+            grid.for_each_pair_within(&points, radius, |a, b| got.push((a, b)));
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, brute_force_pairs(&points, radius));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let grid = SpatialGrid::build(&[], 10.0);
+        let mut count = 0;
+        grid.for_each_pair_within(&[], 10.0, |_, _| count += 1);
+        assert_eq!(count, 0);
+
+        let pts = [Vec2::new(1.0, 1.0)];
+        let grid = SpatialGrid::build(&pts, 10.0);
+        grid.for_each_pair_within(&pts, 10.0, |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn pairs_on_cell_boundaries_found() {
+        // points in adjacent cells, just within radius
+        let pts = [Vec2::new(9.9, 0.0), Vec2::new(10.1, 0.0)];
+        let grid = SpatialGrid::build(&pts, 10.0);
+        let mut got = Vec::new();
+        grid.for_each_pair_within(&pts, 10.0, |a, b| got.push((a, b)));
+        assert_eq!(got, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn negative_coordinates_handled() {
+        let pts = [Vec2::new(-5.0, -5.0), Vec2::new(-6.0, -5.5), Vec2::new(200.0, 200.0)];
+        let grid = SpatialGrid::build(&pts, 50.0);
+        let mut got = Vec::new();
+        grid.for_each_pair_within(&pts, 50.0, |a, b| got.push((a, b)));
+        assert_eq!(got, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn radius_larger_than_cell_rejected() {
+        let pts = [Vec2::ZERO];
+        let grid = SpatialGrid::build(&pts, 10.0);
+        grid.for_each_pair_within(&pts, 20.0, |_, _| {});
+    }
+}

@@ -1,0 +1,153 @@
+//! Hop-count statistics over the connectivity graph.
+//!
+//! The cost model measures traffic in hop·bits: a unicast message of `L`
+//! bits crossing `h` hops costs `h·L`, and an intra-group flood costs one
+//! transmission per member. These statistics are sampled during mobility
+//! calibration and summarized as (a) an overall mean hop count and (b) mean
+//! hop counts binned by group size (log₂ bins), which the core model can
+//! interpolate.
+
+use crate::graph::ConnectivityGraph;
+use numerics::stats::Welford;
+use rand::Rng;
+
+/// Number of log₂ group-size bins (sizes 1, 2–3, 4–7, … up to 2¹⁵⁺).
+pub const SIZE_BINS: usize = 16;
+
+/// Accumulates hop-count samples.
+#[derive(Debug, Clone)]
+pub struct HopSampler {
+    overall: Welford,
+    by_size: Vec<Welford>,
+}
+
+impl Default for HopSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HopSampler {
+    /// Empty sampler.
+    pub fn new() -> Self {
+        Self { overall: Welford::new(), by_size: vec![Welford::new(); SIZE_BINS] }
+    }
+
+    /// Log₂ bin index for a group size.
+    pub fn bin_for_size(size: u32) -> usize {
+        (32 - size.max(1).leading_zeros() - 1).min(SIZE_BINS as u32 - 1) as usize
+    }
+
+    /// Sample mean hop counts from `samples` random source nodes of the
+    /// graph (sources in singleton components contribute nothing).
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        graph: &ConnectivityGraph,
+        samples: usize,
+        rng: &mut R,
+    ) {
+        let n = graph.node_count();
+        if n == 0 {
+            return;
+        }
+        for _ in 0..samples {
+            let src = rng.gen_range(0..n);
+            if let Some(h) = graph.mean_hops_from(src) {
+                let size = graph.component_sizes()[graph.component_of(src) as usize];
+                self.overall.push(h);
+                self.by_size[Self::bin_for_size(size)].push(h);
+            }
+        }
+    }
+
+    /// Overall mean hop count (≥ 1 whenever any sample was taken).
+    pub fn mean_hops(&self) -> f64 {
+        if self.overall.count() == 0 {
+            1.0
+        } else {
+            self.overall.mean()
+        }
+    }
+
+    /// Number of samples taken.
+    pub fn sample_count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Mean hop count for a given group size: the size's bin if populated,
+    /// otherwise the overall mean, floored at 1 hop.
+    pub fn hops_for_group_size(&self, size: u32) -> f64 {
+        let bin = &self.by_size[Self::bin_for_size(size)];
+        let h = if bin.count() > 0 { bin.mean() } else { self.mean_hops() };
+        h.max(1.0)
+    }
+
+    /// Merge another sampler's data.
+    pub fn merge(&mut self, other: &HopSampler) {
+        self.overall.merge(&other.overall);
+        for (a, b) in self.by_size.iter_mut().zip(&other.by_size) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bin_indices() {
+        assert_eq!(HopSampler::bin_for_size(1), 0);
+        assert_eq!(HopSampler::bin_for_size(2), 1);
+        assert_eq!(HopSampler::bin_for_size(3), 1);
+        assert_eq!(HopSampler::bin_for_size(4), 2);
+        assert_eq!(HopSampler::bin_for_size(100), 6);
+        assert_eq!(HopSampler::bin_for_size(u32::MAX), SIZE_BINS - 1);
+        // size 0 treated as 1
+        assert_eq!(HopSampler::bin_for_size(0), 0);
+    }
+
+    #[test]
+    fn sampling_a_chain_gives_expected_mean() {
+        // path of 5 nodes, 100 m apart, range 150 — mean hops from the
+        // middle node = (2+1+1+2)/4 = 1.5; from an end = 2.5
+        let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64 * 100.0, 0.0)).collect();
+        let g = ConnectivityGraph::build(&pts, 150.0);
+        let mut s = HopSampler::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        s.sample(&g, 2_000, &mut rng);
+        assert!(s.sample_count() > 0);
+        // average over uniformly random sources: (2.5+1.75+1.5+1.75+2.5)/5 = 2.0
+        assert!((s.mean_hops() - 2.0).abs() < 0.1, "{}", s.mean_hops());
+        assert!(s.hops_for_group_size(5) >= 1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_contribute_nothing() {
+        let pts = vec![Vec2::ZERO, Vec2::new(9_999.0, 0.0)];
+        let g = ConnectivityGraph::build(&pts, 10.0);
+        let mut s = HopSampler::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        s.sample(&g, 100, &mut rng);
+        assert_eq!(s.sample_count(), 0);
+        assert_eq!(s.mean_hops(), 1.0); // fallback
+        assert_eq!(s.hops_for_group_size(7), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let pts: Vec<Vec2> = (0..4).map(|i| Vec2::new(i as f64 * 50.0, 0.0)).collect();
+        let g = ConnectivityGraph::build(&pts, 60.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = HopSampler::new();
+        a.sample(&g, 50, &mut rng);
+        let mut b = HopSampler::new();
+        b.sample(&g, 70, &mut rng);
+        let (ca, cb) = (a.sample_count(), b.sample_count());
+        a.merge(&b);
+        assert_eq!(a.sample_count(), ca + cb);
+    }
+}

@@ -1,0 +1,176 @@
+//! Poisson weight computation for uniformization (Jensen's method), in the
+//! spirit of Fox & Glynn (1988).
+//!
+//! Given a Poisson rate `lambda = q·t` and a truncation error `epsilon`, we
+//! return left/right truncation points `l, r` and the (normalized) weights
+//! `w_k = P[Poisson(lambda) = k]` for `k ∈ [l, r]` such that the truncated
+//! mass exceeds `1 − epsilon`. Weights are computed by recurrence from the
+//! mode outward, which is stable for the `lambda` values (≤ ~1e6) the
+//! transient solver uses.
+
+use crate::special::ln_factorial;
+
+/// Truncated Poisson weights for uniformization.
+#[derive(Debug, Clone)]
+pub struct PoissonWeights {
+    /// Left truncation point (inclusive).
+    pub left: usize,
+    /// Right truncation point (inclusive).
+    pub right: usize,
+    /// `weights[i] = P[Poisson = left + i]`, renormalized to sum to 1.
+    pub weights: Vec<f64>,
+}
+
+impl PoissonWeights {
+    /// Compute weights for `Poisson(lambda)` with total truncated mass at
+    /// least `1 − epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative/non-finite or `epsilon` not in (0,1).
+    pub fn compute(lambda: f64, epsilon: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "bad epsilon {epsilon}");
+        if lambda == 0.0 {
+            return Self { left: 0, right: 0, weights: vec![1.0] };
+        }
+        let mode = lambda.floor() as usize;
+        // ln pmf at the mode (guards underflow for large lambda).
+        let ln_pmf_mode = mode as f64 * lambda.ln() - lambda - ln_factorial(mode as u64);
+
+        // Walk right from the mode until the cumulative tail bound is hit.
+        // pmf(k+1) = pmf(k) * lambda / (k+1)
+        let mut right_weights = Vec::with_capacity(64);
+        let mut w = 1.0_f64; // scaled: pmf(k)/pmf(mode)
+        right_weights.push(w);
+        let mut k = mode;
+        // Conservative stop: when scaled weight is far below eps relative to
+        // the accumulated mass and we've passed ~6 standard deviations.
+        let sigma = lambda.sqrt().max(1.0);
+        let hard_right = mode + (10.0 * sigma) as usize + 30;
+        while k < hard_right {
+            w *= lambda / (k + 1) as f64;
+            k += 1;
+            right_weights.push(w);
+            if w < epsilon * 1e-4 && (k - mode) as f64 > 6.0 * sigma {
+                break;
+            }
+        }
+        let right = k;
+
+        // Walk left from the mode.
+        let mut left_weights = Vec::with_capacity(64);
+        let mut w = 1.0_f64;
+        let mut k = mode;
+        while k > 0 {
+            w *= k as f64 / lambda;
+            k -= 1;
+            left_weights.push(w);
+            if w < epsilon * 1e-4 && (mode - k) as f64 > 6.0 * sigma {
+                break;
+            }
+        }
+        let left = k;
+
+        // Assemble in order [left..=right], scale back by pmf(mode) in log
+        // space to avoid overflow, then renormalize.
+        let scale = ln_pmf_mode.exp();
+        let mut weights: Vec<f64> = left_weights
+            .iter()
+            .rev()
+            .chain(right_weights.iter())
+            .map(|sw| sw * scale)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 1.0 - 1e-3,
+            "PoissonWeights: truncated mass {total} too small for lambda {lambda}"
+        );
+        for w in &mut weights {
+            *w /= total;
+        }
+        Self { left, right, weights }
+    }
+
+    /// Weight of `k`, zero outside the truncation window.
+    pub fn weight(&self, k: usize) -> f64 {
+        if k < self.left || k > self.right {
+            0.0
+        } else {
+            self.weights[k - self.left]
+        }
+    }
+
+    /// Number of retained terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when only a single term is retained (lambda = 0 case).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Poisson;
+
+    #[test]
+    fn zero_lambda_is_point_mass() {
+        let w = PoissonWeights::compute(0.0, 1e-10);
+        assert_eq!(w.left, 0);
+        assert_eq!(w.right, 0);
+        assert_eq!(w.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn weights_match_pmf_small_lambda() {
+        let lambda = 4.2;
+        let w = PoissonWeights::compute(lambda, 1e-12);
+        let p = Poisson::new(lambda);
+        for k in w.left..=w.right {
+            let exact = p.pmf(k as u64);
+            assert!(
+                (w.weight(k) - exact).abs() < 1e-9,
+                "k={k}: {} vs {exact}",
+                w.weight(k)
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &lambda in &[0.1, 1.0, 17.0, 300.0, 12_345.0] {
+            let w = PoissonWeights::compute(lambda, 1e-10);
+            let s: f64 = w.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "lambda={lambda}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn window_covers_mean() {
+        for &lambda in &[0.5, 8.0, 1_000.0, 250_000.0] {
+            let w = PoissonWeights::compute(lambda, 1e-9);
+            let mean = lambda as usize;
+            assert!(w.left <= mean && mean <= w.right, "lambda={lambda}");
+            // window should be O(sqrt(lambda)) wide, not O(lambda)
+            let width = (w.right - w.left) as f64;
+            assert!(width <= 25.0 * lambda.sqrt() + 80.0, "lambda={lambda}: width {width}");
+        }
+    }
+
+    #[test]
+    fn large_lambda_no_overflow() {
+        let w = PoissonWeights::compute(1.0e6, 1e-9);
+        assert!(w.weights.iter().all(|x| x.is_finite()));
+        let s: f64 = w.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_epsilon() {
+        PoissonWeights::compute(1.0, 0.0);
+    }
+}

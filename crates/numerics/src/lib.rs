@@ -1,0 +1,39 @@
+//! Numerical substrate for the GCS-IDS reproduction.
+//!
+//! This crate provides the mathematical foundation shared by the stochastic
+//! Petri net engine, the MANET simulator, and the analytic voting-IDS
+//! formulas:
+//!
+//! * [`special`] — log-gamma, log-factorials, log-binomials, the error
+//!   function and the standard normal quantile.
+//! * [`dist`] — numerically stable binomial, hypergeometric and Poisson
+//!   distributions (pmf/cdf/sf in linear and log space) plus small-n
+//!   samplers.
+//! * [`foxglynn`] — Fox–Glynn-style Poisson weight computation used by the
+//!   uniformization transient solver.
+//! * [`stats`] — Welford accumulators, confidence intervals, Kahan summation
+//!   and quantiles.
+//! * [`sparse`] — compressed sparse row matrices.
+//! * [`linsolve`] — stationary iterative solvers (Jacobi, Gauss–Seidel, SOR),
+//!   a dense-LU fallback and power iteration.
+//! * [`search`] — grid and golden-section extremum search.
+//! * [`unionfind`] — disjoint-set forest.
+//! * [`rng`] — SplitMix64 seed derivation for deterministic parallel streams.
+//!
+//! Everything here is deterministic and dependency-light so the higher
+//! layers can be exhaustively property-tested.
+
+pub mod dist;
+pub mod foxglynn;
+pub mod linsolve;
+pub mod rng;
+pub mod search;
+pub mod sparse;
+pub mod special;
+pub mod stats;
+pub mod unionfind;
+
+pub use dist::{Binomial, Hypergeometric, Poisson};
+pub use sparse::Csr;
+pub use stats::{ConfidenceInterval, KahanSum, Welford};
+pub use unionfind::UnionFind;

@@ -1,0 +1,374 @@
+//! Linear solvers for the sparse systems produced by CTMC analysis.
+//!
+//! The mean-time-to-absorption system `Qᵀ_TT σ = −π₀` has a weakly
+//! diagonally dominant, irreducibly structured matrix, for which the classic
+//! stationary iterations converge reliably. We provide Jacobi, Gauss–Seidel
+//! and SOR (the ablation benchmark compares them), plus a dense
+//! partial-pivot LU fallback used for small systems and for verifying the
+//! iterative results in tests, and power iteration for stationary
+//! distributions of stochastic matrices.
+
+use crate::sparse::Csr;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveReport {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual max-norm `‖Ax − b‖∞`.
+    pub residual: f64,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Configuration shared by the stationary iterative solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct IterConfig {
+    /// Absolute residual tolerance in max-norm.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// SOR relaxation factor (ignored by Jacobi/Gauss–Seidel).
+    pub omega: f64,
+}
+
+impl Default for IterConfig {
+    fn default() -> Self {
+        Self { tolerance: 1e-12, max_iterations: 100_000, omega: 1.2 }
+    }
+}
+
+fn residual_inf(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+    let mut worst = 0.0_f64;
+    for r in 0..a.rows() {
+        let mut acc = 0.0;
+        for (c, v) in a.row(r) {
+            acc += v * x[c];
+        }
+        worst = worst.max((acc - b[r]).abs());
+    }
+    worst
+}
+
+/// Jacobi iteration for `A x = b`.
+///
+/// # Panics
+/// Panics on dimension mismatch or a zero diagonal entry.
+pub fn jacobi(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "jacobi: matrix must be square");
+    assert_eq!(b.len(), n, "jacobi: rhs dimension mismatch");
+    let diag: Vec<f64> = (0..n).map(|r| a.get(r, r)).collect();
+    assert!(diag.iter().all(|&d| d != 0.0), "jacobi: zero diagonal");
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for it in 0..cfg.max_iterations {
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            next[r] = acc / diag[r];
+        }
+        std::mem::swap(&mut x, &mut next);
+        if it % 8 == 0 {
+            let res = residual_inf(a, &x, b);
+            if res <= cfg.tolerance {
+                return (x, SolveReport { iterations: it + 1, residual: res, converged: true });
+            }
+        }
+    }
+    let res = residual_inf(a, &x, b);
+    (x, SolveReport { iterations: cfg.max_iterations, residual: res, converged: res <= cfg.tolerance })
+}
+
+/// Gauss–Seidel iteration (SOR with ω = 1).
+pub fn gauss_seidel(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
+    let cfg = IterConfig { omega: 1.0, ..*cfg };
+    sor(a, b, &cfg)
+}
+
+/// Successive over-relaxation for `A x = b`.
+///
+/// # Panics
+/// Panics on dimension mismatch, zero diagonal, or ω outside (0, 2).
+pub fn sor(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "sor: matrix must be square");
+    assert_eq!(b.len(), n, "sor: rhs dimension mismatch");
+    assert!(cfg.omega > 0.0 && cfg.omega < 2.0, "sor: omega {} outside (0,2)", cfg.omega);
+    let diag: Vec<f64> = (0..n).map(|r| a.get(r, r)).collect();
+    assert!(diag.iter().all(|&d| d != 0.0), "sor: zero diagonal");
+    let mut x = vec![0.0; n];
+    for it in 0..cfg.max_iterations {
+        let mut delta_max = 0.0_f64;
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            let gs = acc / diag[r];
+            let new = x[r] + cfg.omega * (gs - x[r]);
+            delta_max = delta_max.max((new - x[r]).abs());
+            x[r] = new;
+        }
+        // Cheap update-based check first; confirm with a true residual.
+        if delta_max <= cfg.tolerance {
+            let res = residual_inf(a, &x, b);
+            if res <= cfg.tolerance.max(1e-10) {
+                return (x, SolveReport { iterations: it + 1, residual: res, converged: true });
+            }
+        }
+    }
+    let res = residual_inf(a, &x, b);
+    (x, SolveReport { iterations: cfg.max_iterations, residual: res, converged: res <= cfg.tolerance })
+}
+
+/// Dense LU with partial pivoting. Returns `None` for a singular matrix.
+///
+/// Intended for small systems (n ≤ a few thousand) and for validating the
+/// iterative solvers; O(n³).
+pub fn dense_lu_solve(a_dense: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a_dense.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    assert!(a_dense.iter().all(|row| row.len() == n), "dense_lu: ragged matrix");
+    assert_eq!(b.len(), n, "dense_lu: rhs dimension mismatch");
+    let mut a: Vec<Vec<f64>> = a_dense.to_vec();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // pivot
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("NaN in LU"))
+            .expect("non-empty range");
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        x.swap(col, pivot_row);
+        perm.swap(col, pivot_row);
+        let inv = 1.0 / a[col][col];
+        for r in col + 1..n {
+            let f = a[r][col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            a[r][col] = 0.0;
+            for c in col + 1..n {
+                let v = a[col][c];
+                a[r][c] -= f * v;
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // back substitution
+    for col in (0..n).rev() {
+        x[col] /= a[col][col];
+        let xc = x[col];
+        for r in 0..col {
+            x[r] -= a[r][col] * xc;
+        }
+    }
+    Some(x)
+}
+
+/// Solve `A x = b` choosing a method automatically: Gauss–Seidel first,
+/// dense LU fallback if it fails to converge and the system is small enough.
+///
+/// Returns the solution and the iterative report (the report's `converged`
+/// is `true` when either path succeeded).
+pub fn solve_auto(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
+    let (x, rep) = gauss_seidel(a, b, cfg);
+    if rep.converged {
+        return (x, rep);
+    }
+    if a.rows() <= 4096 {
+        if let Some(x) = dense_lu_solve(&a.to_dense(), b) {
+            let res = residual_inf(a, &x, b);
+            return (x, SolveReport { iterations: rep.iterations, residual: res, converged: true });
+        }
+    }
+    (x, rep)
+}
+
+/// Power iteration for the stationary row vector `π P = π` of a stochastic
+/// matrix `P` (rows sum to 1). Returns the normalized distribution.
+///
+/// # Panics
+/// Panics if `p` is not square.
+pub fn power_iteration_stationary(p: &Csr, cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
+    let n = p.rows();
+    assert_eq!(p.cols(), n, "power iteration needs a square matrix");
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for it in 0..cfg.max_iterations {
+        p.vecmat_into(&pi, &mut next);
+        let total: f64 = next.iter().sum();
+        if total > 0.0 {
+            for v in next.iter_mut() {
+                *v /= total;
+            }
+        }
+        let diff = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max);
+        std::mem::swap(&mut pi, &mut next);
+        if diff <= cfg.tolerance {
+            return (pi, SolveReport { iterations: it + 1, residual: diff, converged: true });
+        }
+    }
+    (pi.clone(), SolveReport { iterations: cfg.max_iterations, residual: f64::NAN, converged: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    fn diag_dominant_example() -> (Csr, Vec<f64>, Vec<f64>) {
+        // A = [[4,-1,0],[-1,4,-1],[0,-1,4]], x = [1,2,3]
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 4.0);
+        }
+        t.push(0, 1, -1.0);
+        t.push(1, 0, -1.0);
+        t.push(1, 2, -1.0);
+        t.push(2, 1, -1.0);
+        let a = t.build();
+        let x = vec![1.0, 2.0, 3.0];
+        let b = a.matvec(&x);
+        (a, b, x)
+    }
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(b) {
+            assert!((u - v).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn jacobi_converges() {
+        let (a, b, x) = diag_dominant_example();
+        let (sol, rep) = jacobi(&a, &b, &IterConfig::default());
+        assert!(rep.converged, "{rep:?}");
+        assert_vec_close(&sol, &x, 1e-9);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let (a, b, _) = diag_dominant_example();
+        let (_, rj) = jacobi(&a, &b, &IterConfig::default());
+        let (_, rg) = gauss_seidel(&a, &b, &IterConfig::default());
+        assert!(rg.converged && rj.converged);
+        assert!(rg.iterations <= rj.iterations, "gs {} vs j {}", rg.iterations, rj.iterations);
+    }
+
+    #[test]
+    fn sor_converges() {
+        let (a, b, x) = diag_dominant_example();
+        let cfg = IterConfig { omega: 1.3, ..Default::default() };
+        let (sol, rep) = sor(&a, &b, &cfg);
+        assert!(rep.converged);
+        assert_vec_close(&sol, &x, 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sor_rejects_bad_omega() {
+        let (a, b, _) = diag_dominant_example();
+        let cfg = IterConfig { omega: 2.5, ..Default::default() };
+        sor(&a, &b, &cfg);
+    }
+
+    #[test]
+    fn dense_lu_exact() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = dense_lu_solve(&a, &[5.0, 10.0]).unwrap();
+        assert_vec_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn dense_lu_needs_pivoting() {
+        // zero leading pivot forces a row swap
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = dense_lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert_vec_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn dense_lu_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(dense_lu_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn dense_lu_empty_system() {
+        assert_eq!(dense_lu_solve(&[], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn iterative_matches_lu_on_random_dominant_system() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 40;
+        let mut t = Triplets::new(n, n);
+        let mut dense = vec![vec![0.0; n]; n];
+        for r in 0..n {
+            let mut offdiag = 0.0;
+            for c in 0..n {
+                if r != c && rng.gen::<f64>() < 0.2 {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    t.push(r, c, v);
+                    dense[r][c] = v;
+                    offdiag += v.abs();
+                }
+            }
+            let d = offdiag + 1.0;
+            t.push(r, r, d);
+            dense[r][r] = d;
+        }
+        let a = t.build();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let (xi, rep) = gauss_seidel(&a, &b, &IterConfig::default());
+        assert!(rep.converged);
+        let xd = dense_lu_solve(&dense, &b).unwrap();
+        assert_vec_close(&xi, &xd, 1e-8);
+    }
+
+    #[test]
+    fn solve_auto_falls_back_to_lu() {
+        // Non-diagonally-dominant but well-conditioned: GS may stall, LU must win.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 3.0);
+        t.push(1, 0, 3.0);
+        t.push(1, 1, 1.0);
+        let a = t.build();
+        let cfg = IterConfig { max_iterations: 50, ..Default::default() };
+        let (x, rep) = solve_auto(&a, &[7.0, 5.0], &cfg);
+        assert!(rep.converged);
+        assert_vec_close(&x, &[1.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    fn power_iteration_two_state_chain() {
+        // P = [[0.9, 0.1],[0.5,0.5]] => pi = (5/6, 1/6)
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 0.9);
+        t.push(0, 1, 0.1);
+        t.push(1, 0, 0.5);
+        t.push(1, 1, 0.5);
+        let p = t.build();
+        let (pi, rep) = power_iteration_stationary(&p, &IterConfig::default());
+        assert!(rep.converged);
+        assert_vec_close(&pi, &[5.0 / 6.0, 1.0 / 6.0], 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Extremum search used to locate optimal detection intervals.
+//!
+//! The paper sweeps `TIDS` over a log-spaced grid and reports the maximizing
+//! (MTTSF) or minimizing (Ĉtotal) point. We provide the grid argmax plus a
+//! golden-section refinement for unimodal objectives, and a log-spaced grid
+//! builder matching the paper's axis.
+
+/// Result of an extremum search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extremum {
+    /// Argument achieving the extremum.
+    pub x: f64,
+    /// Objective value there.
+    pub value: f64,
+}
+
+/// Argmax of `f` over the given grid points.
+///
+/// # Panics
+/// Panics on an empty grid or if `f` returns NaN.
+pub fn grid_argmax(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> Extremum {
+    assert!(!grid.is_empty(), "grid_argmax: empty grid");
+    let mut best = Extremum { x: grid[0], value: f(grid[0]) };
+    assert!(!best.value.is_nan(), "objective returned NaN at {}", grid[0]);
+    for &x in &grid[1..] {
+        let v = f(x);
+        assert!(!v.is_nan(), "objective returned NaN at {x}");
+        if v > best.value {
+            best = Extremum { x, value: v };
+        }
+    }
+    best
+}
+
+/// Argmin of `f` over the grid (argmax of `−f`).
+pub fn grid_argmin(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> Extremum {
+    let e = grid_argmax(grid, |x| -f(x));
+    Extremum { x: e.x, value: -e.value }
+}
+
+/// Golden-section search maximizing a unimodal `f` on `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo >= hi` or tolerance is non-positive.
+pub fn golden_section_max(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    mut f: impl FnMut(f64) -> f64,
+) -> Extremum {
+    assert!(lo < hi, "golden_section_max: empty interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "golden_section_max: bad tolerance {tol}");
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = (a + b) / 2.0;
+    Extremum { x, value: f(x) }
+}
+
+/// Golden-section search minimizing a unimodal `f` on `[lo, hi]`.
+pub fn golden_section_min(lo: f64, hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> Extremum {
+    let e = golden_section_max(lo, hi, tol, |x| -f(x));
+    Extremum { x: e.x, value: -e.value }
+}
+
+/// `n` log-spaced points from `lo` to `hi` inclusive.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` and `n >= 2`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "log_space: need 0 < lo < hi, got [{lo}, {hi}]");
+    assert!(n >= 2, "log_space: need at least two points");
+    let (l0, l1) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// `n` linearly spaced points from `lo` to `hi` inclusive.
+///
+/// # Panics
+/// Panics unless `lo < hi` and `n >= 2`.
+pub fn lin_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(hi > lo, "lin_space: need lo < hi");
+    assert!(n >= 2, "lin_space: need at least two points");
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_argmax_picks_peak() {
+        let grid = [1.0, 2.0, 3.0, 4.0];
+        let e = grid_argmax(&grid, |x| -(x - 3.0) * (x - 3.0));
+        assert_eq!(e.x, 3.0);
+        assert_eq!(e.value, 0.0);
+    }
+
+    #[test]
+    fn grid_argmin_picks_valley() {
+        let grid = [0.5, 1.0, 2.0, 8.0];
+        let e = grid_argmin(&grid, |x| (x - 2.1).abs());
+        assert_eq!(e.x, 2.0);
+    }
+
+    #[test]
+    fn grid_first_max_wins_ties_to_leftmost() {
+        let grid = [1.0, 2.0, 3.0];
+        let e = grid_argmax(&grid, |_| 7.0);
+        assert_eq!(e.x, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_empty_panics() {
+        grid_argmax(&[], |x| x);
+    }
+
+    #[test]
+    fn golden_max_quadratic() {
+        let e = golden_section_max(0.0, 10.0, 1e-8, |x| -(x - 4.3) * (x - 4.3) + 2.0);
+        assert!((e.x - 4.3).abs() < 1e-6);
+        assert!((e.value - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_min_quadratic() {
+        let e = golden_section_min(-5.0, 5.0, 1e-8, |x| (x + 1.5) * (x + 1.5));
+        assert!((e.x + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_handles_boundary_maximum() {
+        let e = golden_section_max(0.0, 1.0, 1e-9, |x| x);
+        assert!((e.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_space_matches_paper_style_axis() {
+        let g = log_space(5.0, 1200.0, 4);
+        assert!((g[0] - 5.0).abs() < 1e-12);
+        assert!((g[3] - 1200.0).abs() < 1e-9);
+        // ratios constant
+        let r1 = g[1] / g[0];
+        let r2 = g[2] / g[1];
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lin_space_endpoints() {
+        let g = lin_space(1.0, 3.0, 5);
+        assert_eq!(g, vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_space_rejects_nonpositive() {
+        log_space(0.0, 1.0, 3);
+    }
+}

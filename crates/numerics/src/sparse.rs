@@ -1,0 +1,300 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The CTMC generators produced by the SPN reachability graph are extremely
+//! sparse (≤ 7 transitions per state in the paper's model), so all solvers
+//! run on this representation. Construction goes through a triplet buffer
+//! ([`Triplets`]) that sorts and merges duplicates once.
+
+/// Triplet (COO) accumulation buffer for building a [`Csr`].
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Triplets {
+    /// New buffer for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Append `a[r, c] += v`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "triplet ({r},{c}) out of {}x{}", self.rows, self.cols);
+        if v != 0.0 {
+            self.entries.push((r as u32, c as u32, v));
+        }
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sort, merge duplicates, and build the CSR matrix.
+    pub fn build(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for (r, c, v) in self.entries {
+            match merged.last_mut() {
+                Some((pr, pc, pv)) if *pr == r && *pc == c => *pv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let (col_idx, values) = merged.into_iter().map(|(_, c, v)| (c, v)).unzip();
+        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed sparse row matrix with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        t.build()
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Entry lookup (O(row nnz)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v)
+    }
+
+    /// `y = A x` (allocates).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x` into a caller-provided buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y = xᵀ A` (row vector times matrix) into a caller buffer.
+    pub fn vecmat_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "vecmat dimension mismatch");
+        assert_eq!(y.len(), self.cols, "vecmat output dimension mismatch");
+        y.fill(0.0);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                y[c] += xr * v;
+            }
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut t = Triplets::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                t.push(c, r, v);
+            }
+        }
+        t.build()
+    }
+
+    /// Row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Dense copy (rows × cols) — test/debug helper, avoid for large
+    /// matrices.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.cols]; self.rows];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                d[r][c] = v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(2, 0, 3.0);
+        t.push(2, 1, 4.0);
+        t.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let a = sample();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.5);
+        t.push(0, 1, 2.5);
+        t.push(1, 0, -1.0);
+        let a = t.build();
+        assert_eq!(a.get(0, 1), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let mut t = Triplets::new(3, 3);
+        t.push(2, 2, 9.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 5.0);
+        t.push(0, 0, 7.0);
+        let a = t.build();
+        assert_eq!(a.get(0, 0), 7.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 5.0);
+        assert_eq!(a.get(2, 2), 9.0);
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, 0.0);
+        let a = t.build();
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn vecmat_matches_transpose_matvec() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        a.vecmat_into(&x, &mut y1);
+        let y2 = a.transpose().matvec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a.to_dense(), att.to_dense());
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Csr::identity(4);
+        let x = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn row_sums_work() {
+        let a = sample();
+        assert_eq!(a.row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let t = Triplets::new(3, 2);
+        let a = t.build();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_push_panics() {
+        let mut t = Triplets::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

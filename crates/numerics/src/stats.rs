@@ -1,0 +1,397 @@
+//! Streaming statistics: Kahan summation, Welford moments, confidence
+//! intervals, histograms and quantiles.
+//!
+//! Monte-Carlo validation of the analytic model runs thousands of
+//! replications in parallel; these accumulators are mergeable so each worker
+//! can keep a private one (see the `merge` methods).
+
+use crate::special::norm_quantile;
+
+/// Compensated (Kahan–Babuška) summation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// Fresh zero sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value.
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Merge another compensated sum into this one.
+    pub fn merge(&mut self, other: &KahanSum) {
+        self.add(other.sum);
+        self.add(other.comp);
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = KahanSum::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator (Chan et al. parallel update).
+    pub fn merge(&mut self, o: &Welford) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = o.n as f64;
+        let d = o.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += o.m2 + d * d * n1 * n2 / n;
+        self.n += o.n;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// Two-sided normal-approximation confidence interval at `level`
+    /// (e.g. 0.95).
+    ///
+    /// # Panics
+    /// Panics if `level` is outside (0, 1).
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(level > 0.0 && level < 1.0, "bad confidence level {level}");
+        let z = norm_quantile(0.5 + level / 2.0);
+        let half = z * self.std_err();
+        ConfidenceInterval { mean: self.mean, half_width: half, level, n: self.n }
+    }
+}
+
+/// Two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half width of the interval.
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Sample count behind the estimate.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True when `x` lies within the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Relative half width (`half_width / |mean|`, ∞ for zero mean).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Empirical quantile with linear interpolation (type-7, the numpy default).
+/// The input slice is sorted in place.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside [0, 1].
+pub fn quantile_mut(xs: &mut [f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (xs.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        xs[lo] + (h - lo as f64) * (xs[hi] - xs[lo])
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width buckets on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range empty: [{lo}, {hi})");
+        Self { lo, hi, buckets: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let last = self.buckets.len() - 1;
+            self.buckets[idx.min(last)] += 1;
+        }
+    }
+
+    /// Counts per bucket.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of values below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at/above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.buckets.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_series() {
+        let mut k = KahanSum::new();
+        let mut naive = 0.0_f64;
+        k.add(1.0);
+        naive += 1.0;
+        for _ in 0..10_000_000 {
+            k.add(1e-16);
+            naive += 1e-16;
+        }
+        let exact = 1.0 + 1e-16 * 1e7;
+        assert!((k.value() - exact).abs() < 1e-12);
+        // naive summation loses all the tiny terms
+        assert!((naive - exact).abs() > 1e-10);
+    }
+
+    #[test]
+    fn kahan_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let mut a = KahanSum::new();
+        for &x in &xs[..500] {
+            a.add(x);
+        }
+        let mut b = KahanSum::new();
+        for &x in &xs[500..] {
+            b.add(x);
+        }
+        let whole: KahanSum = xs.iter().copied().collect();
+        a.merge(&b);
+        assert!((a.value() - whole.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // sample variance with n-1 = 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..2001).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(3.0);
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn confidence_interval_sanity() {
+        let mut w = Welford::new();
+        for i in 0..100 {
+            w.push(i as f64);
+        }
+        let ci = w.confidence_interval(0.95);
+        assert!(ci.contains(w.mean()));
+        assert!(ci.lo() < ci.hi());
+        // 95% z ≈ 1.96
+        assert!((ci.half_width / w.std_err() - 1.959_963_984_540_054).abs() < 1e-6);
+        // wider level => wider interval
+        let ci99 = w.confidence_interval(0.99);
+        assert!(ci99.half_width > ci.half_width);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let mut xs = vec![3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile_mut(&mut xs, 0.0), 1.0);
+        assert_eq!(quantile_mut(&mut xs, 1.0), 4.0);
+        assert!((quantile_mut(&mut xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        quantile_mut(&mut [], 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.999, 10.0, 55.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 7);
+    }
+}

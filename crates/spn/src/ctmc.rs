@@ -1,0 +1,597 @@
+//! Continuous-time Markov chain analysis over the tangible reachability
+//! graph.
+//!
+//! Three solver families:
+//!
+//! * **Absorption**: expected sojourn times in the transient states solve
+//!   the sparse linear system `Qᵀ_TT σ = −π₀`; the mean time to absorption
+//!   is `Σ σ` (the paper's MTTSF), and expected accumulated rewards until
+//!   absorption are `Σ σᵢ rᵢ` (the paper's Ĉtotal numerator). Absorption
+//!   probabilities per absorbing state fall out of the same vector, which
+//!   tells us whether a run failed through data leak (C1) or Byzantine
+//!   capture (C2).
+//! * **Transient**: `π(t)` and `∫₀ᵗ π(u) du` via uniformization with
+//!   Poisson weights — the direct numerical form of the paper's
+//!   `MTTSF = ∫ Σ rᵢ Pᵢ(t) dt` definition.
+//! * **Steady state**: power iteration on the uniformized chain for ergodic
+//!   nets (used by the mobility birth–death calibration).
+
+use crate::error::SpnError;
+use crate::reach::ReachabilityGraph;
+use numerics::foxglynn::PoissonWeights;
+use numerics::linsolve::{solve_auto, IterConfig};
+use numerics::sparse::{Csr, Triplets};
+
+/// A CTMC extracted from a reachability graph.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    /// Off-diagonal rate matrix (row = source state).
+    rates: Csr,
+    /// Total exit rate per state.
+    exit: Vec<f64>,
+    /// Initial distribution as (state, probability) pairs.
+    initial: Vec<(u32, f64)>,
+    /// Absorbing flags.
+    absorbing: Vec<bool>,
+}
+
+/// Options for uniformization-based transient analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientOptions {
+    /// Poisson truncation error.
+    pub epsilon: f64,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self { epsilon: 1e-10 }
+    }
+}
+
+/// Result of the absorption solve.
+#[derive(Debug, Clone)]
+pub struct AbsorptionAnalysis {
+    /// Mean time to absorption from the initial distribution.
+    pub mtta: f64,
+    /// Expected total time spent in each state before absorption
+    /// (zero for absorbing/unreachable states).
+    pub sojourn: Vec<f64>,
+    /// Probability of being absorbed in each state (zero for transient
+    /// states); sums to 1.
+    pub absorption_probability: Vec<f64>,
+}
+
+impl AbsorptionAnalysis {
+    /// Expected accumulated rate reward until absorption:
+    /// `Σᵢ sojourn[i] · reward[i]`.
+    ///
+    /// # Panics
+    /// Panics if `reward_per_state.len()` differs from the state count.
+    pub fn accumulated_reward(&self, reward_per_state: &[f64]) -> f64 {
+        assert_eq!(reward_per_state.len(), self.sojourn.len(), "reward vector length mismatch");
+        self.sojourn.iter().zip(reward_per_state).map(|(s, r)| s * r).sum()
+    }
+
+    /// Time-averaged rate reward until absorption (accumulated / MTTA).
+    pub fn time_averaged_reward(&self, reward_per_state: &[f64]) -> f64 {
+        if self.mtta == 0.0 {
+            0.0
+        } else {
+            self.accumulated_reward(reward_per_state) / self.mtta
+        }
+    }
+}
+
+impl Ctmc {
+    /// Build the CTMC from a reachability graph.
+    ///
+    /// # Errors
+    /// Returns [`SpnError::InvalidModel`] for an empty graph or an initial
+    /// distribution that does not sum to 1.
+    pub fn from_graph(graph: &ReachabilityGraph) -> Result<Self, SpnError> {
+        let n = graph.state_count();
+        if n == 0 {
+            return Err(SpnError::InvalidModel("reachability graph has no states".into()));
+        }
+        let mass: f64 = graph.initial_distribution.iter().map(|&(_, p)| p).sum();
+        if (mass - 1.0).abs() > 1e-9 {
+            return Err(SpnError::InvalidModel(format!(
+                "initial distribution sums to {mass}, expected 1"
+            )));
+        }
+        let mut t = Triplets::new(n, n);
+        let mut exit = vec![0.0; n];
+        for (s, elist) in graph.edges.iter().enumerate() {
+            for e in elist {
+                t.push(s, e.target as usize, e.rate);
+                exit[s] += e.rate;
+            }
+        }
+        Ok(Self {
+            rates: t.build(),
+            exit,
+            initial: graph.initial_distribution.clone(),
+            absorbing: graph.absorbing.clone(),
+        })
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.exit.len()
+    }
+
+    /// Exit rate of `state`.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.exit[state]
+    }
+
+    /// Absorbing flag per state.
+    pub fn absorbing(&self) -> &[bool] {
+        &self.absorbing
+    }
+
+    /// Initial distribution as a dense vector.
+    pub fn initial_dense(&self) -> Vec<f64> {
+        let mut pi0 = vec![0.0; self.state_count()];
+        for &(s, p) in &self.initial {
+            pi0[s as usize] += p;
+        }
+        pi0
+    }
+
+    /// States reachable (with positive probability) from the initial
+    /// distribution.
+    fn reachable_from_initial(&self) -> Vec<bool> {
+        let n = self.state_count();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> =
+            self.initial.iter().filter(|&&(_, p)| p > 0.0).map(|&(s, _)| s as usize).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for (j, _) in self.rates.row(s) {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States that can reach an absorbing state.
+    fn can_reach_absorbing(&self) -> Vec<bool> {
+        let n = self.state_count();
+        let transposed = self.rates.transpose();
+        let mut can = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| self.absorbing[i]).collect();
+        for &s in &stack {
+            can[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for (j, _) in transposed.row(s) {
+                if !can[j] {
+                    can[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        can
+    }
+
+    /// Solve for the mean time to absorption and per-state expected sojourn
+    /// times.
+    ///
+    /// # Errors
+    /// * [`SpnError::AnalysisUnavailable`] when no absorbing state is
+    ///   reachable (MTTA is infinite).
+    /// * [`SpnError::SolverDiverged`] when the linear solve fails.
+    pub fn mean_time_to_absorption(&self) -> Result<AbsorptionAnalysis, SpnError> {
+        let n = self.state_count();
+        let reachable = self.reachable_from_initial();
+        let can_absorb = self.can_reach_absorbing();
+        if !(0..n).any(|i| reachable[i] && self.absorbing[i]) {
+            return Err(SpnError::AnalysisUnavailable(
+                "no absorbing state reachable from the initial distribution".into(),
+            ));
+        }
+        for i in 0..n {
+            if reachable[i] && !can_absorb[i] {
+                return Err(SpnError::AnalysisUnavailable(format!(
+                    "state {i} is reachable but cannot reach absorption; MTTA is infinite"
+                )));
+            }
+        }
+
+        // Transient states: reachable, non-absorbing.
+        let transient: Vec<usize> = (0..n).filter(|&i| reachable[i] && !self.absorbing[i]).collect();
+        let mut local = vec![usize::MAX; n];
+        for (li, &gi) in transient.iter().enumerate() {
+            local[gi] = li;
+        }
+        let nt = transient.len();
+        if nt == 0 {
+            // Start inside an absorbing state.
+            let mut absorption_probability = vec![0.0; n];
+            for &(s, p) in &self.initial {
+                absorption_probability[s as usize] += p;
+            }
+            return Ok(AbsorptionAnalysis {
+                mtta: 0.0,
+                sojourn: vec![0.0; n],
+                absorption_probability,
+            });
+        }
+
+        // Build (Q_TT)^T and RHS −π₀ restricted to transient states.
+        let mut t = Triplets::new(nt, nt);
+        for (li, &gi) in transient.iter().enumerate() {
+            t.push(li, li, -self.exit[gi]);
+            for (gj, rate) in self.rates.row(gi) {
+                if local[gj] != usize::MAX {
+                    // transpose: entry (col, row)
+                    t.push(local[gj], li, rate);
+                }
+            }
+        }
+        let a = t.build();
+        let mut b = vec![0.0; nt];
+        for &(s, p) in &self.initial {
+            if local[s as usize] != usize::MAX {
+                b[local[s as usize]] = -p;
+            }
+        }
+        let cfg = IterConfig { tolerance: 1e-13, max_iterations: 200_000, omega: 1.0 };
+        let (sigma_local, report) = solve_auto(&a, &b, &cfg);
+        if !report.converged {
+            return Err(SpnError::SolverDiverged {
+                iterations: report.iterations,
+                residual: report.residual,
+            });
+        }
+
+        let mut sojourn = vec![0.0; n];
+        for (li, &gi) in transient.iter().enumerate() {
+            // Numerical noise can produce tiny negatives; clamp.
+            sojourn[gi] = sigma_local[li].max(0.0);
+        }
+        let mtta: f64 = sojourn.iter().sum();
+
+        // Absorption probabilities: prob of ending in absorbing state a is
+        // Σ_i σ_i rate(i→a), plus initial mass already in a.
+        let mut absorption_probability = vec![0.0; n];
+        for &(s, p) in &self.initial {
+            if self.absorbing[s as usize] {
+                absorption_probability[s as usize] += p;
+            }
+        }
+        for &gi in &transient {
+            let s = sojourn[gi];
+            if s == 0.0 {
+                continue;
+            }
+            for (gj, rate) in self.rates.row(gi) {
+                if self.absorbing[gj] {
+                    absorption_probability[gj] += s * rate;
+                }
+            }
+        }
+        Ok(AbsorptionAnalysis { mtta, sojourn, absorption_probability })
+    }
+
+    /// Uniformization constant and DTMC for transient analysis.
+    fn uniformized(&self) -> (f64, Csr) {
+        let n = self.state_count();
+        let qmax = self.exit.iter().copied().fold(0.0_f64, f64::max);
+        let q = (qmax * 1.02).max(1e-12);
+        let mut t = Triplets::new(n, n);
+        for s in 0..n {
+            for (j, rate) in self.rates.row(s) {
+                t.push(s, j, rate / q);
+            }
+            t.push(s, s, 1.0 - self.exit[s] / q);
+        }
+        (q, t.build())
+    }
+
+    /// Transient state distribution `π(t)` from the initial distribution.
+    ///
+    /// # Panics
+    /// Panics if `t < 0`.
+    pub fn transient_distribution(&self, t: f64, opts: &TransientOptions) -> Vec<f64> {
+        assert!(t >= 0.0, "negative time {t}");
+        let pi0 = self.initial_dense();
+        if t == 0.0 {
+            return pi0;
+        }
+        let (q, p) = self.uniformized();
+        let weights = PoissonWeights::compute(q * t, opts.epsilon);
+        let n = self.state_count();
+        let mut v = pi0;
+        let mut next = vec![0.0; n];
+        let mut result = vec![0.0; n];
+        for k in 0..=weights.right {
+            let w = weights.weight(k);
+            if w > 0.0 {
+                for (r, &vi) in result.iter_mut().zip(&v) {
+                    *r += w * vi;
+                }
+            }
+            if k < weights.right {
+                p.vecmat_into(&v, &mut next);
+                std::mem::swap(&mut v, &mut next);
+            }
+        }
+        result
+    }
+
+    /// Expected occupancy vector `∫₀ᵗ π(u) du` (expected time spent in each
+    /// state during `[0, t]`).
+    ///
+    /// As `t → ∞` on an absorbing chain, the transient components converge
+    /// to the sojourn vector of [`Ctmc::mean_time_to_absorption`] — this is
+    /// the paper's integral definition of MTTSF evaluated numerically.
+    ///
+    /// # Panics
+    /// Panics if `t < 0`.
+    pub fn expected_occupancy(&self, t: f64, opts: &TransientOptions) -> Vec<f64> {
+        assert!(t >= 0.0, "negative time {t}");
+        let n = self.state_count();
+        if t == 0.0 {
+            return vec![0.0; n];
+        }
+        let (q, p) = self.uniformized();
+        let weights = PoissonWeights::compute(q * t, opts.epsilon);
+        // tail[k] = P[N_{qt} > k]; beyond the right truncation point it is 0.
+        // Σ_k tail(k)/q · v_k, truncated once the tail is negligible.
+        let mut cumulative = 0.0;
+        let mut v = self.initial_dense();
+        let mut next = vec![0.0; n];
+        let mut integral = vec![0.0; n];
+        for k in 0..=weights.right {
+            cumulative += weights.weight(k);
+            let tail = (1.0 - cumulative).max(0.0);
+            // For k < left, weight(k) = 0 and tail = 1: full contribution.
+            for (acc, &vi) in integral.iter_mut().zip(&v) {
+                *acc += tail / q * vi;
+            }
+            if k < weights.right {
+                p.vecmat_into(&v, &mut next);
+                std::mem::swap(&mut v, &mut next);
+            }
+        }
+        integral
+    }
+
+    /// Stationary distribution of an ergodic chain via power iteration on
+    /// the uniformized DTMC.
+    ///
+    /// # Errors
+    /// * [`SpnError::AnalysisUnavailable`] if the chain has absorbing
+    ///   states (use the absorption solver instead).
+    /// * [`SpnError::SolverDiverged`] if power iteration fails to converge.
+    pub fn steady_state(&self) -> Result<Vec<f64>, SpnError> {
+        if self.absorbing.iter().any(|&a| a) {
+            return Err(SpnError::AnalysisUnavailable(
+                "chain has absorbing states; steady state is degenerate".into(),
+            ));
+        }
+        let (_, p) = self.uniformized();
+        let cfg = IterConfig { tolerance: 1e-13, max_iterations: 1_000_000, omega: 1.0 };
+        let (pi, rep) = numerics::linsolve::power_iteration_stationary(&p, &cfg);
+        if !rep.converged {
+            return Err(SpnError::SolverDiverged {
+                iterations: rep.iterations,
+                residual: rep.residual,
+            });
+        }
+        Ok(pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SpnBuilder, TransitionDef};
+    use crate::reach::{explore, ExploreOptions};
+
+    fn build(netf: impl FnOnce(&mut SpnBuilder)) -> Ctmc {
+        let mut b = SpnBuilder::new();
+        netf(&mut b);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        Ctmc::from_graph(&g).unwrap()
+    }
+
+    /// Exponential single-stage: MTTA = 1/λ.
+    #[test]
+    fn single_exponential_stage() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 0.25).input(up, 1));
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        assert!((a.mtta - 4.0).abs() < 1e-10);
+        let total: f64 = a.absorption_probability.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    /// Hypoexponential chain: MTTA = Σ 1/(kλ).
+    #[test]
+    fn death_chain_mtta_closed_form() {
+        let c = build(|b| {
+            let up = b.add_place("up", 5);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| 0.5 * m.tokens(up) as f64).input(up, 1),
+            );
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        let exact: f64 = (1..=5).map(|k| 1.0 / (0.5 * k as f64)).sum();
+        assert!((a.mtta - exact).abs() < 1e-9, "{} vs {exact}", a.mtta);
+    }
+
+    /// Competing exponentials: absorption probabilities proportional to
+    /// rates, MTTA = 1/(λ+μ).
+    #[test]
+    fn competing_risks_split() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            let dead_a = b.add_place("A", 0);
+            let dead_b = b.add_place("B", 0);
+            b.add_transition(TransitionDef::timed_const("to_a", 1.0).input(up, 1).output(dead_a, 1));
+            b.add_transition(TransitionDef::timed_const("to_b", 3.0).input(up, 1).output(dead_b, 1));
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        assert!((a.mtta - 0.25).abs() < 1e-10);
+        let mut probs: Vec<f64> =
+            a.absorption_probability.iter().copied().filter(|&p| p > 0.0).collect();
+        probs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((probs[0] - 0.25).abs() < 1e-10);
+        assert!((probs[1] - 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mtta_infinite_detected() {
+        // no absorbing state: M/M/1/K loop
+        let c = build(|b| {
+            let q = b.add_place("q", 0);
+            b.add_transition(TransitionDef::timed_const("in", 1.0).output(q, 1).inhibitor(q, 3));
+            b.add_transition(TransitionDef::timed_const("out", 2.0).input(q, 1));
+        });
+        assert!(matches!(
+            c.mean_time_to_absorption(),
+            Err(SpnError::AnalysisUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn start_in_absorbing_state_gives_zero_mtta() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("t", 1.0).input(up, 1));
+            b.absorbing_when(move |m| m.tokens(up) >= 1); // initial marking absorbing
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        assert_eq!(a.mtta, 0.0);
+        assert!((a.absorption_probability.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_distribution_two_state() {
+        // up --λ--> down; π_up(t) = e^{-λt}
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 2.0).input(up, 1));
+        });
+        let opts = TransientOptions::default();
+        for &t in &[0.0, 0.1, 0.5, 1.0, 3.0] {
+            let pi = c.transient_distribution(t, &opts);
+            let exact = (-2.0 * t).exp();
+            assert!((pi[0] - exact).abs() < 1e-8, "t={t}: {} vs {exact}", pi[0]);
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn occupancy_converges_to_sojourn() {
+        let c = build(|b| {
+            let up = b.add_place("up", 3);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| 1.0 * m.tokens(up) as f64).input(up, 1),
+            );
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        let occ = c.expected_occupancy(200.0, &TransientOptions::default());
+        // transient occupancy converges to the sojourn vector; the absorbing
+        // state's occupancy keeps growing with t and is excluded.
+        for (i, (o, s)) in occ.iter().zip(&a.sojourn).enumerate() {
+            if !c.absorbing()[i] {
+                assert!((o - s).abs() < 1e-6, "state {i}: {o} vs {s}");
+            }
+        }
+        // the paper's integral MTTSF formula: sum of transient occupancy
+        let mttsf_integral: f64 = occ
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !c.absorbing()[i])
+            .map(|(_, &o)| o)
+            .sum();
+        assert!((mttsf_integral - a.mtta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occupancy_at_small_t_is_linear() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1));
+        });
+        let occ = c.expected_occupancy(1e-4, &TransientOptions::default());
+        // at tiny t: time in initial state ≈ t
+        assert!((occ[0] - 1e-4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn steady_state_mm1k() {
+        // M/M/1/2 with λ=1, μ=2: π ∝ (1, ρ, ρ²), ρ=0.5
+        let c = build(|b| {
+            let q = b.add_place("q", 0);
+            b.add_transition(TransitionDef::timed_const("in", 1.0).output(q, 1).inhibitor(q, 2));
+            b.add_transition(TransitionDef::timed_const("out", 2.0).input(q, 1));
+        });
+        let pi = c.steady_state().unwrap();
+        let z = 1.0 + 0.5 + 0.25;
+        let expect = [1.0 / z, 0.5 / z, 0.25 / z];
+        // state order follows exploration (0, 1, 2 tokens)
+        for (p, e) in pi.iter().zip(&expect) {
+            assert!((p - e).abs() < 1e-9, "{pi:?}");
+        }
+    }
+
+    #[test]
+    fn steady_state_rejects_absorbing_chain() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1));
+        });
+        assert!(matches!(c.steady_state(), Err(SpnError::AnalysisUnavailable(_))));
+    }
+
+    #[test]
+    fn accumulated_reward_weighted_sojourn() {
+        let c = build(|b| {
+            let up = b.add_place("up", 2);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
+            );
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        // reward = tokens in `up`: E[∫ tokens dt] = 2·(1/2) + 1·(1/1) = 2
+        // state order: (2), (1), (0)
+        let reward = [2.0, 1.0, 0.0];
+        let acc = a.accumulated_reward(&reward);
+        assert!((acc - 2.0).abs() < 1e-9, "{acc}");
+        let avg = a.time_averaged_reward(&reward);
+        assert!((avg - acc / a.mtta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one_on_branching_chain() {
+        let c = build(|b| {
+            let up = b.add_place("up", 2);
+            let leak = b.add_place("leak", 0);
+            b.add_transition(TransitionDef::timed("step", move |m| m.tokens(up) as f64).input(up, 1));
+            b.add_transition(
+                TransitionDef::timed("jump", move |m| 0.3 * m.tokens(up) as f64)
+                    .input(up, 1)
+                    .output(leak, 1)
+                    .guard(move |m| m.tokens(up) >= 1),
+            );
+            b.absorbing_when(move |m| m.tokens(leak) > 0);
+        });
+        let a = c.mean_time_to_absorption().unwrap();
+        let total: f64 = a.absorption_probability.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        assert!(a.mtta > 0.0);
+    }
+}

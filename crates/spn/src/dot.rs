@@ -1,0 +1,151 @@
+//! Graphviz DOT export of nets and reachability graphs (debugging aid).
+
+use crate::model::{Spn, TransitionKind};
+use crate::reach::ReachabilityGraph;
+use std::fmt::Write;
+
+/// Render the net structure (places, transitions, arcs) as DOT.
+pub fn net_to_dot(net: &Spn) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph spn {{").unwrap();
+    writeln!(s, "  rankdir=LR;").unwrap();
+    let initial = net.initial_marking();
+    for p in 0..net.place_count() {
+        let pid = crate::model::PlaceId(p as u32);
+        writeln!(
+            s,
+            "  p{p} [shape=circle, label=\"{}\\n{}\"];",
+            net.place_name(pid),
+            initial.tokens(pid)
+        )
+        .unwrap();
+    }
+    for t in net.transition_ids() {
+        let style = if net.is_immediate(t) { "filled" } else { "solid" };
+        writeln!(
+            s,
+            "  t{} [shape=box, style={style}, label=\"{}\"];",
+            t.index(),
+            net.transition_name(t)
+        )
+        .unwrap();
+    }
+    for (t, def) in net.transition_defs() {
+        for &(p, mult) in &def.0 {
+            let lbl = if mult > 1 { format!(" [label=\"{mult}\"]") } else { String::new() };
+            writeln!(s, "  p{} -> t{}{lbl};", p.index(), t.index()).unwrap();
+        }
+        for &(p, mult) in &def.1 {
+            let lbl = if mult > 1 { format!(" [label=\"{mult}\"]") } else { String::new() };
+            writeln!(s, "  t{} -> p{}{lbl};", t.index(), p.index()).unwrap();
+        }
+        for &(p, thresh) in &def.2 {
+            writeln!(
+                s,
+                "  p{} -> t{} [arrowhead=odot, label=\"{thresh}\"];",
+                p.index(),
+                t.index()
+            )
+            .unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Render a reachability graph as DOT (small graphs only; the label is the
+/// marking).
+pub fn graph_to_dot(graph: &ReachabilityGraph, net: &Spn) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph reach {{").unwrap();
+    for (i, m) in graph.states.iter().enumerate() {
+        let shape = if graph.absorbing[i] { "doublecircle" } else { "ellipse" };
+        writeln!(s, "  s{i} [shape={shape}, label=\"{m:?}\"];").unwrap();
+    }
+    for (i, elist) in graph.edges.iter().enumerate() {
+        for e in elist {
+            writeln!(
+                s,
+                "  s{i} -> s{} [label=\"{} ({:.3})\"];",
+                e.target,
+                net.transition_name(e.transition),
+                e.rate
+            )
+            .unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+impl Spn {
+    /// Arc lists per transition `(inputs, outputs, inhibitors)` — used by
+    /// the DOT exporter.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn transition_defs(
+        &self,
+    ) -> Vec<(
+        crate::model::TransitionId,
+        (
+            Vec<(crate::model::PlaceId, u32)>,
+            Vec<(crate::model::PlaceId, u32)>,
+            Vec<(crate::model::PlaceId, u32)>,
+        ),
+    )> {
+        self.transition_ids()
+            .map(|t| {
+                let tr = self.transition_ref(t);
+                (t, (tr.inputs.clone(), tr.outputs.clone(), tr.inhibitors.clone()))
+            })
+            .collect()
+    }
+}
+
+/// Kind marker re-exported for exporters.
+pub fn kind_label(k: &TransitionKind) -> &'static str {
+    match k {
+        TransitionKind::Timed { .. } => "timed",
+        TransitionKind::Immediate { .. } => "immediate",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SpnBuilder, TransitionDef};
+    use crate::reach::{explore, ExploreOptions};
+
+    fn net() -> Spn {
+        let mut b = SpnBuilder::new();
+        let a = b.add_place("A", 2);
+        let c = b.add_place("B", 0);
+        b.add_transition(
+            TransitionDef::timed_const("mv", 1.0).input(a, 1).output(c, 1).inhibitor(c, 5),
+        );
+        b.add_transition(TransitionDef::immediate("snap").input(c, 2).output(a, 2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn net_dot_contains_structure() {
+        let d = net_to_dot(&net());
+        assert!(d.contains("digraph spn"));
+        assert!(d.contains("\"A\\n2\""));
+        assert!(d.contains("mv"));
+        assert!(d.contains("snap"));
+        assert!(d.contains("arrowhead=odot"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn graph_dot_marks_absorbing() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 1);
+        b.add_transition(TransitionDef::timed_const("t", 1.0).input(up, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let d = graph_to_dot(&g, &net);
+        assert!(d.contains("doublecircle"));
+        assert!(d.contains("t (1.000)"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Reachability-graph generation with vanishing-marking elimination.
+//!
+//! Exploration is a breadth-first walk over *tangible* markings (markings in
+//! which no immediate transition is enabled). When firing a timed transition
+//! leads to a vanishing marking, the chain of immediate firings is resolved
+//! on the fly — probabilities split by immediate weights — until tangible
+//! markings are reached, and the timed rate is distributed over them. The
+//! result is directly a CTMC over tangible states.
+//!
+//! Self-loop edges (marking unchanged after firing) carry no information for
+//! the CTMC and are dropped, but their rates are retained per state in
+//! [`ReachabilityGraph::self_loop_rates`] so cost-only transitions (the
+//! paper's `T_RK` rekeying transition) can still contribute to reward
+//! accounting.
+
+use crate::error::SpnError;
+use crate::model::{Marking, Spn, TransitionId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum number of tangible states to generate.
+    pub max_states: usize,
+    /// Maximum length of an immediate-transition chain before declaring a
+    /// vanishing loop.
+    pub max_vanishing_depth: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self { max_states: 2_000_000, max_vanishing_depth: 64 }
+    }
+}
+
+/// One CTMC edge of the reachability graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Target tangible state index.
+    pub target: u32,
+    /// Exponential rate of the move.
+    pub rate: f64,
+    /// The timed transition whose firing produced this edge (immediate
+    /// resolution keeps the originating timed transition).
+    pub transition: TransitionId,
+}
+
+/// The tangible reachability graph / CTMC skeleton of a net.
+#[derive(Debug)]
+pub struct ReachabilityGraph {
+    /// Tangible markings, index = state id; state 0 is the initial marking
+    /// (or its tangible resolution).
+    pub states: Vec<Marking>,
+    /// Outgoing edges per state.
+    pub edges: Vec<Vec<Edge>>,
+    /// Summed rate of dropped self-loop edges per state, by transition.
+    pub self_loop_rates: Vec<Vec<(TransitionId, f64)>>,
+    /// Initial probability distribution over states (a point mass unless the
+    /// initial marking was vanishing and split probabilistically).
+    pub initial_distribution: Vec<(u32, f64)>,
+    /// `true` for states where the net's global absorbing predicate holds or
+    /// no transition is enabled.
+    pub absorbing: Vec<bool>,
+}
+
+impl ReachabilityGraph {
+    /// Number of tangible states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of CTMC edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Indices of absorbing states.
+    pub fn absorbing_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.absorbing.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i)
+    }
+
+    /// Exit rate (sum of outgoing edge rates) of a state.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.edges[state].iter().map(|e| e.rate).sum()
+    }
+}
+
+/// Resolution of one (possibly vanishing) marking into tangible successors
+/// with probabilities.
+fn resolve_to_tangible(
+    net: &Spn,
+    start: Marking,
+    opts: &ExploreOptions,
+) -> Result<Vec<(Marking, f64)>, SpnError> {
+    // Depth-limited probabilistic expansion of immediate chains.
+    let mut tangible: Vec<(Marking, f64)> = Vec::new();
+    let mut frontier: Vec<(Marking, f64, usize)> = vec![(start, 1.0, 0)];
+    while let Some((m, prob, depth)) = frontier.pop() {
+        let immediates = net.enabled_immediate(&m)?;
+        if immediates.is_empty() {
+            tangible.push((m, prob));
+            continue;
+        }
+        if depth >= opts.max_vanishing_depth {
+            return Err(SpnError::VanishingLoop { marking: format!("{m:?}") });
+        }
+        let total_w: f64 = immediates.iter().map(|&(_, w)| w).sum();
+        for (t, w) in immediates {
+            let next = net.fire(t, &m);
+            frontier.push((next, prob * w / total_w, depth + 1));
+        }
+    }
+    // Merge duplicates.
+    let mut merged: HashMap<Marking, f64> = HashMap::new();
+    for (m, p) in tangible {
+        *merged.entry(m).or_insert(0.0) += p;
+    }
+    Ok(merged.into_iter().collect())
+}
+
+/// Explore the tangible reachability graph of `net`.
+///
+/// # Errors
+/// * [`SpnError::StateSpaceExceeded`] when `opts.max_states` is hit.
+/// * [`SpnError::VanishingLoop`] on unbounded immediate chains.
+/// * [`SpnError::BadRate`] when a rate/weight function misbehaves.
+pub fn explore(net: &Spn, opts: &ExploreOptions) -> Result<ReachabilityGraph, SpnError> {
+    let mut index: HashMap<Marking, u32> = HashMap::new();
+    let mut states: Vec<Marking> = Vec::new();
+    let mut edges: Vec<Vec<Edge>> = Vec::new();
+    let mut self_loops: Vec<Vec<(TransitionId, f64)>> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    let mut intern = |m: Marking,
+                      states: &mut Vec<Marking>,
+                      edges: &mut Vec<Vec<Edge>>,
+                      self_loops: &mut Vec<Vec<(TransitionId, f64)>>,
+                      queue: &mut VecDeque<u32>|
+     -> Result<u32, SpnError> {
+        if let Some(&id) = index.get(&m) {
+            return Ok(id);
+        }
+        if states.len() >= opts.max_states {
+            return Err(SpnError::StateSpaceExceeded { cap: opts.max_states });
+        }
+        let id = states.len() as u32;
+        index.insert(m.clone(), id);
+        states.push(m);
+        edges.push(Vec::new());
+        self_loops.push(Vec::new());
+        queue.push_back(id);
+        Ok(id)
+    };
+
+    // The initial marking may itself be vanishing.
+    let initial = resolve_to_tangible(net, net.initial_marking(), opts)?;
+    let mut initial_distribution = Vec::with_capacity(initial.len());
+    for (m, p) in initial {
+        let id = intern(m, &mut states, &mut edges, &mut self_loops, &mut queue)?;
+        initial_distribution.push((id, p));
+    }
+
+    while let Some(sid) = queue.pop_front() {
+        let marking = states[sid as usize].clone();
+        let timed = net.enabled_timed(&marking)?;
+        for (t, rate) in timed {
+            let fired = net.fire(t, &marking);
+            if fired == marking {
+                // Cost-only self-loop: keep the rate for reward accounting.
+                self_loops[sid as usize].push((t, rate));
+                continue;
+            }
+            for (succ, prob) in resolve_to_tangible(net, fired, opts)? {
+                if succ == marking {
+                    self_loops[sid as usize].push((t, rate * prob));
+                    continue;
+                }
+                let tid =
+                    intern(succ, &mut states, &mut edges, &mut self_loops, &mut queue)?;
+                edges[sid as usize].push(Edge { target: tid, rate: rate * prob, transition: t });
+            }
+        }
+    }
+
+    // Merge parallel edges with the same (target, transition).
+    for elist in &mut edges {
+        elist.sort_by_key(|e| (e.target, e.transition));
+        let mut merged: Vec<Edge> = Vec::with_capacity(elist.len());
+        for e in elist.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.target == e.target && last.transition == e.transition => {
+                    last.rate += e.rate;
+                }
+                _ => merged.push(e),
+            }
+        }
+        *elist = merged;
+    }
+
+    let absorbing = states
+        .iter()
+        .enumerate()
+        .map(|(i, m)| net.is_absorbing_marking(m) || edges[i].is_empty())
+        .collect();
+
+    Ok(ReachabilityGraph {
+        states,
+        edges,
+        self_loop_rates: self_loops,
+        initial_distribution,
+        absorbing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SpnBuilder, TransitionDef};
+
+    /// Pure-death chain: N tokens drain one by one.
+    fn death_chain(n: u32) -> Spn {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", n);
+        b.add_transition(TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn death_chain_states_and_edges() {
+        let net = death_chain(4);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 5); // 4,3,2,1,0 tokens
+        assert_eq!(g.edge_count(), 4);
+        // exactly one absorbing state: zero tokens
+        let abs: Vec<usize> = g.absorbing_states().collect();
+        assert_eq!(abs.len(), 1);
+        assert_eq!(g.states[abs[0]].total_tokens(), 0);
+        // rates decrease along the chain
+        assert_eq!(g.exit_rate(0), 4.0);
+    }
+
+    #[test]
+    fn initial_distribution_is_point_mass_for_tangible_start() {
+        let net = death_chain(2);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.initial_distribution, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn state_cap_enforced() {
+        let net = death_chain(100);
+        let opts = ExploreOptions { max_states: 10, ..Default::default() };
+        assert!(matches!(explore(&net, &opts), Err(SpnError::StateSpaceExceeded { cap: 10 })));
+    }
+
+    #[test]
+    fn birth_death_is_finite_with_inhibitor() {
+        // M/M/1/K queue: arrivals inhibited at K
+        let mut b = SpnBuilder::new();
+        let q = b.add_place("q", 0);
+        let k = 5;
+        b.add_transition(TransitionDef::timed_const("arrive", 2.0).output(q, 1).inhibitor(q, k));
+        b.add_transition(TransitionDef::timed_const("serve", 3.0).input(q, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.state_count(), k as usize + 1);
+        assert!(g.absorbing_states().next().is_none());
+    }
+
+    #[test]
+    fn vanishing_marking_resolved_by_weights() {
+        // timed "go" leads to a vanishing marking resolved by two immediates
+        // with weights 1:3 into distinct tangible states.
+        let mut b = SpnBuilder::new();
+        let start = b.add_place("start", 1);
+        let mid = b.add_place("mid", 0);
+        let left = b.add_place("left", 0);
+        let right = b.add_place("right", 0);
+        b.add_transition(TransitionDef::timed_const("go", 2.0).input(start, 1).output(mid, 1));
+        b.add_transition(TransitionDef::immediate_weighted("l", |_| 1.0, 0).input(mid, 1).output(left, 1));
+        b.add_transition(TransitionDef::immediate_weighted("r", |_| 3.0, 0).input(mid, 1).output(right, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        // states: start, left, right — mid is vanishing and eliminated
+        assert_eq!(g.state_count(), 3);
+        let e = &g.edges[0];
+        assert_eq!(e.len(), 2);
+        let total: f64 = e.iter().map(|e| e.rate).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        let mut rates: Vec<f64> = e.iter().map(|e| e.rate).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanishing_chain_resolved() {
+        // two immediates in sequence
+        let mut b = SpnBuilder::new();
+        let s = b.add_place("s", 1);
+        let v1 = b.add_place("v1", 0);
+        let v2 = b.add_place("v2", 0);
+        let end = b.add_place("end", 0);
+        b.add_transition(TransitionDef::timed_const("go", 1.0).input(s, 1).output(v1, 1));
+        b.add_transition(TransitionDef::immediate("i1").input(v1, 1).output(v2, 1));
+        b.add_transition(TransitionDef::immediate("i2").input(v2, 1).output(end, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.edges[0].len(), 1);
+        assert!((g.edges[0][0].rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanishing_loop_detected() {
+        // immediate ping-pong loop
+        let mut b = SpnBuilder::new();
+        let s = b.add_place("s", 1);
+        let a = b.add_place("a", 0);
+        let c = b.add_place("c", 0);
+        b.add_transition(TransitionDef::timed_const("go", 1.0).input(s, 1).output(a, 1));
+        b.add_transition(TransitionDef::immediate("ab").input(a, 1).output(c, 1));
+        b.add_transition(TransitionDef::immediate("ba").input(c, 1).output(a, 1));
+        let net = b.build().unwrap();
+        assert!(matches!(
+            explore(&net, &ExploreOptions::default()),
+            Err(SpnError::VanishingLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn vanishing_initial_marking_splits_distribution() {
+        let mut b = SpnBuilder::new();
+        let v = b.add_place("v", 1);
+        let x = b.add_place("x", 0);
+        let y = b.add_place("y", 0);
+        b.add_transition(TransitionDef::immediate_weighted("ix", |_| 1.0, 0).input(v, 1).output(x, 1));
+        b.add_transition(TransitionDef::immediate_weighted("iy", |_| 1.0, 0).input(v, 1).output(y, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.initial_distribution.len(), 2);
+        let total: f64 = g.initial_distribution.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_rates_recorded_not_edged() {
+        // cost-only transition: fires but leaves the marking unchanged via
+        // an effect that cancels the arc arithmetic.
+        let mut b = SpnBuilder::new();
+        let a = b.add_place("a", 1);
+        b.add_transition(TransitionDef::timed_const("noop", 7.0)); // no arcs at all
+        b.add_transition(TransitionDef::timed_const("drain", 1.0).input(a, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        // state 0 has a self loop of rate 7 plus a real edge
+        assert_eq!(g.edges[0].len(), 1);
+        assert_eq!(g.self_loop_rates[0].len(), 1);
+        assert_eq!(g.self_loop_rates[0][0].1, 7.0);
+        // terminal state keeps self-looping on "noop": no outgoing CTMC
+        // edges, so for CTMC purposes it is absorbing.
+        assert_eq!(g.edges[1].len(), 0);
+        assert!(g.absorbing[1]);
+    }
+
+    #[test]
+    fn global_absorbing_predicate_marks_states() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 3);
+        let down = b.add_place("down", 0);
+        b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1).output(down, 1));
+        b.absorbing_when(move |m| m.tokens(down) >= 2);
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        // states: (3,0) (2,1) (1,2 absorbing) — exploration stops there
+        assert_eq!(g.state_count(), 3);
+        let abs: Vec<usize> = g.absorbing_states().collect();
+        assert_eq!(abs.len(), 1);
+        assert_eq!(g.states[abs[0]].tokens(down), 2);
+    }
+
+    #[test]
+    fn parallel_edges_same_transition_merge() {
+        // Two tokens in one place, transition moves one: firing from (2)
+        // always lands in (1); ensure single merged edge.
+        let net = death_chain(2);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        for e in &g.edges {
+            let mut seen = std::collections::HashSet::new();
+            for edge in e {
+                assert!(seen.insert((edge.target, edge.transition)));
+            }
+        }
+    }
+}

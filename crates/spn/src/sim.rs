@@ -1,0 +1,397 @@
+//! Monte-Carlo token-game simulation of an SPN.
+//!
+//! The simulator plays the net directly: in each tangible marking it samples
+//! the exponential race among enabled timed transitions, advances time,
+//! accrues rate rewards, fires, resolves any enabled immediate transitions
+//! (priority then weighted choice), and repeats until an absorbing marking
+//! or a time/step cap. Replications run in parallel under rayon with
+//! deterministic per-replication seeds, providing an independent check of
+//! the analytic CTMC solvers (EXPERIMENTS.md records the agreement).
+
+use crate::error::SpnError;
+use crate::model::{Marking, Spn, TransitionId};
+use crate::reward::RewardSet;
+use numerics::rng::child_seed;
+use numerics::stats::{ConfidenceInterval, Welford};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Simulation run limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Stop (censor) a replication at this simulated time.
+    pub max_time: f64,
+    /// Stop (censor) a replication after this many timed firings.
+    pub max_firings: u64,
+    /// Cap on consecutive immediate firings (loop guard).
+    pub max_immediate_chain: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self { max_time: f64::INFINITY, max_firings: 50_000_000, max_immediate_chain: 64 }
+    }
+}
+
+/// Outcome of a single replication.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Simulated time at which the run ended.
+    pub time: f64,
+    /// True when the run ended in an absorbing marking (not censored).
+    pub absorbed: bool,
+    /// Accumulated value of each rate reward in the [`RewardSet`] (rate
+    /// rewards integrate over time; impulse rewards sum over firings), in
+    /// the order rates-then-impulses.
+    pub accumulated: Vec<f64>,
+    /// Firing counts per transition.
+    pub firings: HashMap<TransitionId, u64>,
+    /// Final marking.
+    pub final_marking: Marking,
+}
+
+/// Aggregated statistics over replications.
+#[derive(Debug, Clone)]
+pub struct ReplicationStats {
+    /// Time-to-absorption statistics (absorbed replications only).
+    pub time_to_absorption: Welford,
+    /// Per-reward accumulated statistics (all replications).
+    pub accumulated: Vec<Welford>,
+    /// Number of censored (non-absorbed) replications.
+    pub censored: u64,
+    /// Total replications.
+    pub replications: u64,
+}
+
+impl ReplicationStats {
+    /// Confidence interval on the mean time to absorption.
+    pub fn mtta_ci(&self, level: f64) -> ConfidenceInterval {
+        self.time_to_absorption.confidence_interval(level)
+    }
+}
+
+/// SPN Monte-Carlo simulator.
+pub struct Simulator<'a> {
+    net: &'a Spn,
+    rewards: &'a RewardSet,
+    opts: SimOptions,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for `net` accruing `rewards`.
+    pub fn new(net: &'a Spn, rewards: &'a RewardSet, opts: SimOptions) -> Self {
+        Self { net, rewards, opts }
+    }
+
+    /// Run one replication with the given RNG seed.
+    ///
+    /// # Errors
+    /// Propagates rate-function failures and immediate-loop detection.
+    pub fn run_one(&self, seed: u64) -> Result<SimOutcome, SpnError> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut marking = self.net.initial_marking();
+        let mut time = 0.0_f64;
+        let n_rates = self.rewards.rates.len();
+        let mut accumulated = vec![0.0_f64; n_rates + self.rewards.impulses.len()];
+        let mut firings: HashMap<TransitionId, u64> = HashMap::new();
+        let mut timed_firings = 0u64;
+
+        // Resolve immediates at t=0 (vanishing initial marking).
+        self.settle_immediates(&mut marking, &mut rng, &mut firings, &mut accumulated)?;
+
+        loop {
+            if self.net.is_absorbing_marking(&marking) {
+                return Ok(SimOutcome {
+                    time,
+                    absorbed: true,
+                    accumulated,
+                    firings,
+                    final_marking: marking,
+                });
+            }
+            let enabled = self.net.enabled_timed(&marking)?;
+            if enabled.is_empty() {
+                return Ok(SimOutcome {
+                    time,
+                    absorbed: true,
+                    accumulated,
+                    firings,
+                    final_marking: marking,
+                });
+            }
+            let total_rate: f64 = enabled.iter().map(|&(_, r)| r).sum();
+            let dt = numerics::dist::sample_exponential(&mut rng, total_rate);
+            let censored_dt = dt.min(self.opts.max_time - time);
+            // Rate rewards accrue over the sojourn (censored at max_time).
+            for (i, r) in self.rewards.rates.iter().enumerate() {
+                accumulated[i] += (r.rate)(&marking) * censored_dt;
+            }
+            if time + dt > self.opts.max_time {
+                return Ok(SimOutcome {
+                    time: self.opts.max_time,
+                    absorbed: false,
+                    accumulated,
+                    firings,
+                    final_marking: marking,
+                });
+            }
+            time += dt;
+            // Pick the winning transition proportionally to rate.
+            let mut pick = rng.gen::<f64>() * total_rate;
+            let mut chosen = enabled[enabled.len() - 1].0;
+            for &(t, r) in &enabled {
+                if pick < r {
+                    chosen = t;
+                    break;
+                }
+                pick -= r;
+            }
+            // Impulse rewards observe the pre-firing marking.
+            for (k, imp) in self.rewards.impulses.iter().enumerate() {
+                if imp.transition == chosen {
+                    accumulated[n_rates + k] += (imp.amount)(&marking);
+                }
+            }
+            marking = self.net.fire(chosen, &marking);
+            *firings.entry(chosen).or_insert(0) += 1;
+            timed_firings += 1;
+            if timed_firings >= self.opts.max_firings {
+                return Ok(SimOutcome {
+                    time,
+                    absorbed: false,
+                    accumulated,
+                    firings,
+                    final_marking: marking,
+                });
+            }
+            self.settle_immediates(&mut marking, &mut rng, &mut firings, &mut accumulated)?;
+        }
+    }
+
+    /// Fire enabled immediate transitions (in zero time) until the marking
+    /// is tangible.
+    fn settle_immediates(
+        &self,
+        marking: &mut Marking,
+        rng: &mut SmallRng,
+        firings: &mut HashMap<TransitionId, u64>,
+        accumulated: &mut [f64],
+    ) -> Result<(), SpnError> {
+        let n_rates = self.rewards.rates.len();
+        for _ in 0..self.opts.max_immediate_chain {
+            let immediates = self.net.enabled_immediate(marking)?;
+            if immediates.is_empty() {
+                return Ok(());
+            }
+            let total: f64 = immediates.iter().map(|&(_, w)| w).sum();
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = immediates[immediates.len() - 1].0;
+            for &(t, w) in &immediates {
+                if pick < w {
+                    chosen = t;
+                    break;
+                }
+                pick -= w;
+            }
+            for (k, imp) in self.rewards.impulses.iter().enumerate() {
+                if imp.transition == chosen {
+                    accumulated[n_rates + k] += (imp.amount)(marking);
+                }
+            }
+            *marking = self.net.fire(chosen, marking);
+            *firings.entry(chosen).or_insert(0) += 1;
+        }
+        Err(SpnError::VanishingLoop { marking: format!("{marking:?}") })
+    }
+
+    /// Run `n` replications in parallel with deterministic per-replication
+    /// seeds derived from `master_seed`.
+    ///
+    /// # Errors
+    /// Returns the first replication error encountered.
+    pub fn run_replications(
+        &self,
+        n: u64,
+        master_seed: u64,
+    ) -> Result<ReplicationStats, SpnError> {
+        let outcomes: Result<Vec<SimOutcome>, SpnError> = (0..n)
+            .into_par_iter()
+            .map(|i| self.run_one(child_seed(master_seed, i)))
+            .collect();
+        let outcomes = outcomes?;
+        let mut tta = Welford::new();
+        let mut accumulated =
+            vec![Welford::new(); self.rewards.rates.len() + self.rewards.impulses.len()];
+        let mut censored = 0;
+        for o in &outcomes {
+            if o.absorbed {
+                tta.push(o.time);
+            } else {
+                censored += 1;
+            }
+            for (w, &a) in accumulated.iter_mut().zip(&o.accumulated) {
+                w.push(a);
+            }
+        }
+        Ok(ReplicationStats {
+            time_to_absorption: tta,
+            accumulated,
+            censored,
+            replications: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SpnBuilder, TransitionDef};
+    use crate::reward::{ImpulseReward, RateReward};
+
+    fn exp_net(rate: f64) -> Spn {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 1);
+        b.add_transition(TransitionDef::timed_const("fail", rate).input(up, 1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_replication_absorbs() {
+        let net = exp_net(1.0);
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let o = sim.run_one(42).unwrap();
+        assert!(o.absorbed);
+        assert!(o.time > 0.0);
+        assert_eq!(o.final_marking.total_tokens(), 0);
+        assert_eq!(o.firings.values().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn replications_match_exponential_mean() {
+        let net = exp_net(2.0);
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let stats = sim.run_replications(20_000, 7).unwrap();
+        assert_eq!(stats.censored, 0);
+        let ci = stats.mtta_ci(0.99);
+        assert!(ci.contains(0.5), "CI [{}, {}] should contain 0.5", ci.lo(), ci.hi());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = exp_net(1.0);
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let a = sim.run_one(9).unwrap();
+        let b = sim.run_one(9).unwrap();
+        assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn censoring_at_max_time() {
+        let net = exp_net(1e-9); // effectively never fires
+        let rewards = RewardSet::new();
+        let opts = SimOptions { max_time: 5.0, ..Default::default() };
+        let sim = Simulator::new(&net, &rewards, opts);
+        let o = sim.run_one(1).unwrap();
+        assert!(!o.absorbed);
+        assert_eq!(o.time, 5.0);
+    }
+
+    #[test]
+    fn rate_reward_integrates_uptime() {
+        // reward = 1 while up; accumulated == time to absorption
+        let net = exp_net(0.5);
+        let up = net.place_by_name("up").unwrap();
+        let rewards =
+            RewardSet::new().with_rate(RateReward::new("up", move |m| m.tokens(up) as f64));
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let o = sim.run_one(5).unwrap();
+        assert!((o.accumulated[0] - o.time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impulse_reward_counts_firings() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 4);
+        b.add_transition(
+            TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
+        );
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("die").unwrap();
+        let rewards = RewardSet::new().with_impulse(ImpulseReward::new("evt", t, |_| 2.5));
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let o = sim.run_one(3).unwrap();
+        assert!(o.absorbed);
+        assert_eq!(o.firings[&t], 4);
+        assert!((o.accumulated[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_transitions_resolve_in_zero_time() {
+        let mut b = SpnBuilder::new();
+        let s = b.add_place("s", 1);
+        let v = b.add_place("v", 0);
+        let done = b.add_place("done", 0);
+        b.add_transition(TransitionDef::timed_const("go", 4.0).input(s, 1).output(v, 1));
+        b.add_transition(TransitionDef::immediate("snap").input(v, 1).output(done, 1));
+        let net = b.build().unwrap();
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let o = sim.run_one(11).unwrap();
+        assert!(o.absorbed);
+        assert_eq!(o.final_marking.tokens(done), 1);
+        assert_eq!(o.firings.len(), 2);
+    }
+
+    #[test]
+    fn immediate_loop_reports_error() {
+        let mut b = SpnBuilder::new();
+        let a = b.add_place("a", 1);
+        let c = b.add_place("c", 0);
+        b.add_transition(TransitionDef::immediate("ab").input(a, 1).output(c, 1));
+        b.add_transition(TransitionDef::immediate("ba").input(c, 1).output(a, 1));
+        let net = b.build().unwrap();
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        assert!(matches!(sim.run_one(1), Err(SpnError::VanishingLoop { .. })));
+    }
+
+    #[test]
+    fn absorbing_predicate_stops_run() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 10);
+        b.add_transition(
+            TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
+        );
+        b.absorbing_when(move |m| m.tokens(up) <= 7);
+        let net = b.build().unwrap();
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let o = sim.run_one(2).unwrap();
+        assert!(o.absorbed);
+        assert_eq!(o.final_marking.tokens(net.place_by_name("up").unwrap()), 7);
+    }
+
+    #[test]
+    fn simulation_agrees_with_ctmc_mtta() {
+        // death chain with 3 tokens, rate k per token
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 3);
+        b.add_transition(
+            TransitionDef::timed("die", move |m| 0.8 * m.tokens(up) as f64).input(up, 1),
+        );
+        let net = b.build().unwrap();
+        let g = crate::reach::explore(&net, &Default::default()).unwrap();
+        let ctmc = crate::ctmc::Ctmc::from_graph(&g).unwrap();
+        let exact = ctmc.mean_time_to_absorption().unwrap().mtta;
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let stats = sim.run_replications(30_000, 123).unwrap();
+        let ci = stats.mtta_ci(0.99);
+        assert!(ci.contains(exact), "CI [{}, {}] vs exact {exact}", ci.lo(), ci.hi());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based cross-checks of the SPN engine: the three independent
+//! solution paths (linear-solve MTTA, uniformization occupancy, Monte-Carlo
+//! simulation) must agree on randomly generated absorbing chains, and
+//! structural invariants must hold on every explored graph.
+
+use proptest::prelude::*;
+use spn::ctmc::{Ctmc, TransientOptions};
+use spn::model::{SpnBuilder, TransitionDef};
+use spn::reach::{explore, ExploreOptions};
+use spn::reward::RewardSet;
+use spn::sim::{SimOptions, Simulator};
+
+/// Build a randomized death process: `n` tokens drain with per-token rate
+/// `base`, with an optional bypass transition that removes two at once.
+fn death_net(n: u32, base: f64, with_bypass: bool) -> spn::model::Spn {
+    let mut b = SpnBuilder::new();
+    let up = b.add_place("up", n);
+    b.add_transition(
+        TransitionDef::timed("die", move |m| base * m.tokens(up) as f64).input(up, 1),
+    );
+    if with_bypass {
+        b.add_transition(
+            TransitionDef::timed("die2", move |m| 0.3 * base * m.tokens(up) as f64)
+                .input(up, 2),
+        );
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reachability_conserves_tokens_in_conservative_nets(n in 1u32..30) {
+        // "die" moves tokens out — make a conservative variant instead:
+        // tokens circulate between two places.
+        let mut b = SpnBuilder::new();
+        let a = b.add_place("a", n);
+        let c = b.add_place("c", 0);
+        b.add_transition(TransitionDef::timed_const("ac", 1.0).input(a, 1).output(c, 1));
+        b.add_transition(TransitionDef::timed_const("ca", 2.0).input(c, 1).output(a, 1));
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        prop_assert_eq!(g.state_count(), n as usize + 1);
+        for m in &g.states {
+            prop_assert_eq!(m.total_tokens(), n as u64);
+        }
+    }
+
+    #[test]
+    fn ctmc_edges_have_positive_rates(n in 1u32..20, base in 0.01f64..10.0, bypass in any::<bool>()) {
+        let net = death_net(n, base, bypass);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        for elist in &g.edges {
+            for e in elist {
+                prop_assert!(e.rate > 0.0);
+                prop_assert!((e.target as usize) < g.state_count());
+            }
+        }
+    }
+
+    #[test]
+    fn mtta_positive_and_decreasing_in_rate(n in 1u32..15, base in 0.05f64..5.0) {
+        let slow = death_net(n, base, false);
+        let fast = death_net(n, base * 2.0, false);
+        let mtta = |net: &spn::model::Spn| {
+            let g = explore(net, &ExploreOptions::default()).unwrap();
+            Ctmc::from_graph(&g).unwrap().mean_time_to_absorption().unwrap().mtta
+        };
+        let ms = mtta(&slow);
+        let mf = mtta(&fast);
+        prop_assert!(ms > 0.0);
+        // doubling all rates exactly halves the expected time
+        prop_assert!((ms / mf - 2.0).abs() < 1e-6, "{} vs {}", ms, mf);
+    }
+
+    #[test]
+    fn mtta_matches_closed_form_death_chain(n in 1u32..25, base in 0.05f64..5.0) {
+        let net = death_net(n, base, false);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let a = Ctmc::from_graph(&g).unwrap().mean_time_to_absorption().unwrap();
+        let exact: f64 = (1..=n).map(|k| 1.0 / (base * k as f64)).sum();
+        prop_assert!((a.mtta - exact).abs() < 1e-7 * (1.0 + exact), "{} vs {}", a.mtta, exact);
+    }
+
+    #[test]
+    fn occupancy_approaches_mtta(n in 1u32..10, base in 0.2f64..4.0, bypass in any::<bool>()) {
+        let net = death_net(n, base, bypass);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let c = Ctmc::from_graph(&g).unwrap();
+        let a = c.mean_time_to_absorption().unwrap();
+        // horizon long enough: 60 / (smallest rate) ≫ MTTA
+        let horizon = (a.mtta * 40.0).max(1.0);
+        let occ = c.expected_occupancy(horizon, &TransientOptions::default());
+        let total: f64 = occ
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !c.absorbing()[i])
+            .map(|(_, &o)| o)
+            .sum();
+        prop_assert!((total - a.mtta).abs() < 1e-4 * (1.0 + a.mtta), "{} vs {}", total, a.mtta);
+    }
+
+    #[test]
+    fn absorption_probabilities_form_distribution(n in 1u32..12, base in 0.1f64..3.0, bypass in any::<bool>()) {
+        let net = death_net(n, base, bypass);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let a = Ctmc::from_graph(&g).unwrap().mean_time_to_absorption().unwrap();
+        let total: f64 = a.absorption_probability.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        for &p in &a.absorption_probability {
+            prop_assert!((-1e-12..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn transient_distribution_is_stochastic(n in 1u32..8, base in 0.1f64..3.0, t in 0.0f64..20.0) {
+        let net = death_net(n, base, false);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let c = Ctmc::from_graph(&g).unwrap();
+        let pi = c.transient_distribution(t, &TransientOptions::default());
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-7, "sum {}", total);
+        for &p in &pi {
+            prop_assert!(p >= -1e-10);
+        }
+    }
+}
+
+/// Heavier statistical agreement check kept outside proptest (one fixed
+/// configuration, many replications).
+#[test]
+fn simulation_confirms_analytic_mtta_on_branching_net() {
+    let mut b = SpnBuilder::new();
+    let up = b.add_place("up", 6);
+    let leak = b.add_place("leak", 0);
+    b.add_transition(TransitionDef::timed("die", move |m| 0.7 * m.tokens(up) as f64).input(up, 1));
+    b.add_transition(
+        TransitionDef::timed("leakage", move |m| 0.1 * m.tokens(up) as f64)
+            .input(up, 1)
+            .output(leak, 1),
+    );
+    b.absorbing_when(move |m| m.tokens(leak) > 0 || m.tokens(up) == 0);
+    let net = b.build().unwrap();
+    let g = explore(&net, &ExploreOptions::default()).unwrap();
+    let ctmc = Ctmc::from_graph(&g).unwrap();
+    let analytic = ctmc.mean_time_to_absorption().unwrap();
+
+    let rewards = RewardSet::new();
+    let sim = Simulator::new(&net, &rewards, SimOptions::default());
+    let stats = sim.run_replications(40_000, 2024).unwrap();
+    let ci = stats.mtta_ci(0.99);
+    assert!(
+        ci.contains(analytic.mtta),
+        "sim CI [{}, {}] excludes analytic {}",
+        ci.lo(),
+        ci.hi(),
+        analytic.mtta
+    );
+
+    // absorption split: P[leak] should match simulated frequency
+    let leak_p: f64 = g
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.tokens(net.place_by_name("leak").unwrap()) > 0)
+        .map(|(i, _)| analytic.absorption_probability[i])
+        .sum();
+    assert!(leak_p > 0.0 && leak_p < 1.0);
+}

@@ -1,0 +1,78 @@
+//! Collusion sensitivity study (extension beyond the paper, which fixes
+//! full collusion): how much of the voting IDS's error rate is due to the
+//! adversary coordinating votes, and how much survivability does each
+//! increment of collusion cost the defender?
+//!
+//! Also contrasts GDH.2 vs GDH.3 rekey pricing, since eviction-heavy
+//! regimes make the key agreement choice visible in Ĉtotal.
+//!
+//! Run with: `cargo run --release -p examples --example collusion_study`
+
+use examples::row;
+use gcsids::config::{KeyAgreementProtocol, SystemConfig};
+use gcsids::metrics::evaluate;
+use ids::voting::{p_false_negative_with_collusion, p_false_positive_with_collusion, CollusionModel};
+
+fn main() {
+    // --- voting error rates vs collusion probability ------------------------
+    println!("== voting error rates in a 30-good / 8-bad group (m = 5, p1 = p2 = 1%) ==");
+    println!("{:>6} {:>12} {:>12}", "q", "Pfp", "Pfn");
+    for i in 0..=5 {
+        let q = i as f64 / 5.0;
+        let c = CollusionModel::Probabilistic(q);
+        let fp = p_false_positive_with_collusion(30, 8, 5, 0.01, c);
+        let fnn = p_false_negative_with_collusion(30, 8, 5, 0.01, c);
+        println!("{q:>6.1} {fp:>12.4e} {fnn:>12.4e}");
+    }
+
+    // --- end-to-end MTTSF vs collusion -------------------------------------
+    // Per-vote error rates react strongly to collusion (table above), yet
+    // the system-level effect is small: colluding voters must actually be
+    // *drawn* into the m-participant sample in force, which is rare before
+    // the C2 boundary absorbs the system, and the C1 data-leak channel
+    // bypasses voting entirely. The squad-sized group below shows the
+    // largest effect; at the paper's N = 100 it is under 1%. This
+    // robustness-by-sampling is an emergent property of the paper's
+    // protocol worth knowing when budgeting m.
+    println!("\n== system-level effect (N = 12, accelerated attacker, TIDS = 600 s) ==");
+    let mut base = SystemConfig::paper_default().with_tids(600.0);
+    base.node_count = 12;
+    base.attacker.base_rate = 1.0 / 1_800.0;
+    for (label, model) in [
+        ("no collusion", CollusionModel::None),
+        ("q = 0.5", CollusionModel::Probabilistic(0.5)),
+        ("full collusion (paper)", CollusionModel::Full),
+    ] {
+        let mut cfg = base.clone();
+        cfg.collusion = model;
+        let e = evaluate(&cfg).expect("evaluation");
+        println!(
+            "{}",
+            row(label, format!("MTTSF = {:.4e} s, C_total = {:.4e}", e.mttsf_seconds,
+                e.c_total_hop_bits_per_sec))
+        );
+    }
+
+    // --- key agreement protocol choice --------------------------------------
+    println!("\n== rekey pricing at paper scale: GDH.2 (paper) vs GDH.3 ==");
+    let paper = SystemConfig::paper_default().with_tids(60.0);
+    for (label, proto) in
+        [("GDH.2", KeyAgreementProtocol::Gdh2), ("GDH.3", KeyAgreementProtocol::Gdh3)]
+    {
+        let mut cfg = paper.clone();
+        cfg.key_agreement = proto;
+        let e = evaluate(&cfg).expect("evaluation");
+        println!(
+            "{}",
+            row(
+                label,
+                format!(
+                    "C_rekey = {:.4e}, C_mp = {:.4e}, C_total = {:.4e} hop·bits/s",
+                    e.cost_components.rekey,
+                    e.cost_components.partition_merge,
+                    e.c_total_hop_bits_per_sec
+                )
+            )
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the end-to-end model: monotonicity and
+//! sanity invariants that must hold for any valid configuration.
+
+use gcsids::config::SystemConfig;
+use gcsids::cost::cost_breakdown;
+use gcsids::metrics::evaluate;
+use gcsids::model::{build_model, c2_holds, population, Population};
+use proptest::prelude::*;
+use spn::reach::{explore, ExploreOptions};
+
+fn arb_config(base: u32) -> impl Strategy<Value = SystemConfig> {
+    (8u32..=base, 0u8..3, 1u32..4, 10.0f64..2_000.0).prop_map(|(n, shape, m_idx, tids)| {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = n;
+        c.vote_participants = [3u32, 5, 7][m_idx as usize % 3].min(n - 1);
+        c.detection = c.detection.with_interval(tids);
+        c.detection.shape = ids::functions::RateShape::all()[shape as usize % 3];
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn evaluation_invariants(cfg in arb_config(24)) {
+        let e = evaluate(&cfg).unwrap();
+        prop_assert!(e.mttsf_seconds > 0.0 && e.mttsf_seconds.is_finite());
+        prop_assert!(e.c_total_hop_bits_per_sec > 0.0);
+        prop_assert!((e.p_failure_c1 + e.p_failure_c2 - 1.0).abs() < 1e-6);
+        prop_assert!(e.p_failure_c1 >= 0.0 && e.p_failure_c2 >= 0.0);
+        prop_assert!((e.cost_components.total() - e.c_total_hop_bits_per_sec).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mttsf_monotone_in_attacker_rate(cfg in arb_config(20), factor in 2.0f64..20.0) {
+        let mut hot = cfg.clone();
+        hot.attacker.base_rate *= factor;
+        let e0 = evaluate(&cfg).unwrap();
+        let e1 = evaluate(&hot).unwrap();
+        prop_assert!(e1.mttsf_seconds < e0.mttsf_seconds * 1.0001,
+            "faster attacker must not survive longer: {} vs {}",
+            e1.mttsf_seconds, e0.mttsf_seconds);
+    }
+
+    #[test]
+    fn mttsf_monotone_in_data_request_rate(cfg in arb_config(20), factor in 2.0f64..20.0) {
+        // more data requests → more C1 leak opportunities → shorter life
+        let mut hot = cfg.clone();
+        hot.group_comm_rate *= factor;
+        let e0 = evaluate(&cfg).unwrap();
+        let e1 = evaluate(&hot).unwrap();
+        prop_assert!(e1.mttsf_seconds < e0.mttsf_seconds * 1.0001);
+    }
+
+    #[test]
+    fn reachable_states_never_violate_conservation(cfg in arb_config(20)) {
+        let model = build_model(&cfg);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        for m in &graph.states {
+            let pop = population(&model.places, m);
+            let detected = m.tokens(model.places.dcm);
+            prop_assert_eq!(pop.trusted + pop.undetected + detected, cfg.node_count);
+            prop_assert!(pop.groups >= 1 && pop.groups <= cfg.max_groups);
+        }
+    }
+
+    #[test]
+    fn non_absorbing_states_never_satisfy_failure(cfg in arb_config(20)) {
+        let model = build_model(&cfg);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        for (i, m) in graph.states.iter().enumerate() {
+            let pop = population(&model.places, m);
+            let c2 = c2_holds(pop.trusted, pop.undetected);
+            let c1 = m.tokens(model.places.gf) > 0;
+            if c1 || c2 {
+                prop_assert!(graph.absorbing[i], "failure state {i} not absorbing");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_positive_and_monotone_in_population(groups in 1u32..4, t in 1u32..70, u in 0u32..20) {
+        // generator keeps t + 10 + u within the configured N = 100
+        let cfg = SystemConfig::paper_default();
+        let pop = Population { trusted: t, undetected: u, groups };
+        let b = cost_breakdown(&cfg, &pop);
+        prop_assert!(b.total() >= 0.0);
+        let bigger = Population { trusted: t + 10, undetected: u, groups };
+        let b2 = cost_breakdown(&cfg, &bigger);
+        prop_assert!(b2.group_comm > b.group_comm);
+        prop_assert!(b2.beacon > b.beacon);
+    }
+}
