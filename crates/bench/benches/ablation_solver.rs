@@ -19,8 +19,7 @@ fn build_system(n: u32) -> (numerics::sparse::Csr, Vec<f64>) {
     let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
     // Assemble (Q_TT)^T exactly the way the CTMC solver does.
     let n_states = graph.state_count();
-    let transient: Vec<usize> =
-        (0..n_states).filter(|&i| !graph.absorbing[i]).collect();
+    let transient: Vec<usize> = (0..n_states).filter(|&i| !graph.absorbing[i]).collect();
     let mut local = vec![usize::MAX; n_states];
     for (li, &gi) in transient.iter().enumerate() {
         local[gi] = li;
@@ -43,7 +42,11 @@ fn build_system(n: u32) -> (numerics::sparse::Csr, Vec<f64>) {
 
 fn bench_solvers(c: &mut Criterion) {
     let (a, b) = build_system(30);
-    let cfg = IterConfig { tolerance: 1e-12, max_iterations: 200_000, omega: 1.2 };
+    let cfg = IterConfig {
+        tolerance: 1e-12,
+        max_iterations: 200_000,
+        omega: 1.2,
+    };
     let mut g = c.benchmark_group("mtta_solver");
     g.sample_size(10);
     g.bench_function("gauss_seidel", |bch| {

@@ -52,9 +52,11 @@ fn flattened() -> Spn {
             .output(caught, 1),
     );
     b.add_transition(
-        TransitionDef::timed("miss", move |m| DETECT_RATE * (1.0 - P_CATCH) * m.tokens(up) as f64)
-            .input(up, 1)
-            .output(missed, 1),
+        TransitionDef::timed("miss", move |m| {
+            DETECT_RATE * (1.0 - P_CATCH) * m.tokens(up) as f64
+        })
+        .input(up, 1)
+        .output(missed, 1),
     );
     b.build().unwrap()
 }
@@ -65,18 +67,33 @@ fn bench_vanishing(c: &mut Criterion) {
     // sanity: both yield the same MTTA
     let mtta = |net: &Spn| {
         let g = explore(net, &ExploreOptions::default()).unwrap();
-        Ctmc::from_graph(&g).unwrap().mean_time_to_absorption().unwrap().mtta
+        Ctmc::from_graph(&g)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta
     };
     let (a, b2) = (mtta(&imm), mtta(&flat));
-    assert!((a - b2).abs() < 1e-6 * a, "ablation nets disagree: {a} vs {b2}");
+    assert!(
+        (a - b2).abs() < 1e-6 * a,
+        "ablation nets disagree: {a} vs {b2}"
+    );
 
     let mut g = c.benchmark_group("vanishing_elimination");
     g.sample_size(20);
     g.bench_function("immediate_branch", |b| {
-        b.iter(|| explore(black_box(&imm), &ExploreOptions::default()).unwrap().state_count())
+        b.iter(|| {
+            explore(black_box(&imm), &ExploreOptions::default())
+                .unwrap()
+                .state_count()
+        })
     });
     g.bench_function("flattened_rates", |b| {
-        b.iter(|| explore(black_box(&flat), &ExploreOptions::default()).unwrap().state_count())
+        b.iter(|| {
+            explore(black_box(&flat), &ExploreOptions::default())
+                .unwrap()
+                .state_count()
+        })
     });
     g.finish();
 }

@@ -20,7 +20,11 @@ fn bench_reachability(c: &mut Criterion) {
             cfg.node_count = n;
             cfg.vote_participants = 3;
             let model = build_model(&cfg);
-            b.iter(|| explore(black_box(&model.net), &ExploreOptions::default()).unwrap().state_count())
+            b.iter(|| {
+                explore(black_box(&model.net), &ExploreOptions::default())
+                    .unwrap()
+                    .state_count()
+            })
         });
     }
     g.finish();
@@ -85,7 +89,10 @@ fn bench_mobility(c: &mut Criterion) {
     let mut g = c.benchmark_group("mobility_step_and_connectivity");
     for &n in &[100usize, 400] {
         g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
-            let cfg = MobilityConfig { node_count: n, ..Default::default() };
+            let cfg = MobilityConfig {
+                node_count: n,
+                ..Default::default()
+            };
             let mut rng = StdRng::seed_from_u64(5);
             let mut m = RandomWaypoint::new(cfg, &mut rng);
             b.iter(|| {

@@ -1,0 +1,85 @@
+//! Measures the tentpole claim: explore-once-solve-many rate-only sweeps
+//! via graph re-weighting vs. per-point re-exploration, on the Figure-2
+//! grid (TIDS × m at a fixed structural family).
+//!
+//! Three benchmarks per system size:
+//!
+//! * `per_point_explore` — the legacy orchestration: every grid point
+//!   builds its model and re-explores the state space before solving.
+//! * `explore_once_reweight` — the engine path: one exploration, each grid
+//!   point re-weights the cached graph and solves.
+//! * `engine_batch` — the full `Runner::run_batch`, including spec
+//!   validation and report assembly, for the end-to-end number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{BackendKind, Runner, ScenarioGrid, ScenarioSpec};
+use gcsids::config::SystemConfig;
+use gcsids::metrics::{evaluate, ExactTemplate};
+use std::hint::black_box;
+
+/// Figure-2 axes: the paper's TIDS grid crossed with the m grid.
+fn fig2_points(cfg: &SystemConfig) -> Vec<SystemConfig> {
+    let mut out = Vec::new();
+    for &m in SystemConfig::paper_m_grid() {
+        for &t in SystemConfig::paper_tids_grid() {
+            if m < cfg.node_count {
+                out.push(cfg.with_vote_participants(m).with_tids(t));
+            }
+        }
+    }
+    out
+}
+
+fn sized(n: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.node_count = n;
+    cfg
+}
+
+fn bench_sweep_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_grid_sweep");
+    g.sample_size(10);
+    for &n in &[25u32, 50, 100] {
+        let cfg = sized(n);
+        let points = fig2_points(&cfg);
+
+        g.bench_with_input(BenchmarkId::new("per_point_explore", n), &n, |b, _| {
+            b.iter(|| {
+                let total: f64 = points
+                    .iter()
+                    .map(|p| evaluate(black_box(p)).unwrap().mttsf_seconds)
+                    .sum();
+                total
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("explore_once_reweight", n), &n, |b, _| {
+            b.iter(|| {
+                let template = ExactTemplate::new(black_box(&cfg)).unwrap();
+                let total: f64 = points
+                    .iter()
+                    .map(|p| template.evaluate(p).unwrap().mttsf_seconds)
+                    .sum();
+                total
+            })
+        });
+
+        let mut base = ScenarioSpec::paper_default(BackendKind::Exact);
+        base.system = cfg.clone();
+        let specs = ScenarioGrid::new(base)
+            .vote_participants(SystemConfig::paper_m_grid())
+            .tids(SystemConfig::paper_tids_grid())
+            .expand();
+        g.bench_with_input(BenchmarkId::new("engine_batch", n), &n, |b, _| {
+            let runner = Runner::new();
+            b.iter(|| {
+                let reports = runner.run_batch(black_box(&specs)).unwrap();
+                reports.iter().map(|r| r.mttsf.value).sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_strategies);
+criterion_main!(benches);

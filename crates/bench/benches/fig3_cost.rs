@@ -24,7 +24,11 @@ fn bench_fig3_points(c: &mut Criterion) {
 fn bench_cost_kernel(c: &mut Criterion) {
     let cfg = SystemConfig::paper_default();
     c.bench_function("cost_breakdown_kernel", |b| {
-        let pop = Population { trusted: 80, undetected: 10, groups: 2 };
+        let pop = Population {
+            trusted: 80,
+            undetected: 10,
+            groups: 2,
+        };
         b.iter(|| cost_breakdown(black_box(&cfg), black_box(&pop)).total());
     });
 }

@@ -12,10 +12,14 @@ fn bench_fig4_points(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_mttsf_by_detection");
     g.sample_size(10);
     for shape in RateShape::all() {
-        g.bench_with_input(BenchmarkId::new("shape", shape.name()), &shape, |b, &shape| {
-            let cfg = cfg.with_detection_shape(shape).with_tids(120.0);
-            b.iter(|| evaluate(black_box(&cfg)).unwrap().mttsf_seconds);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("shape", shape.name()),
+            &shape,
+            |b, &shape| {
+                let cfg = cfg.with_detection_shape(shape).with_tids(120.0);
+                b.iter(|| evaluate(black_box(&cfg)).unwrap().mttsf_seconds);
+            },
+        );
     }
     g.finish();
 }

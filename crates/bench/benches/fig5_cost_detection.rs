@@ -13,10 +13,14 @@ fn bench_fig5_points(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_cost_by_detection");
     g.sample_size(10);
     for shape in RateShape::all() {
-        g.bench_with_input(BenchmarkId::new("shape", shape.name()), &shape, |b, &shape| {
-            let cfg = cfg.with_detection_shape(shape).with_tids(240.0);
-            b.iter(|| evaluate(black_box(&cfg)).unwrap().c_total_hop_bits_per_sec);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("shape", shape.name()),
+            &shape,
+            |b, &shape| {
+                let cfg = cfg.with_detection_shape(shape).with_tids(240.0);
+                b.iter(|| evaluate(black_box(&cfg)).unwrap().c_total_hop_bits_per_sec);
+            },
+        );
     }
     g.finish();
 }

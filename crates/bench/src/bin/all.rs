@@ -6,9 +6,29 @@ use gcsids::config::SystemConfig;
 fn main() {
     let cfg = SystemConfig::paper_default();
     let t0 = std::time::Instant::now();
-    emit(&fig2(&cfg).expect("fig2"), "fig2_mttsf_vs_tids_by_m.csv", true).expect("write");
-    emit(&fig3(&cfg).expect("fig3"), "fig3_cost_vs_tids_by_m.csv", false).expect("write");
-    emit(&fig4(&cfg).expect("fig4"), "fig4_mttsf_vs_tids_by_detection.csv", true).expect("write");
-    emit(&fig5(&cfg).expect("fig5"), "fig5_cost_vs_tids_by_detection.csv", false).expect("write");
+    emit(
+        &fig2(&cfg).expect("fig2"),
+        "fig2_mttsf_vs_tids_by_m.csv",
+        true,
+    )
+    .expect("write");
+    emit(
+        &fig3(&cfg).expect("fig3"),
+        "fig3_cost_vs_tids_by_m.csv",
+        false,
+    )
+    .expect("write");
+    emit(
+        &fig4(&cfg).expect("fig4"),
+        "fig4_mttsf_vs_tids_by_detection.csv",
+        true,
+    )
+    .expect("write");
+    emit(
+        &fig5(&cfg).expect("fig5"),
+        "fig5_cost_vs_tids_by_detection.csv",
+        false,
+    )
+    .expect("write");
     eprintln!("all figures regenerated in {:?}", t0.elapsed());
 }

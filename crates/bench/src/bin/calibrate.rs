@@ -24,7 +24,10 @@ fn main() {
     println!("simulated_time_s,{:.0}", r.total_time);
     println!("mean_group_count,{:.4}", r.mean_group_count);
     println!("mean_group_size,{:.2}", r.mean_group_size);
-    println!("partition_rate_per_group_hz,{:.6e}", r.partition_rate_per_group);
+    println!(
+        "partition_rate_per_group_hz,{:.6e}",
+        r.partition_rate_per_group
+    );
     println!("merge_rate_per_group_hz,{:.6e}", r.merge_rate_per_group);
     println!("mean_hops,{:.3}", r.mean_hops);
     for g in 1..=6 {

@@ -9,9 +9,8 @@ fn main() {
     let cfg = SystemConfig::paper_default();
     let model = build_model(&cfg);
     let dot = spn::dot::net_to_dot(&model.net);
-    let dir = std::path::PathBuf::from(
-        std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into()),
-    );
+    let dir =
+        std::path::PathBuf::from(std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into()));
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("fig1_spn_model.dot");
     std::fs::write(&path, &dot).expect("write dot");

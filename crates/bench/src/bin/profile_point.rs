@@ -1,0 +1,46 @@
+//! Profiling aid: per-stage timings of one exact evaluation (rate
+//! re-evaluation, per-state cost rewards, CTMC assembly, absorption solve)
+//! at increasing system sizes. Used to attribute sweep time between the
+//! explore / re-weight / solve stages when tuning the engine.
+//!
+//! Run with: `cargo run --release -p bench-harness --bin profile_point`
+
+use gcsids::config::SystemConfig;
+use gcsids::cost::cost_breakdown;
+use gcsids::metrics::ExactTemplate;
+use gcsids::model::{build_model, population};
+use spn::ctmc::Ctmc;
+use std::time::Instant;
+
+fn main() {
+    for n in [50u32, 100] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.node_count = n;
+        let model = build_model(&cfg);
+        let template = ExactTemplate::new(&cfg).unwrap();
+        let graph = template.graph();
+
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for m in &graph.states {
+            for (_, r) in model.net.enabled_timed(m).unwrap() {
+                acc += r;
+            }
+        }
+        let t_rates = t0.elapsed();
+
+        let t0 = Instant::now();
+        for m in &graph.states {
+            acc += cost_breakdown(&cfg, &population(&model.places, m)).total();
+        }
+        let t_cost = t0.elapsed();
+
+        let t0 = Instant::now();
+        let ctmc = Ctmc::from_graph(graph).unwrap();
+        let t_build = t0.elapsed();
+        let t0 = Instant::now();
+        let a = ctmc.mean_time_to_absorption().unwrap();
+        let t_solve = t0.elapsed();
+        println!("N={n}: rates={t_rates:?} cost={t_cost:?} ctmc_build={t_build:?} solve={t_solve:?} (mtta={:.3e}, acc={acc:.1})", a.mtta);
+    }
+}

@@ -25,8 +25,10 @@ fn main() {
     };
 
     let analytic = evaluate(&cfg).expect("analytic evaluation");
-    println!("analytic : MTTSF = {:.4e} s, C_total = {:.4e} hop·bits/s", 
-        analytic.mttsf_seconds, analytic.c_total_hop_bits_per_sec);
+    println!(
+        "analytic : MTTSF = {:.4e} s, C_total = {:.4e} hop·bits/s",
+        analytic.mttsf_seconds, analytic.c_total_hop_bits_per_sec
+    );
     println!(
         "analytic : P[C1] = {:.3}, P[C2] = {:.3}, states = {}",
         analytic.p_failure_c1, analytic.p_failure_c2, analytic.state_count
@@ -52,8 +54,15 @@ fn main() {
     let dci = d.mttsf.confidence_interval(0.95);
     println!(
         "protocol  : MTTSF = {:.4e} s ± {:.2e} (95% CI), C1/C2 = {}/{}, cost rate = {:.4e}",
-        dci.mean, dci.half_width, d.c1_failures, d.c2_failures, d.cost_rate.mean()
+        dci.mean,
+        dci.half_width,
+        d.c1_failures,
+        d.c2_failures,
+        d.cost_rate.mean()
     );
     let rel = (dci.mean - analytic.mttsf_seconds).abs() / analytic.mttsf_seconds;
-    println!("protocol  : relative MTTSF deviation from analytic = {:.1}%", rel * 100.0);
+    println!(
+        "protocol  : relative MTTSF deviation from analytic = {:.1}%",
+        rel * 100.0
+    );
 }

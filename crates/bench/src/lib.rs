@@ -5,10 +5,15 @@
 //! The `fig2 … fig5` binaries print the table and write a CSV under
 //! `results/`; the Criterion benches time representative points of the
 //! same computations.
+//!
+//! All figure runners are thin adapters over [`engine::Runner`]: they
+//! expand a [`engine::ScenarioGrid`] over the paper's axes, run the batch
+//! (one state-space exploration for the whole figure — explore once, solve
+//! many), and reshape the [`engine::RunReport`]s into table rows.
 
+use engine::{BackendKind, EngineError, RunReport, Runner, ScenarioGrid, ScenarioSpec};
 use gcsids::config::SystemConfig;
-use gcsids::sweep::{sweep_tids_by_detection_shape, sweep_tids_by_m, SweepSeries};
-use spn::error::SpnError;
+use ids::functions::RateShape;
 use std::io::Write;
 use std::path::Path;
 
@@ -106,51 +111,114 @@ impl FigureTable {
     }
 }
 
-fn mttsf_table(
-    title: &str,
-    grid: &[f64],
-    series: Vec<SweepSeries>,
-) -> FigureTable {
-    FigureTable {
-        title: title.into(),
-        x_label: "TIDS_s".into(),
-        y_label: "MTTSF (s)".into(),
-        x: grid.to_vec(),
-        series: series
-            .into_iter()
-            .map(|s| {
-                let ys = s.points.iter().map(|p| p.evaluation.mttsf_seconds).collect();
-                (s.label, ys)
-            })
-            .collect(),
+/// Which report metric a figure plots.
+#[derive(Debug, Clone, Copy)]
+enum Metric {
+    Mttsf,
+    CostRate,
+}
+
+impl Metric {
+    fn extract(self, r: &RunReport) -> f64 {
+        match self {
+            Metric::Mttsf => r.mttsf.value,
+            Metric::CostRate => r.c_total.value,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Metric::Mttsf => "MTTSF (s)",
+            Metric::CostRate => "C_total (hop·bits/s)",
+        }
     }
 }
 
-fn cost_table(title: &str, grid: &[f64], series: Vec<SweepSeries>) -> FigureTable {
-    FigureTable {
+/// Run a `series × TIDS` grid through the engine and reshape the reports
+/// into a table: the outer axis produces one labelled series each, the
+/// inner axis is the shared TIDS grid. The whole figure shares a single
+/// state-space exploration inside [`Runner::run_batch`].
+fn figure_via_engine(
+    title: &str,
+    cfg: &SystemConfig,
+    grid: &[f64],
+    metric: Metric,
+    series_axis: impl Fn(ScenarioGrid) -> ScenarioGrid,
+    series_labels: Vec<String>,
+) -> Result<FigureTable, EngineError> {
+    let mut base = ScenarioSpec::paper_default(BackendKind::Exact);
+    base.name = "fig".into();
+    base.system = cfg.clone();
+    let specs = series_axis(ScenarioGrid::new(base)).tids(grid).expand();
+    debug_assert_eq!(specs.len(), series_labels.len() * grid.len());
+    let reports = Runner::new().run_batch(&specs)?;
+    let series = series_labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let ys = reports[i * grid.len()..(i + 1) * grid.len()]
+                .iter()
+                .map(|r| metric.extract(r))
+                .collect();
+            (label, ys)
+        })
+        .collect();
+    Ok(FigureTable {
         title: title.into(),
         x_label: "TIDS_s".into(),
-        y_label: "C_total (hop·bits/s)".into(),
+        y_label: metric.label().into(),
         x: grid.to_vec(),
-        series: series
-            .into_iter()
-            .map(|s| {
-                let ys =
-                    s.points.iter().map(|p| p.evaluation.c_total_hop_bits_per_sec).collect();
-                (s.label, ys)
-            })
+        series,
+    })
+}
+
+fn by_m(
+    title: &str,
+    cfg: &SystemConfig,
+    grid: &[f64],
+    metric: Metric,
+) -> Result<FigureTable, EngineError> {
+    let ms = SystemConfig::paper_m_grid();
+    figure_via_engine(
+        title,
+        cfg,
+        grid,
+        metric,
+        |g| g.vote_participants(ms),
+        ms.iter().map(|m| format!("m={m}")).collect(),
+    )
+}
+
+fn by_shape(
+    title: &str,
+    cfg: &SystemConfig,
+    grid: &[f64],
+    metric: Metric,
+) -> Result<FigureTable, EngineError> {
+    figure_via_engine(
+        title,
+        cfg,
+        grid,
+        metric,
+        |g| g.detection_shapes(&RateShape::all()),
+        RateShape::all()
+            .iter()
+            .map(|s| format!("{} detection", s.name()))
             .collect(),
-    }
+    )
 }
 
 /// Figure 2: MTTSF vs TIDS for m ∈ {3, 5, 7, 9} (linear attacker/detection).
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn fig2(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
-    let grid = SystemConfig::paper_tids_grid();
-    let series = sweep_tids_by_m(cfg, grid, SystemConfig::paper_m_grid())?;
-    Ok(mttsf_table("Figure 2: effect of m on MTTSF and optimal TIDS", grid, series))
+pub fn fig2(cfg: &SystemConfig) -> Result<FigureTable, EngineError> {
+    by_m(
+        "Figure 2: effect of m on MTTSF and optimal TIDS",
+        cfg,
+        SystemConfig::paper_tids_grid(),
+        Metric::Mttsf,
+    )
 }
 
 /// Figure 3: Ĉtotal vs TIDS for m ∈ {3, 5, 7, 9} (the paper's Fig. 3 x-axis
@@ -158,10 +226,13 @@ pub fn fig2(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn fig3(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
-    let grid = &SystemConfig::paper_tids_grid()[2..]; // 30 … 1200 s
-    let series = sweep_tids_by_m(cfg, grid, SystemConfig::paper_m_grid())?;
-    Ok(cost_table("Figure 3: effect of m on C_total and optimal TIDS", grid, series))
+pub fn fig3(cfg: &SystemConfig) -> Result<FigureTable, EngineError> {
+    by_m(
+        "Figure 3: effect of m on C_total and optimal TIDS",
+        cfg,
+        &SystemConfig::paper_tids_grid()[2..], // 30 … 1200 s
+        Metric::CostRate,
+    )
 }
 
 /// Figure 4: MTTSF vs TIDS for the three detection shapes (linear attacker,
@@ -169,14 +240,13 @@ pub fn fig3(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn fig4(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
-    let grid = SystemConfig::paper_tids_grid();
-    let series = sweep_tids_by_detection_shape(cfg, grid)?;
-    Ok(mttsf_table(
+pub fn fig4(cfg: &SystemConfig) -> Result<FigureTable, EngineError> {
+    by_shape(
         "Figure 4: effect of TIDS on MTTSF per detection function (linear attacker, m=5)",
-        grid,
-        series,
-    ))
+        cfg,
+        SystemConfig::paper_tids_grid(),
+        Metric::Mttsf,
+    )
 }
 
 /// Figure 5: Ĉtotal vs TIDS for the three detection shapes (the paper's
@@ -184,14 +254,13 @@ pub fn fig4(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn fig5(cfg: &SystemConfig) -> Result<FigureTable, SpnError> {
-    let grid = &SystemConfig::paper_tids_grid()[1..]; // 15 … 1200 s
-    let series = sweep_tids_by_detection_shape(cfg, grid)?;
-    Ok(cost_table(
+pub fn fig5(cfg: &SystemConfig) -> Result<FigureTable, EngineError> {
+    by_shape(
         "Figure 5: effect of TIDS on C_total per detection function (linear attacker, m=5)",
-        grid,
-        series,
-    ))
+        cfg,
+        &SystemConfig::paper_tids_grid()[1..], // 15 … 1200 s
+        Metric::CostRate,
+    )
 }
 
 /// Default output directory for CSVs.
@@ -205,7 +274,11 @@ pub fn results_dir() -> std::path::PathBuf {
 /// Propagates I/O failures (evaluation failures abort earlier).
 pub fn emit(table: &FigureTable, csv_name: &str, maximize: bool) -> std::io::Result<()> {
     println!("{}", table.render());
-    let optima = if maximize { table.argmax_per_series() } else { table.argmin_per_series() };
+    let optima = if maximize {
+        table.argmax_per_series()
+    } else {
+        table.argmin_per_series()
+    };
     let goal = if maximize { "max MTTSF" } else { "min C_total" };
     for (label, t) in optima {
         println!("optimal TIDS ({goal}) for {label}: {t:.0} s");
@@ -234,13 +307,22 @@ mod tests {
             x_label: "x".into(),
             y_label: "y".into(),
             x: vec![1.0, 2.0, 3.0],
-            series: vec![("a".into(), vec![5.0, 9.0, 7.0]), ("b".into(), vec![3.0, 2.0, 4.0])],
+            series: vec![
+                ("a".into(), vec![5.0, 9.0, 7.0]),
+                ("b".into(), vec![3.0, 2.0, 4.0]),
+            ],
         };
         let s = t.render();
         assert!(s.contains("# T"));
         assert!(s.contains('a') && s.contains('b'));
-        assert_eq!(t.argmax_per_series(), vec![("a".into(), 2.0), ("b".into(), 3.0)]);
-        assert_eq!(t.argmin_per_series(), vec![("a".into(), 1.0), ("b".into(), 2.0)]);
+        assert_eq!(
+            t.argmax_per_series(),
+            vec![("a".into(), 2.0), ("b".into(), 3.0)]
+        );
+        assert_eq!(
+            t.argmin_per_series(),
+            vec![("a".into(), 1.0), ("b".into(), 2.0)]
+        );
     }
 
     #[test]

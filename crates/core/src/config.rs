@@ -203,7 +203,7 @@ impl SystemConfig {
                 return Err(format!("collusion probability must lie in [0,1], got {q}"));
             }
         }
-        if self.vote_participants as u32 >= self.node_count {
+        if self.vote_participants >= self.node_count {
             return Err(format!(
                 "vote_participants {} must be below node_count {}",
                 self.vote_participants, self.node_count
@@ -300,7 +300,10 @@ mod tests {
             &CalibrationConfig {
                 duration: 100.0,
                 seeds: 1,
-                mobility: MobilityConfig { node_count: 15, ..Default::default() },
+                mobility: MobilityConfig {
+                    node_count: 15,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             3,

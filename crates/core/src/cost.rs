@@ -74,7 +74,10 @@ pub fn gdh_rekey_hop_bits(cfg: &SystemConfig, group_size: u32) -> f64 {
         }
         KeyAgreementProtocol::Gdh3 => {
             let cost = Gdh3Cost::for_group_size(group_size as usize);
-            (cost.total_elements - cost.broadcast_elements, cost.broadcast_elements)
+            (
+                cost.total_elements - cost.broadcast_elements,
+                cost.broadcast_elements,
+            )
         }
     };
     let unicast_bits = (unicast_elements * cfg.key_element_bits) as f64;
@@ -128,7 +131,9 @@ pub fn cost_breakdown(cfg: &SystemConfig, pop: &Population) -> CostBreakdown {
     // member can independently verify the majority tally (Byzantine
     // accountability — a unicast tally could be forged by a compromised
     // collector).
-    let d = cfg.detection.rate(cfg.node_count, pop.trusted, pop.undetected);
+    let d = cfg
+        .detection
+        .rate(cfg.node_count, pop.trusted, pop.undetected);
     let m_eff = cfg.vote_participants.min(n_g.saturating_sub(1)) as f64;
     let ids = d * n * m_eff * cfg.vote_packet_bits as f64 * flood;
 
@@ -138,12 +143,23 @@ pub fn cost_breakdown(cfg: &SystemConfig, pop: &Population) -> CostBreakdown {
     // Partition/merge: a partition rekeys the two fragments, a merge rekeys
     // the combined group.
     let partition_rate = cfg.partition_rate_per_group * g;
-    let merge_rate = if pop.groups >= 2 { cfg.merge_rate_per_group * (g - 1.0) } else { 0.0 };
+    let merge_rate = if pop.groups >= 2 {
+        cfg.merge_rate_per_group * (g - 1.0)
+    } else {
+        0.0
+    };
     let half = (n_g / 2).max(1);
     let partition_merge = partition_rate * 2.0 * gdh_rekey_hop_bits(cfg, half)
         + merge_rate * gdh_rekey_hop_bits(cfg, (2 * n_g).min(pop.live()));
 
-    CostBreakdown { group_comm, status, rekey, ids, beacon, partition_merge }
+    CostBreakdown {
+        group_comm,
+        status,
+        rekey,
+        ids,
+        beacon,
+        partition_merge,
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +171,11 @@ mod tests {
     }
 
     fn full_pop() -> Population {
-        Population { trusted: 100, undetected: 0, groups: 1 }
+        Population {
+            trusted: 100,
+            undetected: 0,
+            groups: 1,
+        }
     }
 
     #[test]
@@ -168,7 +188,14 @@ mod tests {
 
     #[test]
     fn empty_population_costs_nothing() {
-        let b = cost_breakdown(&cfg(), &Population { trusted: 0, undetected: 0, groups: 1 });
+        let b = cost_breakdown(
+            &cfg(),
+            &Population {
+                trusted: 0,
+                undetected: 0,
+                groups: 1,
+            },
+        );
         assert_eq!(b.total(), 0.0);
     }
 
@@ -200,7 +227,14 @@ mod tests {
     #[test]
     fn fewer_members_less_group_comm() {
         let all = cost_breakdown(&cfg(), &full_pop());
-        let half = cost_breakdown(&cfg(), &Population { trusted: 50, undetected: 0, groups: 1 });
+        let half = cost_breakdown(
+            &cfg(),
+            &Population {
+                trusted: 50,
+                undetected: 0,
+                groups: 1,
+            },
+        );
         // flood factor also shrinks: quadratic effect
         assert!(half.group_comm < all.group_comm / 3.0);
     }
@@ -208,7 +242,14 @@ mod tests {
     #[test]
     fn partition_reduces_gc_but_adds_mp() {
         let one = cost_breakdown(&cfg(), &full_pop());
-        let two = cost_breakdown(&cfg(), &Population { trusted: 100, undetected: 0, groups: 2 });
+        let two = cost_breakdown(
+            &cfg(),
+            &Population {
+                trusted: 100,
+                undetected: 0,
+                groups: 2,
+            },
+        );
         assert!(two.group_comm < one.group_comm);
         assert!(two.partition_merge > one.partition_merge);
     }
@@ -291,7 +332,11 @@ mod tests {
     #[test]
     fn vote_participants_capped_by_group_size() {
         // tiny group: m capped at n_g − 1
-        let pop = Population { trusted: 4, undetected: 0, groups: 1 };
+        let pop = Population {
+            trusted: 4,
+            undetected: 0,
+            groups: 1,
+        };
         let b9 = cost_breakdown(&cfg().with_vote_participants(9), &pop);
         let b3 = cost_breakdown(&cfg().with_vote_participants(3), &pop);
         assert_eq!(b9.ids, b3.ids);

@@ -59,7 +59,11 @@ pub struct DesConfig {
 impl DesConfig {
     /// Defaults: paper system, one-year horizon, no adaptation.
     pub fn new(system: SystemConfig) -> Self {
-        Self { system, max_time: 3.15e7, adaptive: false }
+        Self {
+            system,
+            max_time: 3.15e7,
+            adaptive: false,
+        }
     }
 }
 
@@ -193,6 +197,25 @@ impl World {
     }
 }
 
+/// Event indices of the exponential race in [`run_des`], in rate order.
+const EVENT_COMPROMISE: usize = 0;
+const EVENT_EVALUATE: usize = 1;
+const EVENT_LEAK: usize = 2;
+const EVENT_PARTITION: usize = 3;
+const EVENT_MERGE: usize = 4;
+
+/// Winner of an exponential race: the first slot whose cumulative rate mass
+/// exceeds `pick` (the final slot absorbs floating-point residue).
+fn sample_event_index(mut pick: f64, rates: &[f64]) -> usize {
+    for (i, &r) in rates.iter().enumerate() {
+        if pick < r {
+            return i;
+        }
+        pick -= r;
+    }
+    rates.len() - 1
+}
+
 /// Run one replication.
 pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
     let sys = &cfg.system;
@@ -238,16 +261,27 @@ pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
         let g = world.groups.len() as f64;
 
         // --- event rates ---------------------------------------------------
-        let r_compromise = if trusted > 0 { sys.attacker.rate(trusted, undetected) } else { 0.0 };
+        let r_compromise = if trusted > 0 {
+            sys.attacker.rate(trusted, undetected)
+        } else {
+            0.0
+        };
         let r_evaluate = live as f64 * detection.rate(sys.node_count, trusted, undetected);
         let r_leak = sys.group_comm_rate * undetected as f64;
         let can_partition = world.groups.iter().any(|grp| grp.len() >= 2)
             && (world.groups.len() as u32) < sys.max_groups;
-        let r_partition = if can_partition { sys.partition_rate_per_group * g } else { 0.0 };
-        let r_merge =
-            if world.groups.len() >= 2 { sys.merge_rate_per_group * (g - 1.0) } else { 0.0 };
-        let r_joinleave = sys.join_rate * (sys.node_count - live) as f64
-            + sys.leave_rate * live as f64;
+        let r_partition = if can_partition {
+            sys.partition_rate_per_group * g
+        } else {
+            0.0
+        };
+        let r_merge = if world.groups.len() >= 2 {
+            sys.merge_rate_per_group * (g - 1.0)
+        } else {
+            0.0
+        };
+        let r_joinleave =
+            sys.join_rate * (sys.node_count - live) as f64 + sys.leave_rate * live as f64;
         let total = r_compromise + r_evaluate + r_leak + r_partition + r_merge + r_joinleave;
         if total <= 0.0 {
             return outcome(
@@ -277,110 +311,118 @@ pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
         }
         t += dt;
 
-        // --- pick the event -------------------------------------------------
-        let mut pick = rng.gen::<f64>() * total;
-        if pick < r_compromise {
-            // attacker compromises a random trusted node
-            let victims: Vec<u32> = (0..world.status.len() as u32)
-                .filter(|&n| world.status[n as usize] == NodeStatus::Trusted)
-                .collect();
-            let &victim = victims.choose(&mut rng).expect("trusted node exists");
-            world.status[victim as usize] = NodeStatus::Compromised;
-            compromises += 1;
-            if cfg.adaptive {
-                let dt_c = (t - last_compromise_at).max(1e-9);
-                last_compromise_at = t;
-                let mc = ids::functions::AttackerProfile::mc(
-                    world.trusted().max(1),
-                    world.undetected(),
-                );
-                controller.observe(dt_c, mc);
-                detection = detection.with_interval(detection.base_interval);
-                detection.shape = controller.matching_shape();
-            }
-        } else if {
-            pick -= r_compromise;
-            pick < r_evaluate
-        } {
-            // evaluate a random live node with an actual voting round
-            let live_nodes: Vec<u32> = (0..world.status.len() as u32)
-                .filter(|&n| world.status[n as usize] != NodeStatus::Evicted)
-                .collect();
-            let &target = live_nodes.choose(&mut rng).expect("live node exists");
-            let gi = world.group_of(target);
-            let peers: Vec<bool> = world.groups[gi]
-                .iter()
-                .filter(|&&n| n != target)
-                .map(|&n| world.status[n as usize] == NodeStatus::Compromised)
-                .collect();
-            let vote_cfg = VotingConfig { participants: sys.vote_participants, host: world.host };
-            let target_bad = world.status[target as usize] == NodeStatus::Compromised;
-            let o = run_vote_with_collusion(&vote_cfg, target_bad, &peers, sys.collusion, &mut rng);
-            votes += 1;
-            // votes flood the target's group (Byzantine accountability)
-            let group_live = world.groups[gi].len() as f64;
-            hop_bits += o.votes as f64 * sys.vote_packet_bits as f64 * group_live;
-            if o.evicted {
-                hop_bits += world.evict(target);
-                if target_bad {
-                    true_evictions += 1;
-                } else {
-                    false_evictions += 1;
+        // --- pick the event (winner of the exponential race) -----------------
+        let rates = [
+            r_compromise,
+            r_evaluate,
+            r_leak,
+            r_partition,
+            r_merge,
+            r_joinleave,
+        ];
+        match sample_event_index(rng.gen::<f64>() * total, &rates) {
+            EVENT_COMPROMISE => {
+                // attacker compromises a random trusted node
+                let victims: Vec<u32> = (0..world.status.len() as u32)
+                    .filter(|&n| world.status[n as usize] == NodeStatus::Trusted)
+                    .collect();
+                let &victim = victims.choose(&mut rng).expect("trusted node exists");
+                world.status[victim as usize] = NodeStatus::Compromised;
+                compromises += 1;
+                if cfg.adaptive {
+                    let dt_c = (t - last_compromise_at).max(1e-9);
+                    last_compromise_at = t;
+                    let mc = ids::functions::AttackerProfile::mc(
+                        world.trusted().max(1),
+                        world.undetected(),
+                    );
+                    controller.observe(dt_c, mc);
+                    detection = detection.with_interval(detection.base_interval);
+                    detection.shape = controller.matching_shape();
                 }
             }
-        } else if {
-            pick -= r_evaluate;
-            pick < r_leak
-        } {
-            // a compromised node requests data; the responder leaks iff its
-            // host IDS misses the requester
-            hop_bits += sys.data_packet_bits as f64 * sys.mean_hops;
-            if rng.gen::<f64>() < sys.p1_host_false_negative {
-                return outcome(
-                    t,
-                    FailureCause::DataLeak,
-                    hop_bits,
-                    compromises,
-                    true_evictions,
-                    false_evictions,
-                    votes,
-                );
+            EVENT_EVALUATE => {
+                // evaluate a random live node with an actual voting round
+                let live_nodes: Vec<u32> = (0..world.status.len() as u32)
+                    .filter(|&n| world.status[n as usize] != NodeStatus::Evicted)
+                    .collect();
+                let &target = live_nodes.choose(&mut rng).expect("live node exists");
+                let gi = world.group_of(target);
+                let peers: Vec<bool> = world.groups[gi]
+                    .iter()
+                    .filter(|&&n| n != target)
+                    .map(|&n| world.status[n as usize] == NodeStatus::Compromised)
+                    .collect();
+                let vote_cfg = VotingConfig {
+                    participants: sys.vote_participants,
+                    host: world.host,
+                };
+                let target_bad = world.status[target as usize] == NodeStatus::Compromised;
+                let o =
+                    run_vote_with_collusion(&vote_cfg, target_bad, &peers, sys.collusion, &mut rng);
+                votes += 1;
+                // votes flood the target's group (Byzantine accountability)
+                let group_live = world.groups[gi].len() as f64;
+                hop_bits += o.votes as f64 * sys.vote_packet_bits as f64 * group_live;
+                if o.evicted {
+                    hop_bits += world.evict(target);
+                    if target_bad {
+                        true_evictions += 1;
+                    } else {
+                        false_evictions += 1;
+                    }
+                }
             }
-        } else if {
-            pick -= r_leak;
-            pick < r_partition
-        } {
-            // split a random group (≥ 2 members) in half
-            let candidates: Vec<usize> = (0..world.groups.len())
-                .filter(|&i| world.groups[i].len() >= 2)
-                .collect();
-            let &gi = candidates.choose(&mut rng).expect("partitionable group exists");
-            let mut members = std::mem::take(&mut world.groups[gi]);
-            members.shuffle(&mut rng);
-            let half = members.len() / 2;
-            let other = members.split_off(half);
-            hop_bits += gdh_rekey_hop_bits(sys, members.len() as u32)
-                + gdh_rekey_hop_bits(sys, other.len() as u32);
-            world.groups[gi] = members;
-            world.groups.push(other);
-        } else if {
-            pick -= r_partition;
-            pick < r_merge
-        } {
-            // merge two random groups
-            let a = rng.gen_range(0..world.groups.len());
-            let mut b = rng.gen_range(0..world.groups.len() - 1);
-            if b >= a {
-                b += 1;
+            EVENT_LEAK => {
+                // a compromised node requests data; the responder leaks iff its
+                // host IDS misses the requester
+                hop_bits += sys.data_packet_bits as f64 * sys.mean_hops;
+                if rng.gen::<f64>() < sys.p1_host_false_negative {
+                    return outcome(
+                        t,
+                        FailureCause::DataLeak,
+                        hop_bits,
+                        compromises,
+                        true_evictions,
+                        false_evictions,
+                        votes,
+                    );
+                }
             }
-            let moved = std::mem::take(&mut world.groups[b]);
-            world.groups[a].extend(moved);
-            hop_bits += gdh_rekey_hop_bits(sys, world.groups[a].len() as u32);
-            world.groups.remove(b);
-        } else {
-            // join/leave rekey event (population-neutral; SPN-equivalent)
-            let gi = rng.gen_range(0..world.groups.len());
-            hop_bits += gdh_rekey_hop_bits(sys, world.groups[gi].len() as u32);
+            EVENT_PARTITION => {
+                // split a random group (≥ 2 members) in half
+                let candidates: Vec<usize> = (0..world.groups.len())
+                    .filter(|&i| world.groups[i].len() >= 2)
+                    .collect();
+                let &gi = candidates
+                    .choose(&mut rng)
+                    .expect("partitionable group exists");
+                let mut members = std::mem::take(&mut world.groups[gi]);
+                members.shuffle(&mut rng);
+                let half = members.len() / 2;
+                let other = members.split_off(half);
+                hop_bits += gdh_rekey_hop_bits(sys, members.len() as u32)
+                    + gdh_rekey_hop_bits(sys, other.len() as u32);
+                world.groups[gi] = members;
+                world.groups.push(other);
+            }
+            EVENT_MERGE => {
+                // merge two random groups
+                let a = rng.gen_range(0..world.groups.len());
+                let mut b = rng.gen_range(0..world.groups.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                let moved = std::mem::take(&mut world.groups[b]);
+                world.groups[a].extend(moved);
+                hop_bits += gdh_rekey_hop_bits(sys, world.groups[a].len() as u32);
+                world.groups.remove(b);
+            }
+            _ => {
+                // join/leave rekey event (population-neutral; SPN-equivalent)
+                let gi = rng.gen_range(0..world.groups.len());
+                hop_bits += gdh_rekey_hop_bits(sys, world.groups[gi].len() as u32);
+            }
         }
 
         // --- failure check ---------------------------------------------------
@@ -400,8 +442,10 @@ pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
 
 /// Run `n` replications in parallel with derived seeds.
 pub fn run_des_replications(cfg: &DesConfig, n: u64, master_seed: u64) -> DesStats {
-    let outcomes: Vec<DesOutcome> =
-        (0..n).into_par_iter().map(|i| run_des(cfg, child_seed(master_seed, i))).collect();
+    let outcomes: Vec<DesOutcome> = (0..n)
+        .into_par_iter()
+        .map(|i| run_des(cfg, child_seed(master_seed, i)))
+        .collect();
     let mut mttsf = Welford::new();
     let mut cost_rate = Welford::new();
     let (mut c1, mut c2, mut attrition, mut censored) = (0u64, 0u64, 0u64, 0u64);
@@ -423,7 +467,14 @@ pub fn run_des_replications(cfg: &DesConfig, n: u64, master_seed: u64) -> DesSta
             FailureCause::Censored => censored += 1,
         }
     }
-    DesStats { mttsf, cost_rate, c1_failures: c1, c2_failures: c2, attritions: attrition, censored }
+    DesStats {
+        mttsf,
+        cost_rate,
+        c1_failures: c1,
+        c2_failures: c2,
+        attritions: attrition,
+        censored,
+    }
 }
 
 #[cfg(test)]
@@ -477,8 +528,10 @@ mod tests {
         let cfg = DesConfig::new(hot_system(20));
         let stats: Vec<DesOutcome> = (0..10).map(|s| run_des(&cfg, s)).collect();
         let votes: u64 = stats.iter().map(|o| o.votes).sum();
-        let evictions: u64 =
-            stats.iter().map(|o| o.true_evictions + o.false_evictions).sum();
+        let evictions: u64 = stats
+            .iter()
+            .map(|o| o.true_evictions + o.false_evictions)
+            .sum();
         assert!(votes > 0);
         assert!(evictions > 0);
     }
@@ -500,7 +553,12 @@ mod tests {
         // nearly no detections without IDS → C1 dominates
         assert!(s.c1_failures > s.c2_failures, "slow: {s:?}");
         // aggressive IDS survives longer on average
-        assert!(f.mttsf.mean() > s.mttsf.mean(), "fast {} vs slow {}", f.mttsf.mean(), s.mttsf.mean());
+        assert!(
+            f.mttsf.mean() > s.mttsf.mean(),
+            "fast {} vs slow {}",
+            f.mttsf.mean(),
+            s.mttsf.mean()
+        );
     }
 
     #[test]
@@ -604,7 +662,10 @@ mod survival_tests {
         for w in s.windows(2) {
             assert!(w[1] <= w[0] + 1e-12, "survival must not increase: {s:?}");
         }
-        assert!(*s.last().unwrap() < 0.5, "long horizons should kill most runs: {s:?}");
+        assert!(
+            *s.last().unwrap() < 0.5,
+            "long horizons should kill most runs: {s:?}"
+        );
     }
 
     #[test]
@@ -620,7 +681,11 @@ mod survival_tests {
             false_evictions: 0,
             votes: 0,
         };
-        let failure = DesOutcome { time: 5.0, cause: FailureCause::DataLeak, ..survivor.clone() };
+        let failure = DesOutcome {
+            time: 5.0,
+            cause: FailureCause::DataLeak,
+            ..survivor.clone()
+        };
         let s = survival_curve(&[survivor, failure], &[2.0, 7.0, 20.0]);
         assert_eq!(s[0], 1.0); // both alive at t=2
         assert_eq!(s[1], 0.5); // failure dead at 7, censored alive

@@ -47,9 +47,17 @@ impl MobilityDesConfig {
     /// Defaults: the system's node count in the paper's 500 m disc with
     /// 250 m range, 1 s steps, one-year horizon.
     pub fn new(system: SystemConfig) -> Self {
-        let mobility =
-            MobilityConfig { node_count: system.node_count as usize, ..Default::default() };
-        Self { system, mobility, radio_range: 250.0, dt: 1.0, max_time: 3.15e7 }
+        let mobility = MobilityConfig {
+            node_count: system.node_count as usize,
+            ..Default::default()
+        };
+        Self {
+            system,
+            mobility,
+            radio_range: 250.0,
+            dt: 1.0,
+            max_time: 3.15e7,
+        }
     }
 }
 
@@ -84,7 +92,10 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
     let sys = &cfg.system;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mobility = RandomWaypoint::new(
-        MobilityConfig { node_count: sys.node_count as usize, ..cfg.mobility },
+        MobilityConfig {
+            node_count: sys.node_count as usize,
+            ..cfg.mobility
+        },
         &mut rng,
     );
     let mut status = vec![St::Trusted; sys.node_count as usize];
@@ -104,9 +115,16 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
     let mut graph = ConnectivityGraph::build(&positions, cfg.radio_range);
     let mut prev_components = graph.component_count();
 
-    let finish = |t, cause, hop_bits, partitions, merges, compromises, evictions| {
-        MobilityDesOutcome { time: t, cause, hop_bits, partitions, merges, compromises, evictions }
-    };
+    let finish =
+        |t, cause, hop_bits, partitions, merges, compromises, evictions| MobilityDesOutcome {
+            time: t,
+            cause,
+            hop_bits,
+            partitions,
+            merges,
+            compromises,
+            evictions,
+        };
 
     while t < cfg.max_time {
         // --- mobility step and group bookkeeping ---------------------------
@@ -146,11 +164,15 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
         hop_bits += background_rate(sys, &graph, &status) * cfg.dt;
 
         // --- protocol events within the step (thinned Poisson) --------------
-        let r_compromise =
-            if trusted > 0 { sys.attacker.rate(trusted, undetected) } else { 0.0 };
+        let r_compromise = if trusted > 0 {
+            sys.attacker.rate(trusted, undetected)
+        } else {
+            0.0
+        };
         if trusted > 0 && rng.gen::<f64>() < 1.0 - (-r_compromise * cfg.dt).exp() {
-            let victims: Vec<usize> =
-                (0..status.len()).filter(|&i| status[i] == St::Trusted).collect();
+            let victims: Vec<usize> = (0..status.len())
+                .filter(|&i| status[i] == St::Trusted)
+                .collect();
             let &victim = victims.choose(&mut rng).expect("trusted node exists");
             status[victim] = St::Compromised;
             compromises += 1;
@@ -160,8 +182,9 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
         let p_eval = 1.0 - (-(live as f64) * d_rate * cfg.dt).exp();
         if rng.gen::<f64>() < p_eval {
             // evaluate one random live node within its actual component
-            let live_nodes: Vec<usize> =
-                (0..status.len()).filter(|&i| status[i] != St::Evicted).collect();
+            let live_nodes: Vec<usize> = (0..status.len())
+                .filter(|&i| status[i] != St::Evicted)
+                .collect();
             let &target = live_nodes.choose(&mut rng).expect("live node exists");
             let comp = graph.component_of(target);
             let peers: Vec<bool> = live_nodes
@@ -311,7 +334,13 @@ pub fn run_mobility_des_replications(
             FailureCause::Censored => censored += 1,
         }
     }
-    MobilityDesStats { mttsf, partition_rate, c1_failures: c1, c2_failures: c2, censored }
+    MobilityDesStats {
+        mttsf,
+        partition_rate,
+        c1_failures: c1,
+        c2_failures: c2,
+        censored,
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,125 @@ pub fn evaluate(cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
     evaluate_prebuilt(&model, &graph)
 }
 
+/// Explore-once-solve-many evaluator for rate-only configuration families.
+///
+/// The Cho–Chen state space depends only on the structural parameters
+/// (`node_count`, `max_groups`); every other knob — detection interval,
+/// attacker intensity, rate shapes, vote participants, host-IDS error
+/// probabilities, traffic constants — only changes transition *rates* or
+/// reward values. A template explores the reachability graph once and then
+/// evaluates any structurally compatible configuration by re-weighting the
+/// cached graph ([`ReachabilityGraph::reweight_in_place`]), skipping the
+/// dominant exploration cost. Evaluation takes `&self`, so one template can
+/// drive a rayon-parallel sweep.
+pub struct ExactTemplate {
+    graph: ReachabilityGraph,
+    opts: ExploreOptions,
+    node_count: u32,
+    max_groups: u32,
+}
+
+impl ExactTemplate {
+    /// Explore the state space of `cfg`'s structural family.
+    ///
+    /// # Errors
+    /// Propagates validation and exploration failures.
+    pub fn new(cfg: &SystemConfig) -> Result<Self, SpnError> {
+        Self::with_options(cfg, &ExploreOptions::default())
+    }
+
+    /// Template with explicit exploration limits.
+    ///
+    /// # Errors
+    /// Propagates validation and exploration failures.
+    pub fn with_options(cfg: &SystemConfig, opts: &ExploreOptions) -> Result<Self, SpnError> {
+        cfg.validate().map_err(SpnError::InvalidModel)?;
+        let model = build_model(cfg);
+        let graph = explore(&model.net, opts)?;
+        Ok(Self {
+            graph,
+            opts: *opts,
+            node_count: cfg.node_count,
+            max_groups: cfg.max_groups,
+        })
+    }
+
+    /// True when `cfg` shares this template's state space.
+    pub fn compatible(&self, cfg: &SystemConfig) -> bool {
+        cfg.node_count == self.node_count && cfg.max_groups == self.max_groups
+    }
+
+    /// Number of tangible states in the cached graph.
+    pub fn state_count(&self) -> usize {
+        self.graph.state_count()
+    }
+
+    /// The cached reachability graph.
+    pub fn graph(&self) -> &ReachabilityGraph {
+        &self.graph
+    }
+
+    /// Evaluate a configuration against the cached state space.
+    ///
+    /// Structurally compatible configurations reuse the cached graph via
+    /// re-weighting; incompatible ones transparently fall back to a fresh
+    /// exploration (same result, no reuse).
+    ///
+    /// # Errors
+    /// Propagates validation, re-weighting, and solver failures.
+    pub fn evaluate(&self, cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
+        cfg.validate().map_err(SpnError::InvalidModel)?;
+        if !self.compatible(cfg) {
+            return self.evaluate_fresh(cfg);
+        }
+        let model = build_model(cfg);
+        match self.graph.reweighted(&model.net) {
+            Ok(graph) => evaluate_prebuilt(&model, &graph),
+            // Structural mismatch despite matching keys — e.g. a rate that
+            // was zero at template-build time pruned states that this
+            // configuration can reach. Fall back to a fresh exploration.
+            Err(SpnError::InvalidModel(_)) => self.evaluate_fresh(cfg),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fresh exploration under the template's own limits, so a
+    /// caller-imposed state budget is never silently bypassed.
+    fn evaluate_fresh(&self, cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
+        let model = build_model(cfg);
+        let graph = explore(&model.net, &self.opts)?;
+        evaluate_prebuilt(&model, &graph)
+    }
+}
+
+/// The eviction-rekey impulse rewards (a GDH rekey charged on every `T_IDS`
+/// or `T_FA` firing) shared by the exact evaluator and the SPN-simulation
+/// backend.
+///
+/// # Errors
+/// Returns [`SpnError::InvalidModel`] if the model is missing the eviction
+/// transitions.
+pub fn eviction_impulses(model: &GcsIdsModel) -> Result<Vec<ImpulseReward>, SpnError> {
+    let cfg = &model.config;
+    let places = model.places;
+    ["T_IDS", "T_FA"]
+        .iter()
+        .map(|name| {
+            let t = model
+                .net
+                .transition_by_name(name)
+                .ok_or_else(|| SpnError::InvalidModel(format!("missing transition {name}")))?;
+            Ok(ImpulseReward::new(format!("evict-rekey-{name}"), t, {
+                let cfg = cfg.clone();
+                move |m: &spn::model::Marking| {
+                    let pop = population(&places, m);
+                    gdh_rekey_hop_bits(&cfg, pop.per_group_live())
+                }
+            }))
+        })
+        .collect()
+}
+
 /// Evaluate a model whose reachability graph is already known (lets sweeps
 /// that only change rates reuse the exploration when the structure is
 /// unchanged — note rates are baked into edges, so this is only valid for
@@ -68,20 +187,11 @@ pub fn evaluate_prebuilt(
 
     // Impulse rewards: a GDH rekey per eviction (T_IDS / T_FA firing).
     let mut impulse_rates = vec![0.0; graph.state_count()];
-    for name in ["T_IDS", "T_FA"] {
-        let t = model
-            .net
-            .transition_by_name(name)
-            .ok_or_else(|| SpnError::InvalidModel(format!("missing transition {name}")))?;
-        let imp = ImpulseReward::new(format!("evict-rekey-{name}"), t, {
-            let cfg = cfg.clone();
-            let places = places;
-            move |m: &spn::model::Marking| {
-                let pop = population(&places, m);
-                gdh_rekey_hop_bits(&cfg, pop.per_group_live())
-            }
-        });
-        for (acc, v) in impulse_rates.iter_mut().zip(imp.per_state(&model.net, graph)) {
+    for imp in eviction_impulses(model)? {
+        for (acc, v) in impulse_rates
+            .iter_mut()
+            .zip(imp.per_state(&model.net, graph))
+        {
             *acc += v;
         }
     }
@@ -217,9 +327,74 @@ mod tests {
     #[test]
     fn detection_shape_changes_metrics() {
         let lin = evaluate(&small(12, 3, 60.0)).unwrap();
-        let log = evaluate(&small(12, 3, 60.0).with_detection_shape(RateShape::Logarithmic))
-            .unwrap();
+        let log =
+            evaluate(&small(12, 3, 60.0).with_detection_shape(RateShape::Logarithmic)).unwrap();
         assert_ne!(lin.mttsf_seconds, log.mttsf_seconds);
+    }
+
+    #[test]
+    fn template_matches_fresh_evaluation_across_rate_knobs() {
+        let base = small(12, 3, 120.0);
+        let template = ExactTemplate::new(&base).unwrap();
+        let mut variants = vec![
+            base.with_tids(5.0),
+            base.with_tids(600.0),
+            base.with_vote_participants(5),
+            base.with_detection_shape(RateShape::Polynomial),
+            base.with_detection_shape(RateShape::Logarithmic)
+                .with_tids(45.0),
+        ];
+        let mut hot = base.clone();
+        hot.attacker.base_rate *= 8.0;
+        variants.push(hot);
+        for cfg in &variants {
+            assert!(template.compatible(cfg));
+            let fast = template.evaluate(cfg).unwrap();
+            let slow = evaluate(cfg).unwrap();
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            assert!(
+                rel(fast.mttsf_seconds, slow.mttsf_seconds) < 1e-9,
+                "MTTSF {} vs {}",
+                fast.mttsf_seconds,
+                slow.mttsf_seconds
+            );
+            assert!(
+                rel(fast.c_total_hop_bits_per_sec, slow.c_total_hop_bits_per_sec) < 1e-9,
+                "cost {} vs {}",
+                fast.c_total_hop_bits_per_sec,
+                slow.c_total_hop_bits_per_sec
+            );
+            assert!((fast.p_failure_c1 - slow.p_failure_c1).abs() < 1e-9);
+            assert_eq!(fast.state_count, slow.state_count);
+        }
+    }
+
+    #[test]
+    fn template_falls_back_when_zero_rate_pruned_the_space() {
+        // partition_rate = 0 at template-build time keeps NG pinned at 1,
+        // pruning every multi-group state; evaluating a config that turns
+        // partitions back on must transparently re-explore, not error.
+        let mut frozen = small(12, 3, 120.0);
+        frozen.partition_rate_per_group = 0.0;
+        let template = ExactTemplate::new(&frozen).unwrap();
+        let live = small(12, 3, 120.0);
+        assert!(template.compatible(&live));
+        let via_template = template.evaluate(&live).unwrap();
+        let direct = evaluate(&live).unwrap();
+        assert!(via_template.state_count > template.state_count());
+        assert_eq!(via_template.state_count, direct.state_count);
+        assert!((via_template.mttsf_seconds - direct.mttsf_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn template_falls_back_on_structural_change() {
+        let template = ExactTemplate::new(&small(12, 3, 120.0)).unwrap();
+        let other = small(14, 3, 120.0);
+        assert!(!template.compatible(&other));
+        let via_template = template.evaluate(&other).unwrap();
+        let direct = evaluate(&other).unwrap();
+        assert_eq!(via_template.state_count, direct.state_count);
+        assert!((via_template.mttsf_seconds - direct.mttsf_seconds).abs() < 1e-9);
     }
 
     #[test]
@@ -228,11 +403,7 @@ mod tests {
         let model = build_model(&cfg);
         let r = total_cost_reward(&cfg, &model);
         let init = model.net.initial_marking();
-        let direct = cost_breakdown(
-            &cfg,
-            &population(&model.places, &init),
-        )
-        .total();
+        let direct = cost_breakdown(&cfg, &population(&model.places, &init)).total();
         assert!(((r.rate)(&init) - direct).abs() < 1e-9);
     }
 }

@@ -23,6 +23,8 @@
 use crate::config::SystemConfig;
 use ids::voting::{p_false_negative_with_collusion, p_false_positive_with_collusion};
 use spn::model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Place handles of the constructed net.
 #[derive(Debug, Clone, Copy)]
@@ -80,8 +82,7 @@ impl Population {
     /// itself is bad, so the bad count is at least 1.
     pub fn per_group_for_bad_target(&self) -> (u32, u32) {
         let n_g = self.per_group_live();
-        let bad =
-            ((self.undetected as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
+        let bad = ((self.undetected as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
         (n_g - bad, bad)
     }
 
@@ -89,8 +90,7 @@ impl Population {
     /// target itself is good, so the good count is at least 1.
     pub fn per_group_for_good_target(&self) -> (u32, u32) {
         let n_g = self.per_group_live();
-        let good =
-            ((self.trusted as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
+        let good = ((self.trusted as f64 / self.groups as f64).round() as u32).clamp(1, n_g);
         (good, n_g - good)
     }
 }
@@ -145,14 +145,21 @@ pub fn pfp_for(cfg: &SystemConfig, pop: &Population) -> f64 {
 /// Panics if the configuration fails [`SystemConfig::validate`] — call it
 /// first for a recoverable error.
 pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
-    cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
     let mut b = SpnBuilder::new();
     let tm = b.add_place("Tm", cfg.node_count);
     let ucm = b.add_place("UCm", 0);
     let dcm = b.add_place("DCm", 0);
     let gf = b.add_place("GF", 0);
     let ng = b.add_place("NG", 1);
-    let places = Places { tm, ucm, dcm, gf, ng };
+    let places = Places {
+        tm,
+        ucm,
+        dcm,
+        gf,
+        ng,
+    };
 
     // Global absorbing predicate: C1 or C2 (or total attrition).
     b.absorbing_when(move |m| {
@@ -165,41 +172,79 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
     {
         let attacker = cfg.attacker;
         b.add_transition(
-            TransitionDef::timed("T_CP", move |m| {
-                attacker.rate(m.tokens(tm), m.tokens(ucm))
-            })
-            .input(tm, 1)
-            .output(ucm, 1),
+            TransitionDef::timed("T_CP", move |m| attacker.rate(m.tokens(tm), m.tokens(ucm)))
+                .input(tm, 1)
+                .output(ucm, 1),
         );
     }
 
-    // T_IDS: voting IDS catches an undetected compromised node.
+    // T_IDS: voting IDS catches an undetected compromised node. The voting
+    // error probabilities depend only on the target group's (good, bad)
+    // split, which collapses the many (T, U, NG) markings onto a handful of
+    // pairs — memoize them so repeated rate evaluations (exploration,
+    // re-weighting, simulation) pay the log-space voting math once per
+    // pair.
     {
         let cfg_c = cfg.clone();
         let n_init = cfg.node_count;
+        let cache: Mutex<HashMap<(u32, u32), f64>> = Mutex::new(HashMap::new());
         b.add_transition(
             TransitionDef::timed("T_IDS", move |m| {
                 let pop = population(
-                    &Places { tm, ucm, dcm, gf, ng },
+                    &Places {
+                        tm,
+                        ucm,
+                        dcm,
+                        gf,
+                        ng,
+                    },
                     m,
                 );
+                if pop.undetected == 0 {
+                    return 0.0;
+                }
                 let d = cfg_c.detection.rate(n_init, pop.trusted, pop.undetected);
-                pop.undetected as f64 * d * (1.0 - pfn_for(&cfg_c, &pop))
+                let (good, bad) = pop.per_group_for_bad_target();
+                let pfn = *cache
+                    .lock()
+                    .expect("pfn cache poisoned")
+                    .entry((good, bad))
+                    .or_insert_with(|| pfn_for(&cfg_c, &pop));
+                pop.undetected as f64 * d * (1.0 - pfn)
             })
             .input(ucm, 1)
             .output(dcm, 1),
         );
     }
 
-    // T_FA: voting IDS falsely evicts a trusted node.
+    // T_FA: voting IDS falsely evicts a trusted node (same memoization).
     {
         let cfg_c = cfg.clone();
         let n_init = cfg.node_count;
+        let cache: Mutex<HashMap<(u32, u32), f64>> = Mutex::new(HashMap::new());
         b.add_transition(
             TransitionDef::timed("T_FA", move |m| {
-                let pop = population(&Places { tm, ucm, dcm, gf, ng }, m);
+                let pop = population(
+                    &Places {
+                        tm,
+                        ucm,
+                        dcm,
+                        gf,
+                        ng,
+                    },
+                    m,
+                );
+                if pop.trusted == 0 {
+                    return 0.0;
+                }
                 let d = cfg_c.detection.rate(n_init, pop.trusted, pop.undetected);
-                pop.trusted as f64 * d * pfp_for(&cfg_c, &pop)
+                let (good, bad) = pop.per_group_for_good_target();
+                let pfp = *cache
+                    .lock()
+                    .expect("pfp cache poisoned")
+                    .entry((good, bad))
+                    .or_insert_with(|| pfp_for(&cfg_c, &pop));
+                pop.trusted as f64 * d * pfp
             })
             .input(tm, 1)
             .output(dcm, 1),
@@ -213,12 +258,10 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         let p1 = cfg.p1_host_false_negative;
         let lambda_q = cfg.group_comm_rate;
         b.add_transition(
-            TransitionDef::timed("T_DRQ", move |m| {
-                p1 * lambda_q * m.tokens(ucm) as f64
-            })
-            .input(ucm, 1)
-            .output(ucm, 1)
-            .output(gf, 1),
+            TransitionDef::timed("T_DRQ", move |m| p1 * lambda_q * m.tokens(ucm) as f64)
+                .input(ucm, 1)
+                .output(ucm, 1)
+                .output(gf, 1),
         );
     }
 
@@ -259,8 +302,14 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         }));
     }
 
-    let net = b.build().expect("model construction is internally consistent");
-    GcsIdsModel { net, places, config: cfg.clone() }
+    let net = b
+        .build()
+        .expect("model construction is internally consistent");
+    GcsIdsModel {
+        net,
+        places,
+        config: cfg.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -340,7 +389,11 @@ mod tests {
 
     #[test]
     fn population_per_group_splits() {
-        let pop = Population { trusted: 60, undetected: 20, groups: 2 };
+        let pop = Population {
+            trusted: 60,
+            undetected: 20,
+            groups: 2,
+        };
         assert_eq!(pop.live(), 80);
         assert_eq!(pop.per_group_live(), 40);
         let (good_b, bad_b) = pop.per_group_for_bad_target();
@@ -355,7 +408,11 @@ mod tests {
     fn per_group_bad_target_never_zero_bad() {
         // U = 1 spread over 4 groups still leaves the target's group with
         // one bad node (the target itself).
-        let pop = Population { trusted: 79, undetected: 1, groups: 4 };
+        let pop = Population {
+            trusted: 79,
+            undetected: 1,
+            groups: 4,
+        };
         let (_, bad) = pop.per_group_for_bad_target();
         assert_eq!(bad, 1);
     }
@@ -363,10 +420,18 @@ mod tests {
     #[test]
     fn pfn_pfp_edge_cases() {
         let cfg = small_cfg();
-        let no_bad = Population { trusted: 10, undetected: 0, groups: 1 };
+        let no_bad = Population {
+            trusted: 10,
+            undetected: 0,
+            groups: 1,
+        };
         assert_eq!(pfn_for(&cfg, &no_bad), 0.0);
         assert!(pfp_for(&cfg, &no_bad) > 0.0); // pure host-IDS false alarms
-        let no_good = Population { trusted: 0, undetected: 5, groups: 1 };
+        let no_good = Population {
+            trusted: 0,
+            undetected: 5,
+            groups: 1,
+        };
         assert_eq!(pfp_for(&cfg, &no_good), 0.0);
         assert!(pfn_for(&cfg, &no_good) > 0.9); // colluders protect each other
     }
@@ -376,8 +441,10 @@ mod tests {
         let m = build_model(&small_cfg());
         let init = m.net.initial_marking();
         let enabled = m.net.enabled_timed(&init).unwrap();
-        let names: Vec<&str> =
-            enabled.iter().map(|&(t, _)| m.net.transition_name(t)).collect();
+        let names: Vec<&str> = enabled
+            .iter()
+            .map(|&(t, _)| m.net.transition_name(t))
+            .collect();
         // At T=N, U=0: T_CP (attack), T_FA (false alarms), T_PAR, T_RK are
         // live; T_IDS and T_DRQ need U ≥ 1; T_MER needs NG ≥ 2.
         assert!(names.contains(&"T_CP"));

@@ -4,7 +4,7 @@
 //! the Ĉtotal performance requirement").
 
 use crate::config::SystemConfig;
-use crate::metrics::{evaluate, Evaluation};
+use crate::metrics::{Evaluation, ExactTemplate};
 use rayon::prelude::*;
 use spn::error::SpnError;
 
@@ -24,16 +24,18 @@ impl DesignPoint {
     /// strictly better on one (maximize MTTSF, minimize Ĉtotal).
     pub fn dominated_by(&self, other: &DesignPoint) -> bool {
         let better_mttsf = other.evaluation.mttsf_seconds >= self.evaluation.mttsf_seconds;
-        let better_cost = other.evaluation.c_total_hop_bits_per_sec
-            <= self.evaluation.c_total_hop_bits_per_sec;
+        let better_cost =
+            other.evaluation.c_total_hop_bits_per_sec <= self.evaluation.c_total_hop_bits_per_sec;
         let strictly = other.evaluation.mttsf_seconds > self.evaluation.mttsf_seconds
-            || other.evaluation.c_total_hop_bits_per_sec
-                < self.evaluation.c_total_hop_bits_per_sec;
+            || other.evaluation.c_total_hop_bits_per_sec < self.evaluation.c_total_hop_bits_per_sec;
         better_mttsf && better_cost && strictly
     }
 }
 
 /// Evaluate the full `(m, T_IDS)` design space in parallel.
+///
+/// Both axes are rate-only, so the whole product shares one state-space
+/// exploration (explore once, solve many).
 ///
 /// # Errors
 /// Returns the first evaluation failure.
@@ -42,13 +44,20 @@ pub fn design_space(
     ms: &[u32],
     tids_grid: &[f64],
 ) -> Result<Vec<DesignPoint>, SpnError> {
-    let combos: Vec<(u32, f64)> =
-        ms.iter().flat_map(|&m| tids_grid.iter().map(move |&t| (m, t))).collect();
+    let template = ExactTemplate::new(cfg)?;
+    let combos: Vec<(u32, f64)> = ms
+        .iter()
+        .flat_map(|&m| tids_grid.iter().map(move |&t| (m, t)))
+        .collect();
     combos
         .par_iter()
         .map(|&(m, t)| {
-            let e = evaluate(&cfg.with_vote_participants(m).with_tids(t))?;
-            Ok(DesignPoint { m, t_ids: t, evaluation: e })
+            let e = template.evaluate(&cfg.with_vote_participants(m).with_tids(t))?;
+            Ok(DesignPoint {
+                m,
+                t_ids: t,
+                evaluation: e,
+            })
         })
         .collect()
 }
@@ -139,8 +148,10 @@ mod tests {
     #[test]
     fn constrained_selection() {
         let pts = design_space(&small(), &[3, 5], &[15.0, 60.0, 240.0]).unwrap();
-        let best_mttsf =
-            pts.iter().map(|p| p.evaluation.mttsf_seconds).fold(f64::MIN, f64::max);
+        let best_mttsf = pts
+            .iter()
+            .map(|p| p.evaluation.mttsf_seconds)
+            .fold(f64::MIN, f64::max);
         // floor just below the best: must pick something
         let pick = cheapest_meeting_mttsf(&pts, best_mttsf * 0.999).unwrap();
         assert!(pick.evaluation.mttsf_seconds >= best_mttsf * 0.999);

@@ -3,11 +3,13 @@
 //! Each sweep evaluates the exact model over a grid of base detection
 //! intervals (the paper's x-axis), optionally crossed with the number of
 //! vote participants `m` (Figures 2–3) or the detection shape
-//! (Figures 4–5). Grid points are independent, so they evaluate in
-//! parallel under rayon.
+//! (Figures 4–5). All of these knobs are rate-only, so every sweep shares
+//! one [`ExactTemplate`]: the state space is explored once and each grid
+//! point re-weights the cached graph (explore once, solve many). Grid
+//! points are independent and evaluate in parallel under rayon.
 
 use crate::config::SystemConfig;
-use crate::metrics::{evaluate, Evaluation};
+use crate::metrics::{Evaluation, ExactTemplate};
 use ids::functions::RateShape;
 use rayon::prelude::*;
 use spn::error::SpnError;
@@ -31,38 +33,41 @@ pub struct SweepSeries {
 }
 
 impl SweepSeries {
-    /// The interval maximizing MTTSF.
-    pub fn optimal_tids_for_mttsf(&self) -> f64 {
+    /// The interval maximizing MTTSF, or `None` for an empty series or one
+    /// whose MTTSF values are all NaN.
+    pub fn optimal_tids_for_mttsf(&self) -> Option<f64> {
         self.points
             .iter()
+            .filter(|p| !p.evaluation.mttsf_seconds.is_nan())
             .max_by(|a, b| {
                 a.evaluation
                     .mttsf_seconds
-                    .partial_cmp(&b.evaluation.mttsf_seconds)
-                    .expect("MTTSF is never NaN")
+                    .total_cmp(&b.evaluation.mttsf_seconds)
             })
-            .expect("series is non-empty")
-            .t_ids
+            .map(|p| p.t_ids)
     }
 
-    /// The interval minimizing Ĉtotal.
-    pub fn optimal_tids_for_cost(&self) -> f64 {
+    /// The interval minimizing Ĉtotal, or `None` for an empty series or one
+    /// whose cost values are all NaN.
+    pub fn optimal_tids_for_cost(&self) -> Option<f64> {
         self.points
             .iter()
+            .filter(|p| !p.evaluation.c_total_hop_bits_per_sec.is_nan())
             .min_by(|a, b| {
                 a.evaluation
                     .c_total_hop_bits_per_sec
-                    .partial_cmp(&b.evaluation.c_total_hop_bits_per_sec)
-                    .expect("cost is never NaN")
+                    .total_cmp(&b.evaluation.c_total_hop_bits_per_sec)
             })
-            .expect("series is non-empty")
-            .t_ids
+            .map(|p| p.t_ids)
     }
 
     /// `(t_ids, mttsf)` pairs — the response surface consumed by the
     /// adaptive controller.
     pub fn mttsf_surface(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|p| (p.t_ids, p.evaluation.mttsf_seconds)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.t_ids, p.evaluation.mttsf_seconds))
+            .collect()
     }
 
     /// `(t_ids, c_total)` pairs.
@@ -74,7 +79,35 @@ impl SweepSeries {
     }
 }
 
-/// Evaluate one configuration across a TIDS grid (in parallel).
+/// Evaluate one configuration across a TIDS grid, re-using a caller's
+/// explored template (in parallel).
+///
+/// # Errors
+/// Returns the first evaluation error.
+pub fn sweep_tids_with_template(
+    template: &ExactTemplate,
+    cfg: &SystemConfig,
+    grid: &[f64],
+    label: impl Into<String>,
+) -> Result<SweepSeries, SpnError> {
+    let points: Result<Vec<SweepPoint>, SpnError> = grid
+        .par_iter()
+        .map(|&t| {
+            let e = template.evaluate(&cfg.with_tids(t))?;
+            Ok(SweepPoint {
+                t_ids: t,
+                evaluation: e,
+            })
+        })
+        .collect();
+    Ok(SweepSeries {
+        label: label.into(),
+        points: points?,
+    })
+}
+
+/// Evaluate one configuration across a TIDS grid (in parallel), exploring
+/// the state space once for the whole grid.
 ///
 /// # Errors
 /// Returns the first evaluation error.
@@ -83,36 +116,48 @@ pub fn sweep_tids(
     grid: &[f64],
     label: impl Into<String>,
 ) -> Result<SweepSeries, SpnError> {
-    let points: Result<Vec<SweepPoint>, SpnError> = grid
-        .par_iter()
-        .map(|&t| {
-            let e = evaluate(&cfg.with_tids(t))?;
-            Ok(SweepPoint { t_ids: t, evaluation: e })
-        })
-        .collect();
-    Ok(SweepSeries { label: label.into(), points: points? })
+    let template = ExactTemplate::new(cfg)?;
+    sweep_tids_with_template(&template, cfg, grid, label)
 }
 
-/// Figure 2/3 sweep: one series per vote-participant count.
+/// Figure 2/3 sweep: one series per vote-participant count. The whole
+/// `m × TIDS` product is rate-only, so all series share one exploration.
+///
+/// # Errors
+/// Returns the first evaluation error.
 pub fn sweep_tids_by_m(
     cfg: &SystemConfig,
     grid: &[f64],
     ms: &[u32],
 ) -> Result<Vec<SweepSeries>, SpnError> {
+    let template = ExactTemplate::new(cfg)?;
     ms.iter()
-        .map(|&m| sweep_tids(&cfg.with_vote_participants(m), grid, format!("m={m}")))
+        .map(|&m| {
+            sweep_tids_with_template(
+                &template,
+                &cfg.with_vote_participants(m),
+                grid,
+                format!("m={m}"),
+            )
+        })
         .collect()
 }
 
-/// Figure 4/5 sweep: one series per detection shape.
+/// Figure 4/5 sweep: one series per detection shape, sharing one
+/// exploration.
+///
+/// # Errors
+/// Returns the first evaluation error.
 pub fn sweep_tids_by_detection_shape(
     cfg: &SystemConfig,
     grid: &[f64],
 ) -> Result<Vec<SweepSeries>, SpnError> {
+    let template = ExactTemplate::new(cfg)?;
     RateShape::all()
         .iter()
         .map(|&shape| {
-            sweep_tids(
+            sweep_tids_with_template(
+                &template,
                 &cfg.with_detection_shape(shape),
                 grid,
                 format!("{} detection", shape.name()),
@@ -122,17 +167,18 @@ pub fn sweep_tids_by_detection_shape(
 }
 
 /// Convenience: the MTTSF-optimal interval for a configuration over the
-/// paper grid.
+/// paper grid (`None` only for an empty grid).
 ///
 /// # Errors
 /// Propagates evaluation failures.
-pub fn optimal_tids_for_mttsf(cfg: &SystemConfig) -> Result<f64, SpnError> {
+pub fn optimal_tids_for_mttsf(cfg: &SystemConfig) -> Result<Option<f64>, SpnError> {
     Ok(sweep_tids(cfg, SystemConfig::paper_tids_grid(), "optimal")?.optimal_tids_for_mttsf())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::evaluate;
 
     fn small() -> SystemConfig {
         let mut c = SystemConfig::paper_default();
@@ -154,18 +200,48 @@ mod tests {
     }
 
     #[test]
+    fn sweep_matches_per_point_evaluation() {
+        // explore-once-solve-many must agree with fresh per-point solves
+        let cfg = small();
+        let s = sweep_tids(&cfg, &GRID, "test").unwrap();
+        for p in &s.points {
+            let direct = evaluate(&cfg.with_tids(p.t_ids)).unwrap();
+            let rel =
+                (p.evaluation.mttsf_seconds - direct.mttsf_seconds).abs() / direct.mttsf_seconds;
+            assert!(rel < 1e-9, "TIDS {}: {rel}", p.t_ids);
+        }
+    }
+
+    #[test]
     fn mttsf_has_interior_optimum_shape() {
         // The paper's core claim: MTTSF rises then falls in TIDS. With a
         // small system the optimum may sit at an edge of a coarse grid, so
         // use a wide grid and check non-monotonicity.
         let s = sweep_tids(&small(), &[1.0, 60.0, 5_000.0, 100_000.0], "test").unwrap();
-        let v: Vec<f64> = s.points.iter().map(|p| p.evaluation.mttsf_seconds).collect();
-        let opt = s.optimal_tids_for_mttsf();
+        let v: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.evaluation.mttsf_seconds)
+            .collect();
+        let opt = s.optimal_tids_for_mttsf().expect("non-empty series");
         // the extremes are both worse than the optimum
         let at_opt = v.iter().cloned().fold(f64::MIN, f64::max);
         assert!(at_opt > v[0], "short-TIDS end should be sub-optimal");
-        assert!(at_opt > *v.last().unwrap(), "long-TIDS end should be sub-optimal");
+        assert!(
+            at_opt > *v.last().unwrap(),
+            "long-TIDS end should be sub-optimal"
+        );
         assert!(opt > 1.0 && opt < 100_000.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_optimum() {
+        let s = SweepSeries {
+            label: "empty".into(),
+            points: Vec::new(),
+        };
+        assert_eq!(s.optimal_tids_for_mttsf(), None);
+        assert_eq!(s.optimal_tids_for_cost(), None);
     }
 
     #[test]
@@ -182,7 +258,11 @@ mod tests {
         let labels: Vec<&str> = all.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["logarithmic detection", "linear detection", "polynomial detection"]
+            vec![
+                "logarithmic detection",
+                "linear detection",
+                "polynomial detection"
+            ]
         );
     }
 

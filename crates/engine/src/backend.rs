@@ -1,0 +1,439 @@
+//! The `Backend` abstraction: four evaluators, one contract.
+//!
+//! Every evaluator in the repository — exact CTMC absorption analysis,
+//! SPN token-game simulation, protocol DES, and mobility-integrated DES —
+//! implements [`Backend`]: `ScenarioSpec` in, [`RunReport`] out, under a
+//! caller-supplied [`RunBudget`]. This is what lets sweeps, Pareto
+//! enumeration, and cross-validation treat heterogeneous evaluators
+//! uniformly instead of hand-rolling one orchestration per evaluator.
+
+use crate::error::EngineError;
+use crate::report::{Estimate, FailureSplit, RunReport};
+use crate::spec::{BackendKind, ScenarioSpec};
+use gcsids::des::{run_des, DesConfig, FailureCause};
+use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
+use gcsids::metrics::{eviction_impulses, total_cost_reward, ExactTemplate};
+use gcsids::model::build_model;
+use numerics::rng::child_seed;
+use numerics::stats::Welford;
+use rayon::prelude::*;
+use spn::reach::ExploreOptions;
+use spn::reward::RewardSet;
+use spn::sim::{SimOptions, Simulator};
+use std::time::Instant;
+
+/// Resource limits applied to a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBudget {
+    /// Cap on tangible states explored by the exact backend.
+    pub max_states: usize,
+    /// Optional cap on stochastic replication counts (overrides the spec
+    /// when smaller).
+    pub max_replications: Option<u64>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        Self {
+            max_states: 2_000_000,
+            max_replications: None,
+        }
+    }
+}
+
+impl RunBudget {
+    fn replications(&self, spec: &ScenarioSpec) -> u64 {
+        let n = spec.stochastic.replications;
+        self.max_replications.map_or(n, |cap| n.min(cap))
+    }
+}
+
+/// A uniform evaluator of scenario specs.
+pub trait Backend: Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Evaluate `spec` within `budget`.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidSpec`] for inconsistent specs and
+    /// [`EngineError::Solver`] for evaluator failures.
+    fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError>;
+}
+
+/// The backend implementation for a kind.
+pub fn backend_for(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Exact => &ExactBackend,
+        BackendKind::SpnSim => &SpnSimBackend,
+        BackendKind::Des => &DesBackend,
+        BackendKind::MobilityDes => &MobilityDesBackend,
+    }
+}
+
+/// Exact CTMC absorption analysis (the paper's analytic path).
+pub struct ExactBackend;
+
+impl ExactBackend {
+    /// Evaluate against an already-explored template (the runner's
+    /// explore-once-solve-many path for batched rate-only scenarios).
+    ///
+    /// # Errors
+    /// Propagates evaluation failures.
+    pub fn run_with_template(
+        template: &ExactTemplate,
+        spec: &ScenarioSpec,
+    ) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let t0 = Instant::now();
+        let e = template.evaluate(&spec.system)?;
+        Ok(Self::report_from_evaluation(
+            spec,
+            &e,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+
+    fn report_from_evaluation(
+        spec: &ScenarioSpec,
+        e: &gcsids::metrics::Evaluation,
+        wall_seconds: f64,
+    ) -> RunReport {
+        RunReport {
+            scenario: spec.name.clone(),
+            backend: BackendKind::Exact,
+            mttsf: Estimate::exact(e.mttsf_seconds),
+            c_total: Estimate::exact(e.c_total_hop_bits_per_sec),
+            cost_components: Some(e.cost_components),
+            failure: FailureSplit {
+                p_c1: e.p_failure_c1,
+                p_c2: e.p_failure_c2,
+                p_other: 0.0,
+            },
+            state_count: Some(e.state_count),
+            edge_count: Some(e.edge_count),
+            replications: None,
+            censored: None,
+            wall_seconds,
+        }
+    }
+}
+
+impl Backend for ExactBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Exact
+    }
+
+    fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let t0 = Instant::now();
+        // A standalone run solves on the freshly explored graph directly;
+        // the template/re-weight machinery only pays off across a batch.
+        let opts = ExploreOptions {
+            max_states: budget.max_states,
+            ..Default::default()
+        };
+        let model = build_model(&spec.system);
+        let graph = spn::reach::explore(&model.net, &opts)?;
+        let e = gcsids::metrics::evaluate_prebuilt(&model, &graph)?;
+        Ok(Self::report_from_evaluation(
+            spec,
+            &e,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+}
+
+/// Accumulates per-replication outcomes into the common report fields.
+struct StochasticAggregate {
+    mttsf: Welford,
+    cost_rate: Welford,
+    c1: u64,
+    c2: u64,
+    other: u64,
+    censored: u64,
+}
+
+impl StochasticAggregate {
+    fn new() -> Self {
+        Self {
+            mttsf: Welford::new(),
+            cost_rate: Welford::new(),
+            c1: 0,
+            c2: 0,
+            other: 0,
+            censored: 0,
+        }
+    }
+
+    /// Record one ended replication. `cause = None` means censored.
+    fn record(&mut self, time: f64, cost_rate: f64, cause: Option<FailureCause>) {
+        self.cost_rate.push(cost_rate);
+        match cause {
+            Some(FailureCause::DataLeak) => {
+                self.c1 += 1;
+                self.mttsf.push(time);
+            }
+            Some(FailureCause::ByzantineCapture) => {
+                self.c2 += 1;
+                self.mttsf.push(time);
+            }
+            Some(FailureCause::Attrition) => {
+                self.other += 1;
+                self.mttsf.push(time);
+            }
+            Some(FailureCause::Censored) | None => self.censored += 1,
+        }
+    }
+
+    fn into_report(self, spec: &ScenarioSpec, kind: BackendKind, wall: f64) -> RunReport {
+        let ended = (self.c1 + self.c2 + self.other) as f64;
+        let failure = if ended > 0.0 {
+            FailureSplit {
+                p_c1: self.c1 as f64 / ended,
+                p_c2: self.c2 as f64 / ended,
+                p_other: self.other as f64 / ended,
+            }
+        } else {
+            FailureSplit::default()
+        };
+        let confidence = spec.stochastic.confidence;
+        RunReport {
+            scenario: spec.name.clone(),
+            backend: kind,
+            mttsf: Estimate::from_welford(&self.mttsf, confidence),
+            c_total: Estimate::from_welford(&self.cost_rate, confidence),
+            cost_components: None,
+            failure,
+            state_count: None,
+            edge_count: None,
+            replications: Some(self.c1 + self.c2 + self.other + self.censored),
+            censored: Some(self.censored),
+            wall_seconds: wall,
+        }
+    }
+}
+
+/// Monte-Carlo token-game simulation of the Figure-1 SPN, with the same
+/// cost rewards as the exact evaluator.
+pub struct SpnSimBackend;
+
+impl Backend for SpnSimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::SpnSim
+    }
+
+    fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let t0 = Instant::now();
+        let model = build_model(&spec.system);
+        let mut rewards = RewardSet::new().with_rate(total_cost_reward(&spec.system, &model));
+        for imp in eviction_impulses(&model)? {
+            rewards = rewards.with_impulse(imp);
+        }
+        let opts = SimOptions {
+            max_time: spec.stochastic.max_time,
+            ..Default::default()
+        };
+        let sim = Simulator::new(&model.net, &rewards, opts);
+        let n = budget.replications(spec);
+        let seed = spec.stochastic.master_seed;
+        let outcomes: Result<Vec<spn::sim::SimOutcome>, spn::error::SpnError> = (0..n)
+            .into_par_iter()
+            .map(|i| sim.run_one(child_seed(seed, i)))
+            .collect();
+        let mut agg = StochasticAggregate::new();
+        let places = model.places;
+        for o in outcomes? {
+            let hop_bits: f64 = o.accumulated.iter().sum();
+            let rate = if o.time > 0.0 { hop_bits / o.time } else { 0.0 };
+            let cause = if !o.absorbed {
+                None
+            } else if o.final_marking.tokens(places.gf) > 0 {
+                Some(FailureCause::DataLeak)
+            } else if o.final_marking.tokens(places.tm) + o.final_marking.tokens(places.ucm) == 0 {
+                Some(FailureCause::Attrition)
+            } else {
+                Some(FailureCause::ByzantineCapture)
+            };
+            agg.record(o.time, rate, cause);
+        }
+        Ok(agg.into_report(spec, BackendKind::SpnSim, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Protocol-level discrete-event simulation (actual votes, actual rekeys,
+/// calibrated birth–death group dynamics).
+pub struct DesBackend;
+
+impl Backend for DesBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Des
+    }
+
+    fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let t0 = Instant::now();
+        let mut cfg = DesConfig::new(spec.system.clone());
+        cfg.max_time = spec.stochastic.max_time;
+        let n = budget.replications(spec);
+        let seed = spec.stochastic.master_seed;
+        let outcomes: Vec<gcsids::des::DesOutcome> = (0..n)
+            .into_par_iter()
+            .map(|i| run_des(&cfg, child_seed(seed, i)))
+            .collect();
+        let mut agg = StochasticAggregate::new();
+        for o in outcomes {
+            agg.record(o.time, o.mean_cost_rate, Some(o.cause));
+        }
+        Ok(agg.into_report(spec, BackendKind::Des, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Mobility-integrated DES: groups are live connected components of a
+/// random-waypoint network.
+pub struct MobilityDesBackend;
+
+impl Backend for MobilityDesBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::MobilityDes
+    }
+
+    fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let t0 = Instant::now();
+        let mut cfg = MobilityDesConfig::new(spec.system.clone());
+        cfg.radio_range = spec.mobility.radio_range;
+        cfg.dt = spec.mobility.dt;
+        cfg.max_time = spec.stochastic.max_time;
+        let n = budget.replications(spec);
+        let seed = spec.stochastic.master_seed;
+        let outcomes: Vec<gcsids::des_mobility::MobilityDesOutcome> = (0..n)
+            .into_par_iter()
+            .map(|i| run_mobility_des(&cfg, child_seed(seed, i)))
+            .collect();
+        let mut agg = StochasticAggregate::new();
+        for o in outcomes {
+            let rate = if o.time > 0.0 {
+                o.hop_bits / o.time
+            } else {
+                0.0
+            };
+            agg.record(o.time, rate, Some(o.cause));
+        }
+        Ok(agg.into_report(spec, BackendKind::MobilityDes, t0.elapsed().as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsids::config::SystemConfig;
+
+    /// Small, fast-failing system so the stochastic backends finish quickly.
+    fn hot_spec(backend: BackendKind) -> ScenarioSpec {
+        let mut sys = SystemConfig::paper_default();
+        sys.node_count = 12;
+        sys.vote_participants = 3;
+        sys.attacker.base_rate = 1.0 / 600.0;
+        sys.detection = sys.detection.with_interval(120.0);
+        let mut spec = ScenarioSpec::paper_default(backend);
+        spec.name = format!("hot/{}", backend.name());
+        spec.system = sys;
+        spec.stochastic.replications = 40;
+        spec.stochastic.max_time = 200_000.0;
+        spec.mobility.dt = 2.0;
+        spec
+    }
+
+    #[test]
+    fn every_backend_produces_a_report() {
+        for kind in BackendKind::all() {
+            let spec = hot_spec(kind);
+            let report = backend_for(kind).run(&spec, &RunBudget::default()).unwrap();
+            assert_eq!(report.backend, kind);
+            assert_eq!(report.scenario, spec.name);
+            assert!(report.mttsf.value > 0.0, "{kind:?}: {report:?}");
+            assert!(report.c_total.value > 0.0, "{kind:?}");
+            let f = report.failure;
+            assert!(
+                (f.p_c1 + f.p_c2 + f.p_other - 1.0).abs() < 1e-9,
+                "{kind:?}: split {f:?}"
+            );
+            if kind == BackendKind::Exact {
+                assert!(report.state_count.unwrap() > 10);
+                assert!(report.mttsf.ci.is_none());
+            } else {
+                assert_eq!(report.replications, Some(40));
+                assert!(report.mttsf.ci.is_some(), "{kind:?} should carry a CI");
+            }
+        }
+    }
+
+    #[test]
+    fn all_censored_run_is_not_estimable() {
+        // A horizon far below any failure time censors every replication:
+        // MTTSF must be NaN ("not estimable"), never 0.0.
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.max_time = 1.0;
+        spec.stochastic.replications = 5;
+        let report = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        assert_eq!(report.censored, Some(5));
+        assert!(report.mttsf.value.is_nan());
+        assert_eq!(
+            report.failure.p_c1 + report.failure.p_c2 + report.failure.p_other,
+            0.0
+        );
+        // and the JSON encoding stays parseable (NaN → null)
+        assert!(crate::json::Value::parse(&report.to_json()).is_ok());
+    }
+
+    #[test]
+    fn replication_budget_caps_work() {
+        let spec = hot_spec(BackendKind::Des);
+        let budget = RunBudget {
+            max_replications: Some(5),
+            ..Default::default()
+        };
+        let report = backend_for(BackendKind::Des).run(&spec, &budget).unwrap();
+        assert_eq!(report.replications, Some(5));
+    }
+
+    #[test]
+    fn state_budget_caps_exact_exploration() {
+        let spec = hot_spec(BackendKind::Exact);
+        let budget = RunBudget {
+            max_states: 3,
+            ..Default::default()
+        };
+        let out = backend_for(BackendKind::Exact).run(&spec, &budget);
+        assert!(matches!(
+            out,
+            Err(EngineError::Solver(
+                spn::error::SpnError::StateSpaceExceeded { cap: 3 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn spn_sim_agrees_with_exact_within_ci() {
+        let exact_spec = hot_spec(BackendKind::Exact);
+        let exact = backend_for(BackendKind::Exact)
+            .run(&exact_spec, &RunBudget::default())
+            .unwrap();
+        let mut sim_spec = hot_spec(BackendKind::SpnSim);
+        sim_spec.stochastic.replications = 3000;
+        sim_spec.stochastic.confidence = 0.99;
+        let sim = backend_for(BackendKind::SpnSim)
+            .run(&sim_spec, &RunBudget::default())
+            .unwrap();
+        let (lo, hi) = sim.mttsf.ci.unwrap();
+        assert!(
+            lo <= exact.mttsf.value && exact.mttsf.value <= hi,
+            "exact {} outside sim CI [{lo}, {hi}]",
+            exact.mttsf.value
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type of the experiment engine.
+
+use spn::error::SpnError;
+use std::fmt;
+
+/// Errors produced while validating specs, (de)serializing them, or running
+/// backends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The scenario specification is inconsistent.
+    InvalidSpec(String),
+    /// A solver/simulator failure bubbled up from the `spn` layer.
+    Solver(SpnError),
+    /// A JSON document could not be parsed or did not match the schema.
+    Json(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            EngineError::Solver(e) => write!(f, "backend failure: {e}"),
+            EngineError::Json(msg) => write!(f, "spec JSON error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpnError> for EngineError {
+    fn from(e: SpnError) -> Self {
+        EngineError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(EngineError::InvalidSpec("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(EngineError::Json("bad".into()).to_string().contains("bad"));
+        let e = EngineError::from(SpnError::InvalidModel("m".into()));
+        assert!(e.to_string().contains("m"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The common result shape every backend produces.
+
+use crate::json::Value;
+use crate::spec::BackendKind;
+use gcsids::cost::CostBreakdown;
+use numerics::stats::Welford;
+
+/// A point estimate with an optional confidence interval (exact backends
+/// report the value alone; stochastic backends attach the interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimate.
+    pub value: f64,
+    /// Confidence interval `(lo, hi)` when the backend is stochastic.
+    pub ci: Option<(f64, f64)>,
+}
+
+impl Estimate {
+    /// Exact value without sampling error.
+    pub fn exact(value: f64) -> Self {
+        Self { value, ci: None }
+    }
+
+    /// Mean with a confidence interval from replication statistics.
+    /// The interval is omitted below two observations; with **zero**
+    /// observations (every replication censored) the value is `NaN` —
+    /// "not estimable" — rather than a misleading 0.0. Check
+    /// [`RunReport::censored`] against [`RunReport::replications`] to
+    /// distinguish "fails instantly" from "never failed within the
+    /// horizon".
+    pub fn from_welford(w: &Welford, confidence: f64) -> Self {
+        if w.count() == 0 {
+            return Self {
+                value: f64::NAN,
+                ci: None,
+            };
+        }
+        if w.count() < 2 {
+            return Self {
+                value: w.mean(),
+                ci: None,
+            };
+        }
+        let ci = w.confidence_interval(confidence);
+        Self {
+            value: w.mean(),
+            ci: Some((ci.lo(), ci.hi())),
+        }
+    }
+}
+
+/// How the observed runs ended, as probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FailureSplit {
+    /// Data-leak failures (condition C1).
+    pub p_c1: f64,
+    /// Byzantine-capture failures (condition C2).
+    pub p_c2: f64,
+    /// Everything else (attrition in the DES backends; zero for exact).
+    pub p_other: f64,
+}
+
+/// The unified result of running one [`crate::ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Scenario label (copied from the spec).
+    pub scenario: String,
+    /// Backend that produced the report.
+    pub backend: BackendKind,
+    /// Mean time to security failure (s).
+    pub mttsf: Estimate,
+    /// Time-averaged total communication cost (hop·bits/s).
+    pub c_total: Estimate,
+    /// Per-component cost breakdown (exact backend only).
+    pub cost_components: Option<CostBreakdown>,
+    /// Failure-mode split.
+    pub failure: FailureSplit,
+    /// Tangible CTMC states (exact backend only).
+    pub state_count: Option<usize>,
+    /// CTMC edges (exact backend only).
+    pub edge_count: Option<usize>,
+    /// Replications run (stochastic backends only).
+    pub replications: Option<u64>,
+    /// Replications censored by the time horizon (stochastic backends only).
+    pub censored: Option<u64>,
+    /// Wall-clock seconds spent producing this report.
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Serialize to JSON (for logs / downstream tooling).
+    pub fn to_json(&self) -> String {
+        // Non-finite estimates (all replications censored) encode as null.
+        let num = |x: f64| {
+            if x.is_finite() {
+                Value::Num(x)
+            } else {
+                Value::Null
+            }
+        };
+        let est = |e: &Estimate| match e.ci {
+            Some((lo, hi)) => Value::obj([
+                ("value", num(e.value)),
+                ("ci_lo", num(lo)),
+                ("ci_hi", num(hi)),
+            ]),
+            None => Value::obj([("value", num(e.value))]),
+        };
+        let opt_num = |x: Option<f64>| x.map_or(Value::Null, Value::Num);
+        Value::obj([
+            ("scenario", Value::Str(self.scenario.clone())),
+            ("backend", Value::Str(self.backend.name().into())),
+            ("mttsf", est(&self.mttsf)),
+            ("c_total", est(&self.c_total)),
+            (
+                "failure",
+                Value::obj([
+                    ("p_c1", Value::Num(self.failure.p_c1)),
+                    ("p_c2", Value::Num(self.failure.p_c2)),
+                    ("p_other", Value::Num(self.failure.p_other)),
+                ]),
+            ),
+            ("state_count", opt_num(self.state_count.map(|x| x as f64))),
+            ("edge_count", opt_num(self.edge_count.map(|x| x as f64))),
+            ("replications", opt_num(self.replications.map(|x| x as f64))),
+            ("censored", opt_num(self.censored.map(|x| x as f64))),
+            ("wall_seconds", Value::Num(self.wall_seconds)),
+        ])
+        .encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_from_welford_attaches_interval() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        let e = Estimate::from_welford(&w, 0.95);
+        assert_eq!(e.value, 2.5);
+        let (lo, hi) = e.ci.unwrap();
+        assert!(lo < 2.5 && 2.5 < hi);
+
+        let mut single = Welford::new();
+        single.push(7.0);
+        assert_eq!(Estimate::from_welford(&single, 0.95).ci, None);
+
+        // zero observations (all censored): not estimable, not zero
+        let empty = Estimate::from_welford(&Welford::new(), 0.95);
+        assert!(empty.value.is_nan());
+        assert_eq!(empty.ci, None);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = RunReport {
+            scenario: "s".into(),
+            backend: BackendKind::Exact,
+            mttsf: Estimate::exact(100.0),
+            c_total: Estimate {
+                value: 5.0,
+                ci: Some((4.0, 6.0)),
+            },
+            cost_components: None,
+            failure: FailureSplit {
+                p_c1: 0.7,
+                p_c2: 0.3,
+                p_other: 0.0,
+            },
+            state_count: Some(10),
+            edge_count: Some(20),
+            replications: None,
+            censored: None,
+            wall_seconds: 0.5,
+        };
+        let text = r.to_json();
+        assert!(text.contains("\"backend\":\"exact\""));
+        assert!(text.contains("\"ci_lo\":4.0"));
+        assert!(crate::json::Value::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,328 @@
+//! Batched scenario execution with explore-once-solve-many for the exact
+//! backend.
+//!
+//! [`Runner::run_batch`] partitions a batch by backend. Exact scenarios are
+//! further grouped by their structural key (`node_count`, `max_groups`):
+//! each group explores its reachability graph **once** and every member
+//! solves against the re-weighted cached graph, in parallel under rayon.
+//! Stochastic scenarios run one-by-one (each already parallelizes across
+//! its replications). Report order matches spec order.
+
+use crate::backend::{backend_for, ExactBackend, RunBudget};
+use crate::error::EngineError;
+use crate::report::RunReport;
+use crate::spec::{BackendKind, ScenarioSpec};
+use gcsids::metrics::ExactTemplate;
+use rayon::prelude::*;
+use spn::reach::ExploreOptions;
+use std::collections::HashMap;
+
+/// Executes scenario specs against their backends.
+#[derive(Debug, Clone, Default)]
+pub struct Runner {
+    /// Budget applied to every run.
+    pub budget: RunBudget,
+}
+
+impl Runner {
+    /// Runner with the default budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runner with an explicit budget.
+    pub fn with_budget(budget: RunBudget) -> Self {
+        Self { budget }
+    }
+
+    /// Run one scenario.
+    ///
+    /// # Errors
+    /// Propagates spec validation and backend failures.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<RunReport, EngineError> {
+        backend_for(spec.backend).run(spec, &self.budget)
+    }
+
+    /// Run a batch, sharing one state-space exploration across all exact
+    /// scenarios with the same structural key. Reports come back in spec
+    /// order; the first error aborts the batch.
+    ///
+    /// # Errors
+    /// Propagates spec validation and backend failures.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, EngineError> {
+        for spec in specs {
+            spec.validate()?;
+        }
+        // Explore each exact structural family once.
+        let mut templates: HashMap<(u32, u32), ExactTemplate> = HashMap::new();
+        let opts = ExploreOptions {
+            max_states: self.budget.max_states,
+            ..Default::default()
+        };
+        for spec in specs {
+            if spec.backend == BackendKind::Exact {
+                let key = (spec.system.node_count, spec.system.max_groups);
+                if let std::collections::hash_map::Entry::Vacant(e) = templates.entry(key) {
+                    e.insert(ExactTemplate::with_options(&spec.system, &opts)?);
+                }
+            }
+        }
+
+        // Exact scenarios solve in parallel against their cached graphs;
+        // stochastic scenarios run sequentially here because each already
+        // fans out across replications.
+        let exact: Vec<(usize, &ScenarioSpec)> = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.backend == BackendKind::Exact)
+            .collect();
+        let exact_reports: Result<Vec<(usize, RunReport)>, EngineError> = exact
+            .par_iter()
+            .map(|&(i, spec)| {
+                let key = (spec.system.node_count, spec.system.max_groups);
+                let report = ExactBackend::run_with_template(&templates[&key], spec)?;
+                Ok((i, report))
+            })
+            .collect();
+
+        let mut slots: Vec<Option<RunReport>> = vec![None; specs.len()];
+        for (i, report) in exact_reports? {
+            slots[i] = Some(report);
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.backend != BackendKind::Exact {
+                slots[i] = Some(backend_for(spec.backend).run(spec, &self.budget)?);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect())
+    }
+}
+
+/// Cartesian scenario-grid expander: one base spec crossed with any subset
+/// of sweep axes. Empty axes keep the base value.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Template spec; axis values overwrite its corresponding knobs.
+    pub base: ScenarioSpec,
+    /// Base detection intervals `T_IDS` (s).
+    pub tids: Vec<f64>,
+    /// Vote-participant counts `m`.
+    pub vote_participants: Vec<u32>,
+    /// Detection shapes.
+    pub detection_shapes: Vec<ids::functions::RateShape>,
+    /// Attacker base rates `λc` (1/s).
+    pub attacker_rates: Vec<f64>,
+    /// Backends to run every point on.
+    pub backends: Vec<BackendKind>,
+}
+
+impl ScenarioGrid {
+    /// Grid with no axes (expands to just `base`).
+    pub fn new(base: ScenarioSpec) -> Self {
+        Self {
+            base,
+            tids: Vec::new(),
+            vote_participants: Vec::new(),
+            detection_shapes: Vec::new(),
+            attacker_rates: Vec::new(),
+            backends: Vec::new(),
+        }
+    }
+
+    /// Sweep the detection interval.
+    pub fn tids(mut self, grid: &[f64]) -> Self {
+        self.tids = grid.to_vec();
+        self
+    }
+
+    /// Sweep the vote-participant count.
+    pub fn vote_participants(mut self, ms: &[u32]) -> Self {
+        self.vote_participants = ms.to_vec();
+        self
+    }
+
+    /// Sweep the detection shape.
+    pub fn detection_shapes(mut self, shapes: &[ids::functions::RateShape]) -> Self {
+        self.detection_shapes = shapes.to_vec();
+        self
+    }
+
+    /// Sweep the attacker base rate.
+    pub fn attacker_rates(mut self, rates: &[f64]) -> Self {
+        self.attacker_rates = rates.to_vec();
+        self
+    }
+
+    /// Run every point on each of these backends.
+    pub fn backends(mut self, kinds: &[BackendKind]) -> Self {
+        self.backends = kinds.to_vec();
+        self
+    }
+
+    /// Expand to the full cartesian product of the populated axes.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        // Each axis contributes `None` (keep base) when empty.
+        let opts = |n: usize| -> Vec<Option<usize>> {
+            if n == 0 {
+                vec![None]
+            } else {
+                (0..n).map(Some).collect()
+            }
+        };
+        let mut out = Vec::new();
+        for backend in opts(self.backends.len()) {
+            for &m in &opts(self.vote_participants.len()) {
+                for &shape in &opts(self.detection_shapes.len()) {
+                    for &rate in &opts(self.attacker_rates.len()) {
+                        for &tid in &opts(self.tids.len()) {
+                            let mut spec = self.base.clone();
+                            let mut label = spec.name.clone();
+                            if let Some(b) = backend {
+                                spec.backend = self.backends[b];
+                                label.push_str(&format!("/{}", spec.backend.name()));
+                            }
+                            if let Some(i) = m {
+                                let v = self.vote_participants[i];
+                                spec.system = spec.system.with_vote_participants(v);
+                                label.push_str(&format!("/m={v}"));
+                            }
+                            if let Some(i) = shape {
+                                let s = self.detection_shapes[i];
+                                spec.system = spec.system.with_detection_shape(s);
+                                label.push_str(&format!("/det={}", s.name()));
+                            }
+                            if let Some(i) = rate {
+                                spec.system.attacker.base_rate = self.attacker_rates[i];
+                                label
+                                    .push_str(&format!("/lambda_c={:.3e}", self.attacker_rates[i]));
+                            }
+                            if let Some(i) = tid {
+                                let t = self.tids[i];
+                                spec.system = spec.system.with_tids(t);
+                                label.push_str(&format!("/tids={t}"));
+                            }
+                            spec.name = label;
+                            out.push(spec);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsids::config::SystemConfig;
+    use ids::functions::RateShape;
+
+    fn small_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.name = "small".into();
+        spec.system.node_count = 12;
+        spec.system.vote_participants = 3;
+        spec
+    }
+
+    #[test]
+    fn grid_expansion_counts_and_labels() {
+        let specs = ScenarioGrid::new(small_spec())
+            .tids(&[30.0, 120.0, 480.0])
+            .vote_participants(&[3, 5])
+            .expand();
+        assert_eq!(specs.len(), 6);
+        assert!(specs[0].name.contains("m=3"));
+        assert!(specs[0].name.contains("tids=30"));
+        assert_eq!(specs[3].system.vote_participants, 5);
+        assert_eq!(specs[4].system.detection.base_interval, 120.0);
+    }
+
+    #[test]
+    fn empty_grid_expands_to_base() {
+        let specs = ScenarioGrid::new(small_spec()).expand();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0], small_spec());
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let runner = Runner::new();
+        let specs = ScenarioGrid::new(small_spec())
+            .tids(&[30.0, 120.0])
+            .detection_shapes(&RateShape::all())
+            .expand();
+        assert_eq!(specs.len(), 6);
+        let batched = runner.run_batch(&specs).unwrap();
+        for (spec, batch_report) in specs.iter().zip(&batched) {
+            let solo = runner.run(spec).unwrap();
+            let rel = (batch_report.mttsf.value - solo.mttsf.value).abs() / solo.mttsf.value;
+            assert!(rel < 1e-9, "{}: {rel}", spec.name);
+            assert_eq!(batch_report.scenario, spec.name);
+        }
+    }
+
+    #[test]
+    fn batch_mixes_backends() {
+        let mut exact = small_spec();
+        exact.system.attacker.base_rate = 1.0 / 600.0;
+        let mut des = exact.clone();
+        des.backend = BackendKind::Des;
+        des.name = "small/des".into();
+        des.stochastic.replications = 20;
+        des.stochastic.max_time = 200_000.0;
+        let reports = Runner::new()
+            .run_batch(&[exact.clone(), des.clone()])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].backend, BackendKind::Exact);
+        assert_eq!(reports[1].backend, BackendKind::Des);
+        assert_eq!(reports[1].replications, Some(20));
+    }
+
+    #[test]
+    fn batch_groups_by_structure() {
+        // Two structural families in one batch: both must evaluate
+        // correctly (each family explored once).
+        let mut a = small_spec();
+        a.name = "n12".into();
+        let mut b = small_spec();
+        b.system.node_count = 14;
+        b.name = "n14".into();
+        let reports = Runner::new().run_batch(&[a, b]).unwrap();
+        assert!(reports[0].state_count.unwrap() < reports[1].state_count.unwrap());
+    }
+
+    #[test]
+    fn invalid_spec_aborts_batch() {
+        let mut bad = small_spec();
+        bad.system.node_count = 0;
+        assert!(Runner::new().run_batch(&[small_spec(), bad]).is_err());
+    }
+
+    #[test]
+    fn budget_flows_through_runner() {
+        let runner = Runner::with_budget(RunBudget {
+            max_states: 3,
+            ..Default::default()
+        });
+        let err = runner.run_batch(&[small_spec()]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn grid_backend_axis() {
+        let _ = SystemConfig::paper_default();
+        let specs = ScenarioGrid::new(small_spec())
+            .backends(&[BackendKind::Exact, BackendKind::Des])
+            .tids(&[60.0])
+            .expand();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].backend, BackendKind::Exact);
+        assert_eq!(specs[1].backend, BackendKind::Des);
+    }
+}

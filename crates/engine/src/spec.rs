@@ -1,0 +1,476 @@
+//! Scenario specification: one serializable description of *what* to
+//! evaluate (system + attacker + mobility + detection) and *how* (which
+//! backend, how many replications).
+//!
+//! The spec is the engine's single currency: the grid expander produces
+//! specs, the runner consumes them, and every backend receives the same
+//! shape. `to_json` / `from_json` give a lossless text round-trip (the
+//! engine ships its own JSON layer — see [`crate::json`] — because the
+//! build environment cannot pull `serde`).
+
+use crate::error::EngineError;
+use crate::json::Value;
+use gcsids::config::{KeyAgreementProtocol, SystemConfig};
+use ids::functions::{AttackerProfile, DetectionProfile, RateShape};
+use ids::voting::CollusionModel;
+
+/// Which evaluator runs the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Exact CTMC absorption analysis of the Figure-1 SPN.
+    Exact,
+    /// Monte-Carlo token-game simulation of the same SPN.
+    SpnSim,
+    /// Protocol-level discrete-event simulation (actual votes and rekeys,
+    /// birth–death group dynamics).
+    Des,
+    /// Mobility-integrated DES (groups are the live connected components of
+    /// a random-waypoint network).
+    MobilityDes,
+}
+
+impl BackendKind {
+    /// All backends in presentation order.
+    pub fn all() -> [BackendKind; 4] {
+        [
+            BackendKind::Exact,
+            BackendKind::SpnSim,
+            BackendKind::Des,
+            BackendKind::MobilityDes,
+        ]
+    }
+
+    /// Stable identifier used in JSON and report labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Exact => "exact",
+            BackendKind::SpnSim => "spn-sim",
+            BackendKind::Des => "des",
+            BackendKind::MobilityDes => "mobility-des",
+        }
+    }
+
+    /// Parse a stable identifier.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Json`] for unknown names.
+    pub fn from_name(s: &str) -> Result<Self, EngineError> {
+        match s {
+            "exact" => Ok(BackendKind::Exact),
+            "spn-sim" => Ok(BackendKind::SpnSim),
+            "des" => Ok(BackendKind::Des),
+            "mobility-des" => Ok(BackendKind::MobilityDes),
+            other => Err(EngineError::Json(format!("unknown backend `{other}`"))),
+        }
+    }
+
+    /// True for backends whose estimates carry sampling error.
+    pub fn is_stochastic(&self) -> bool {
+        !matches!(self, BackendKind::Exact)
+    }
+}
+
+/// Monte-Carlo controls shared by the three stochastic backends (ignored by
+/// the exact backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticOptions {
+    /// Number of replications.
+    pub replications: u64,
+    /// Master seed; per-replication seeds derive from it deterministically.
+    pub master_seed: u64,
+    /// Censoring horizon (s).
+    pub max_time: f64,
+    /// Confidence level for reported intervals (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl Default for StochasticOptions {
+    fn default() -> Self {
+        Self {
+            replications: 200,
+            master_seed: 2009,
+            max_time: 3.15e7,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Mobility-backend geometry/timing (only read by
+/// [`BackendKind::MobilityDes`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityOptions {
+    /// Radio range (m) defining unit-disc groups.
+    pub radio_range: f64,
+    /// Mobility step (s).
+    pub dt: f64,
+}
+
+impl Default for MobilityOptions {
+    fn default() -> Self {
+        Self {
+            radio_range: 250.0,
+            dt: 1.0,
+        }
+    }
+}
+
+/// A complete, self-contained description of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable label carried into the report.
+    pub name: String,
+    /// The system/attacker/detection parameterization.
+    pub system: SystemConfig,
+    /// Which evaluator to use.
+    pub backend: BackendKind,
+    /// Monte-Carlo controls for stochastic backends.
+    pub stochastic: StochasticOptions,
+    /// Mobility geometry for the mobility backend.
+    pub mobility: MobilityOptions,
+}
+
+impl ScenarioSpec {
+    /// Spec for the paper's §5 default system on the given backend.
+    pub fn paper_default(backend: BackendKind) -> Self {
+        Self {
+            name: format!("paper-default/{}", backend.name()),
+            system: SystemConfig::paper_default(),
+            backend,
+            stochastic: StochasticOptions::default(),
+            mobility: MobilityOptions::default(),
+        }
+    }
+
+    /// Validate the spec (system consistency plus engine-level constraints).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidSpec`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        self.system.validate().map_err(EngineError::InvalidSpec)?;
+        if self.backend.is_stochastic() {
+            if self.stochastic.replications == 0 {
+                return Err(EngineError::InvalidSpec(
+                    "replications must be positive".into(),
+                ));
+            }
+            if self.stochastic.max_time.is_nan() || self.stochastic.max_time <= 0.0 {
+                return Err(EngineError::InvalidSpec("max_time must be positive".into()));
+            }
+            if !(0.0 < self.stochastic.confidence && self.stochastic.confidence < 1.0) {
+                return Err(EngineError::InvalidSpec(
+                    "confidence must lie strictly between 0 and 1".into(),
+                ));
+            }
+        }
+        if self.backend == BackendKind::MobilityDes {
+            if self.mobility.radio_range.is_nan() || self.mobility.radio_range <= 0.0 {
+                return Err(EngineError::InvalidSpec(
+                    "radio_range must be positive".into(),
+                ));
+            }
+            if self.mobility.dt.is_nan() || self.mobility.dt <= 0.0 {
+                return Err(EngineError::InvalidSpec(
+                    "mobility dt must be positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to canonical JSON.
+    pub fn to_json(&self) -> String {
+        Value::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("backend", Value::Str(self.backend.name().into())),
+            ("system", system_to_value(&self.system)),
+            (
+                "stochastic",
+                Value::obj([
+                    (
+                        "replications",
+                        Value::Num(self.stochastic.replications as f64),
+                    ),
+                    (
+                        "master_seed",
+                        // u64 seeds can exceed f64's 2^53 integer range, so
+                        // the seed travels as a decimal string (lossless).
+                        Value::Str(self.stochastic.master_seed.to_string()),
+                    ),
+                    ("max_time", Value::Num(self.stochastic.max_time)),
+                    ("confidence", Value::Num(self.stochastic.confidence)),
+                ]),
+            ),
+            (
+                "mobility",
+                Value::obj([
+                    ("radio_range", Value::Num(self.mobility.radio_range)),
+                    ("dt", Value::Num(self.mobility.dt)),
+                ]),
+            ),
+        ])
+        .encode()
+    }
+
+    /// Parse a spec serialized by [`ScenarioSpec::to_json`].
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Json`] for malformed documents and
+    /// [`EngineError::InvalidSpec`] when the parsed spec fails validation.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let v = Value::parse(text)?;
+        let st = v.field("stochastic")?;
+        let mob = v.field("mobility")?;
+        let spec = Self {
+            name: v.field("name")?.as_str()?.to_string(),
+            backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
+            system: system_from_value(v.field("system")?)?,
+            stochastic: StochasticOptions {
+                replications: st.field("replications")?.as_u64()?,
+                master_seed: seed_from_value(st.field("master_seed")?)?,
+                max_time: st.field("max_time")?.as_f64()?,
+                confidence: st.field("confidence")?.as_f64()?,
+            },
+            mobility: MobilityOptions {
+                radio_range: mob.field("radio_range")?.as_f64()?,
+                dt: mob.field("dt")?.as_f64()?,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Seeds serialize as decimal strings (lossless for the full u64 range);
+/// plain numbers are accepted too for hand-written specs.
+fn seed_from_value(v: &Value) -> Result<u64, EngineError> {
+    match v {
+        Value::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| EngineError::Json(format!("bad seed `{s}`"))),
+        other => other.as_u64(),
+    }
+}
+
+fn shape_name(s: RateShape) -> &'static str {
+    s.name()
+}
+
+fn shape_from_name(s: &str) -> Result<RateShape, EngineError> {
+    RateShape::all()
+        .into_iter()
+        .find(|shape| shape.name() == s)
+        .ok_or_else(|| EngineError::Json(format!("unknown rate shape `{s}`")))
+}
+
+fn system_to_value(c: &SystemConfig) -> Value {
+    let collusion = match c.collusion {
+        CollusionModel::Full => Value::Str("full".into()),
+        CollusionModel::None => Value::Str("none".into()),
+        CollusionModel::Probabilistic(q) => Value::Num(q),
+    };
+    Value::obj([
+        ("node_count", Value::Num(c.node_count as f64)),
+        ("join_rate", Value::Num(c.join_rate)),
+        ("leave_rate", Value::Num(c.leave_rate)),
+        ("group_comm_rate", Value::Num(c.group_comm_rate)),
+        (
+            "attacker",
+            Value::obj([
+                ("shape", Value::Str(shape_name(c.attacker.shape).into())),
+                ("base_rate", Value::Num(c.attacker.base_rate)),
+                ("exponent", Value::Num(c.attacker.exponent)),
+            ]),
+        ),
+        (
+            "detection",
+            Value::obj([
+                ("shape", Value::Str(shape_name(c.detection.shape).into())),
+                ("base_interval", Value::Num(c.detection.base_interval)),
+                ("exponent", Value::Num(c.detection.exponent)),
+            ]),
+        ),
+        (
+            "p1_host_false_negative",
+            Value::Num(c.p1_host_false_negative),
+        ),
+        (
+            "p2_host_false_positive",
+            Value::Num(c.p2_host_false_positive),
+        ),
+        ("vote_participants", Value::Num(c.vote_participants as f64)),
+        ("collusion", collusion),
+        (
+            "partition_rate_per_group",
+            Value::Num(c.partition_rate_per_group),
+        ),
+        ("merge_rate_per_group", Value::Num(c.merge_rate_per_group)),
+        ("max_groups", Value::Num(c.max_groups as f64)),
+        ("mean_hops", Value::Num(c.mean_hops)),
+        ("bandwidth_bps", Value::Num(c.bandwidth_bps)),
+        ("data_packet_bits", Value::Num(c.data_packet_bits as f64)),
+        (
+            "status_packet_bits",
+            Value::Num(c.status_packet_bits as f64),
+        ),
+        ("vote_packet_bits", Value::Num(c.vote_packet_bits as f64)),
+        ("beacon_bits", Value::Num(c.beacon_bits as f64)),
+        ("key_element_bits", Value::Num(c.key_element_bits as f64)),
+        (
+            "key_agreement",
+            Value::Str(
+                match c.key_agreement {
+                    KeyAgreementProtocol::Gdh2 => "gdh2",
+                    KeyAgreementProtocol::Gdh3 => "gdh3",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "batch_rekey_interval",
+            c.batch_rekey_interval.map_or(Value::Null, Value::Num),
+        ),
+        ("status_period", Value::Num(c.status_period)),
+        ("beacon_period", Value::Num(c.beacon_period)),
+    ])
+}
+
+fn system_from_value(v: &Value) -> Result<SystemConfig, EngineError> {
+    let att = v.field("attacker")?;
+    let det = v.field("detection")?;
+    let collusion = match v.field("collusion")? {
+        Value::Str(s) if s == "full" => CollusionModel::Full,
+        Value::Str(s) if s == "none" => CollusionModel::None,
+        Value::Num(q) => CollusionModel::Probabilistic(*q),
+        other => return Err(EngineError::Json(format!("bad collusion value {other:?}"))),
+    };
+    Ok(SystemConfig {
+        node_count: v.field("node_count")?.as_u32()?,
+        join_rate: v.field("join_rate")?.as_f64()?,
+        leave_rate: v.field("leave_rate")?.as_f64()?,
+        group_comm_rate: v.field("group_comm_rate")?.as_f64()?,
+        attacker: AttackerProfile {
+            shape: shape_from_name(att.field("shape")?.as_str()?)?,
+            base_rate: att.field("base_rate")?.as_f64()?,
+            exponent: att.field("exponent")?.as_f64()?,
+        },
+        detection: DetectionProfile {
+            shape: shape_from_name(det.field("shape")?.as_str()?)?,
+            base_interval: det.field("base_interval")?.as_f64()?,
+            exponent: det.field("exponent")?.as_f64()?,
+        },
+        p1_host_false_negative: v.field("p1_host_false_negative")?.as_f64()?,
+        p2_host_false_positive: v.field("p2_host_false_positive")?.as_f64()?,
+        vote_participants: v.field("vote_participants")?.as_u32()?,
+        collusion,
+        partition_rate_per_group: v.field("partition_rate_per_group")?.as_f64()?,
+        merge_rate_per_group: v.field("merge_rate_per_group")?.as_f64()?,
+        max_groups: v.field("max_groups")?.as_u32()?,
+        mean_hops: v.field("mean_hops")?.as_f64()?,
+        bandwidth_bps: v.field("bandwidth_bps")?.as_f64()?,
+        data_packet_bits: v.field("data_packet_bits")?.as_u64()?,
+        status_packet_bits: v.field("status_packet_bits")?.as_u64()?,
+        vote_packet_bits: v.field("vote_packet_bits")?.as_u64()?,
+        beacon_bits: v.field("beacon_bits")?.as_u64()?,
+        key_element_bits: v.field("key_element_bits")?.as_u64()?,
+        key_agreement: match v.field("key_agreement")?.as_str()? {
+            "gdh2" => KeyAgreementProtocol::Gdh2,
+            "gdh3" => KeyAgreementProtocol::Gdh3,
+            other => {
+                return Err(EngineError::Json(format!(
+                    "unknown key agreement `{other}`"
+                )))
+            }
+        },
+        batch_rekey_interval: match v.opt_field("batch_rekey_interval") {
+            Some(x) => Some(x.as_f64()?),
+            None => None,
+        },
+        status_period: v.field("status_period")?.as_f64()?,
+        beacon_period: v.field("beacon_period")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        for backend in BackendKind::all() {
+            let mut spec = ScenarioSpec::paper_default(backend);
+            spec.system.collusion = CollusionModel::Probabilistic(0.37);
+            spec.system.batch_rekey_interval = Some(120.0);
+            spec.system.key_agreement = KeyAgreementProtocol::Gdh3;
+            spec.system.detection.shape = RateShape::Polynomial;
+            let text = spec.to_json();
+            let back = ScenarioSpec::from_json(&text).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn extreme_seed_roundtrips_losslessly() {
+        // 2^53 + 1 is not representable as f64; the string encoding keeps it.
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+        spec.stochastic.master_seed = (1u64 << 53) + 1;
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.stochastic.master_seed, (1u64 << 53) + 1);
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+        spec.stochastic.master_seed = u64::MAX;
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.stochastic.master_seed, u64::MAX);
+    }
+
+    #[test]
+    fn numeric_seed_accepted_for_hand_written_specs() {
+        let spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        let text = spec
+            .to_json()
+            .replace("\"master_seed\":\"2009\"", "\"master_seed\":2009");
+        assert!(text.contains("\"master_seed\":2009"));
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back.stochastic.master_seed, 2009);
+    }
+
+    #[test]
+    fn roundtrip_preserves_none_batch_rekey() {
+        let spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        assert_eq!(spec.system.batch_rekey_interval, None);
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.system.batch_rekey_interval, None);
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in BackendKind::all() {
+            assert_eq!(BackendKind::from_name(b.name()).unwrap(), b);
+        }
+        assert!(BackendKind::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn validation_catches_engine_level_errors() {
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+        spec.stochastic.replications = 0;
+        assert!(matches!(spec.validate(), Err(EngineError::InvalidSpec(_))));
+
+        let mut spec = ScenarioSpec::paper_default(BackendKind::MobilityDes);
+        spec.mobility.dt = 0.0;
+        assert!(matches!(spec.validate(), Err(EngineError::InvalidSpec(_))));
+
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.system.node_count = 0;
+        assert!(matches!(spec.validate(), Err(EngineError::InvalidSpec(_))));
+
+        // the exact backend ignores stochastic knobs entirely
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.stochastic.replications = 0;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ScenarioSpec::from_json("{").is_err());
+        assert!(ScenarioSpec::from_json("{}").is_err());
+    }
+}

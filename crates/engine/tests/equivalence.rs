@@ -1,0 +1,70 @@
+//! Regression tests pinning the engine's exact backend to the legacy
+//! `gcsids::metrics::evaluate` path: same numbers, same failure split, same
+//! state space — whether run singly or through the batched
+//! explore-once-solve-many runner.
+
+use engine::{BackendKind, Runner, ScenarioGrid, ScenarioSpec};
+use gcsids::config::SystemConfig;
+use gcsids::metrics::evaluate;
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let rel = (a - b).abs() / b.abs().max(1e-300);
+    assert!(rel < 1e-9, "{what}: {a} vs {b} (rel {rel:.3e})");
+}
+
+/// The acceptance-criterion pin: engine output == legacy `evaluate()` on the
+/// paper's §5 defaults across a TIDS grid, through the batched runner.
+#[test]
+fn exact_backend_matches_legacy_evaluate_on_paper_defaults() {
+    let tids_grid = [30.0, 120.0, 600.0];
+    let base = ScenarioSpec::paper_default(BackendKind::Exact);
+    let specs = ScenarioGrid::new(base).tids(&tids_grid).expand();
+    let reports = Runner::new().run_batch(&specs).unwrap();
+
+    for (&t, report) in tids_grid.iter().zip(&reports) {
+        let legacy = evaluate(&SystemConfig::paper_default().with_tids(t)).unwrap();
+        assert_close(report.mttsf.value, legacy.mttsf_seconds, "MTTSF");
+        assert_close(
+            report.c_total.value,
+            legacy.c_total_hop_bits_per_sec,
+            "C_total",
+        );
+        assert_close(report.failure.p_c1, legacy.p_failure_c1, "P[C1]");
+        assert_close(report.failure.p_c2, legacy.p_failure_c2, "P[C2]");
+        assert_eq!(report.state_count, Some(legacy.state_count));
+        assert_eq!(report.edge_count, Some(legacy.edge_count));
+        let comp = report
+            .cost_components
+            .expect("exact backend reports components");
+        assert_close(
+            comp.total(),
+            legacy.cost_components.total(),
+            "component total",
+        );
+    }
+}
+
+/// Same pin on a small system across the full (m × TIDS × shape) rate-only
+/// product — the family the explore-once path accelerates.
+#[test]
+fn exact_backend_matches_legacy_on_rate_only_product() {
+    let mut base = ScenarioSpec::paper_default(BackendKind::Exact);
+    base.system.node_count = 12;
+    base.system.vote_participants = 3;
+    let specs = ScenarioGrid::new(base.clone())
+        .tids(&[5.0, 60.0, 480.0])
+        .vote_participants(&[3, 5])
+        .detection_shapes(&ids::functions::RateShape::all())
+        .expand();
+    assert_eq!(specs.len(), 18);
+    let reports = Runner::new().run_batch(&specs).unwrap();
+    for (spec, report) in specs.iter().zip(&reports) {
+        let legacy = evaluate(&spec.system).unwrap();
+        assert_close(report.mttsf.value, legacy.mttsf_seconds, &spec.name);
+        assert_close(
+            report.c_total.value,
+            legacy.c_total_hop_bits_per_sec,
+            &spec.name,
+        );
+    }
+}

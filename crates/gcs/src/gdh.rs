@@ -145,7 +145,11 @@ impl GdhSession {
         assert!(!member_ids.is_empty(), "GDH needs at least one member");
         let members = member_ids
             .iter()
-            .map(|&id| Member { id, secret: rng.gen_range(2..PRIME - 1), key: None })
+            .map(|&id| Member {
+                id,
+                secret: rng.gen_range(2..PRIME - 1),
+                key: None,
+            })
             .collect();
         Self {
             members,
@@ -206,8 +210,10 @@ impl GdhSession {
         // intermediates.
         let xn = self.members[n - 1].secret;
         let key = powmod(cardinal, xn, PRIME);
-        let broadcast: Vec<u64> =
-            intermediates.iter().map(|&v| powmod(v, xn, PRIME)).collect();
+        let broadcast: Vec<u64> = intermediates
+            .iter()
+            .map(|&v| powmod(v, xn, PRIME))
+            .collect();
         elements += broadcast.len() as u64;
         self.members[n - 1].key = Some(key);
         for (j, member) in self.members[..n - 1].iter_mut().enumerate() {

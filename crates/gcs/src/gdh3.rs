@@ -133,7 +133,11 @@ impl Gdh3Session {
                         break candidate;
                     }
                 };
-                Member { id, secret, key: None }
+                Member {
+                    id,
+                    secret,
+                    key: None,
+                }
             })
             .collect();
         Self {
@@ -196,8 +200,7 @@ impl Gdh3Session {
         let responses: Vec<u64> = self.members[..n - 1]
             .iter()
             .map(|m| {
-                let inv = mod_inverse(m.secret, PRIME - 1)
-                    .expect("secrets drawn coprime to p−1");
+                let inv = mod_inverse(m.secret, PRIME - 1).expect("secrets drawn coprime to p−1");
                 powmod(cardinal, inv, PRIME)
             })
             .collect();
@@ -263,7 +266,7 @@ mod tests {
     fn mod_inverse_basic() {
         assert_eq!(mod_inverse(3, 7), Some(5)); // 3·5 = 15 ≡ 1 (mod 7)
         assert_eq!(mod_inverse(2, 4), None); // not coprime
-        // 12345 = 3·5·823 shares factors with p−1 = 2·3²·5²·7·…
+                                             // 12345 = 3·5·823 shares factors with p−1 = 2·3²·5²·7·…
         assert_eq!(mod_inverse(12345, PRIME - 1), None);
         // 12347 is prime and not a factor of p−1
         let inv = mod_inverse(12347, PRIME - 1).unwrap();

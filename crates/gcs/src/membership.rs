@@ -37,7 +37,10 @@ pub struct GroupView {
 impl GroupView {
     /// Initial view (id 0) over the given members.
     pub fn initial(members: impl IntoIterator<Item = NodeId>) -> Self {
-        Self { view_id: 0, members: members.into_iter().collect() }
+        Self {
+            view_id: 0,
+            members: members.into_iter().collect(),
+        }
     }
 
     /// Number of members.
@@ -83,7 +86,10 @@ impl GroupView {
                 }
             }
         }
-        GroupView { view_id: self.view_id + 1, members }
+        GroupView {
+            view_id: self.view_id + 1,
+            members,
+        }
     }
 }
 
@@ -96,7 +102,9 @@ pub struct ViewHistory {
 impl ViewHistory {
     /// Start a history at the initial view.
     pub fn new(initial: GroupView) -> Self {
-        Self { views: vec![(initial, None)] }
+        Self {
+            views: vec![(initial, None)],
+        }
     }
 
     /// Current view.

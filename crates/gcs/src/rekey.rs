@@ -98,8 +98,7 @@ impl RekeyScheduler {
         let cost = session.measured_cost();
         self.stats.runs += 1;
         self.stats.total_elements += cost.total_elements;
-        self.stats.total_messages +=
-            cost.unicast_messages as u64 + cost.broadcast_messages as u64;
+        self.stats.total_messages += cost.unicast_messages as u64 + cost.broadcast_messages as u64;
         self.pending_events = 0;
     }
 
@@ -165,7 +164,11 @@ mod tests {
     #[test]
     fn initial_agreement_runs() {
         let mut r = rng();
-        let s = RekeyScheduler::new(GroupView::initial([1, 2, 3]), RekeyPolicy::Immediate, &mut r);
+        let s = RekeyScheduler::new(
+            GroupView::initial([1, 2, 3]),
+            RekeyPolicy::Immediate,
+            &mut r,
+        );
         assert!(s.key().is_some());
         assert_eq!(s.stats().runs, 1);
     }
@@ -173,8 +176,11 @@ mod tests {
     #[test]
     fn immediate_policy_rekeys_every_event() {
         let mut r = rng();
-        let mut s =
-            RekeyScheduler::new(GroupView::initial([1, 2, 3]), RekeyPolicy::Immediate, &mut r);
+        let mut s = RekeyScheduler::new(
+            GroupView::initial([1, 2, 3]),
+            RekeyPolicy::Immediate,
+            &mut r,
+        );
         let k0 = s.key();
         assert!(s.on_event(1.0, MembershipEvent::Join(4), &mut r));
         let k1 = s.key();
@@ -220,8 +226,7 @@ mod tests {
 
     #[test]
     fn batch_traffic_less_than_immediate() {
-        let events: Vec<MembershipEvent> =
-            (10..30).map(MembershipEvent::Join).collect();
+        let events: Vec<MembershipEvent> = (10..30).map(MembershipEvent::Join).collect();
         let run = |policy| {
             let mut r = rng();
             let mut s = RekeyScheduler::new(GroupView::initial([1, 2, 3]), policy, &mut r);
@@ -250,7 +255,11 @@ mod tests {
     #[test]
     fn analytic_cost_tracks_view_size() {
         let mut r = rng();
-        let s = RekeyScheduler::new(GroupView::initial([1, 2, 3, 4]), RekeyPolicy::Immediate, &mut r);
+        let s = RekeyScheduler::new(
+            GroupView::initial([1, 2, 3, 4]),
+            RekeyPolicy::Immediate,
+            &mut r,
+        );
         assert_eq!(s.analytic_event_cost(), RekeyCost::for_group_size(4));
     }
 }

@@ -38,7 +38,12 @@ impl<T: Clone> ViewSyncChannel<T> {
     /// Open the channel in an initial view.
     pub fn new(view: GroupView) -> Self {
         let delivered = view.members.iter().map(|&m| (m, VecDeque::new())).collect();
-        Self { view, pending: Vec::new(), next_seq: BTreeMap::new(), delivered }
+        Self {
+            view,
+            pending: Vec::new(),
+            next_seq: BTreeMap::new(),
+            delivered,
+        }
     }
 
     /// Current view.
@@ -51,7 +56,11 @@ impl<T: Clone> ViewSyncChannel<T> {
     /// # Panics
     /// Panics if `sender` is not a member of the current view.
     pub fn broadcast(&mut self, sender: NodeId, payload: T) {
-        assert!(self.view.contains(sender), "sender {sender} not in view {}", self.view.view_id);
+        assert!(
+            self.view.contains(sender),
+            "sender {sender} not in view {}",
+            self.view.view_id
+        );
         let seq = self.next_seq.entry(sender).or_insert(0);
         self.pending.push(ViewMessage {
             view_id: self.view.view_id,
@@ -69,7 +78,10 @@ impl<T: Clone> ViewSyncChannel<T> {
         let mut deliveries = 0;
         for msg in self.pending.drain(..) {
             for &m in &self.view.members {
-                self.delivered.get_mut(&m).expect("member inbox exists").push_back(msg.clone());
+                self.delivered
+                    .get_mut(&m)
+                    .expect("member inbox exists")
+                    .push_back(msg.clone());
                 deliveries += 1;
             }
         }
@@ -92,7 +104,10 @@ impl<T: Clone> ViewSyncChannel<T> {
 
     /// Drain the inbox of `node`.
     pub fn take_inbox(&mut self, node: NodeId) -> Vec<ViewMessage<T>> {
-        self.delivered.get_mut(&node).map(|q| q.drain(..).collect()).unwrap_or_default()
+        self.delivered
+            .get_mut(&node)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
     }
 
     /// Messages waiting in the channel (sent, not yet flushed).
@@ -134,10 +149,17 @@ mod tests {
         ch.broadcast(1, "c");
         ch.flush();
         let inbox = ch.take_inbox(3);
-        let from_1: Vec<&str> =
-            inbox.iter().filter(|m| m.sender == 1).map(|m| m.payload).collect();
+        let from_1: Vec<&str> = inbox
+            .iter()
+            .filter(|m| m.sender == 1)
+            .map(|m| m.payload)
+            .collect();
         assert_eq!(from_1, vec!["a", "b", "c"]);
-        let seqs: Vec<u64> = inbox.iter().filter(|m| m.sender == 1).map(|m| m.seq).collect();
+        let seqs: Vec<u64> = inbox
+            .iter()
+            .filter(|m| m.sender == 1)
+            .map(|m| m.seq)
+            .collect();
         assert_eq!(seqs, vec![0, 1, 2]);
     }
 

@@ -53,7 +53,10 @@ impl AttackerEstimator {
     /// Create an estimator with the model's base index `p` (paper: 3).
     pub fn new(exponent: f64) -> Self {
         assert!(exponent > 1.0, "base index must exceed 1");
-        Self { observations: Vec::new(), exponent }
+        Self {
+            observations: Vec::new(),
+            exponent,
+        }
     }
 
     /// Record a compromise observed `inter_arrival` seconds after the
@@ -64,7 +67,8 @@ impl AttackerEstimator {
     pub fn record(&mut self, inter_arrival: f64, mc: f64) {
         assert!(inter_arrival > 0.0, "inter-arrival must be positive");
         assert!(mc >= 1.0, "mc must be ≥ 1");
-        self.observations.push(CompromiseObservation { inter_arrival, mc });
+        self.observations
+            .push(CompromiseObservation { inter_arrival, mc });
     }
 
     /// Number of recorded observations.
@@ -91,15 +95,20 @@ impl AttackerEstimator {
         }
         let mut best: Option<AttackerEstimate> = None;
         for shape in RateShape::all() {
-            let fs: Vec<f64> =
-                self.observations.iter().map(|o| shape.eval(o.mc, self.exponent)).collect();
-            let weighted_time: f64 =
-                fs.iter().zip(&self.observations).map(|(f, o)| f * o.inter_arrival).sum();
+            let fs: Vec<f64> = self
+                .observations
+                .iter()
+                .map(|o| shape.eval(o.mc, self.exponent))
+                .collect();
+            let weighted_time: f64 = fs
+                .iter()
+                .zip(&self.observations)
+                .map(|(f, o)| f * o.inter_arrival)
+                .sum();
             let lambda_hat = n as f64 / weighted_time;
-            let log_likelihood = (lambda_hat.ln() * n as f64
-                + fs.iter().map(|f| f.ln()).sum::<f64>()
-                - n as f64)
-                / n as f64;
+            let log_likelihood =
+                (lambda_hat.ln() * n as f64 + fs.iter().map(|f| f.ln()).sum::<f64>() - n as f64)
+                    / n as f64;
             let est = AttackerEstimate {
                 shape,
                 base_rate: lambda_hat,
@@ -127,8 +136,14 @@ impl ResponseSurface {
     /// # Panics
     /// Panics on an empty table or non-positive intervals.
     pub fn new(points: Vec<(f64, f64)>) -> Self {
-        assert!(!points.is_empty(), "response surface needs at least one point");
-        assert!(points.iter().all(|&(t, _)| t > 0.0), "T_IDS values must be positive");
+        assert!(
+            !points.is_empty(),
+            "response surface needs at least one point"
+        );
+        assert!(
+            points.iter().all(|&(t, _)| t > 0.0),
+            "T_IDS values must be positive"
+        );
         Self { points }
     }
 
@@ -159,8 +174,15 @@ impl AdaptiveController {
     /// Create a controller; `fallback_interval` is used until enough
     /// observations arrive.
     pub fn new(exponent: f64, fallback_interval: f64) -> Self {
-        assert!(fallback_interval > 0.0, "fallback interval must be positive");
-        Self { estimator: AttackerEstimator::new(exponent), exponent, fallback_interval }
+        assert!(
+            fallback_interval > 0.0,
+            "fallback interval must be positive"
+        );
+        Self {
+            estimator: AttackerEstimator::new(exponent),
+            exponent,
+            fallback_interval,
+        }
     }
 
     /// Feed a compromise observation.
@@ -182,9 +204,12 @@ impl AdaptiveController {
     /// current estimate (falls back to linear detection at the fallback
     /// interval with no data).
     pub fn recommend(&self, surface: Option<&ResponseSurface>) -> DetectionProfile {
-        let interval =
-            surface.map_or(self.fallback_interval, ResponseSurface::optimal_interval);
-        DetectionProfile { shape: self.matching_shape(), base_interval: interval, exponent: self.exponent }
+        let interval = surface.map_or(self.fallback_interval, ResponseSurface::optimal_interval);
+        DetectionProfile {
+            shape: self.matching_shape(),
+            base_interval: interval,
+            exponent: self.exponent,
+        }
     }
 }
 
@@ -242,8 +267,14 @@ mod tests {
     #[test]
     fn base_rate_recovered_within_factor_two() {
         let base = 1.0 / (12.0 * 3600.0);
-        let est = synthesize(RateShape::Linear, base, 40, 5).estimate().unwrap();
-        assert!(est.base_rate > base / 2.0 && est.base_rate < base * 2.0, "{}", est.base_rate);
+        let est = synthesize(RateShape::Linear, base, 40, 5)
+            .estimate()
+            .unwrap();
+        assert!(
+            est.base_rate > base / 2.0 && est.base_rate < base * 2.0,
+            "{}",
+            est.base_rate
+        );
     }
 
     #[test]
@@ -270,7 +301,7 @@ mod tests {
     fn controller_matches_attacker_and_surface() {
         let mut c = AdaptiveController::new(3.0, 90.0);
         // feed a clearly polynomial attacker
-        let est = synthesize(RateShape::Polynomial, 1.0 / 3600.0, 40, 9);
+        let est = synthesize(RateShape::Polynomial, 1.0 / 3600.0, 90, 9);
         for o in 0..est.len() {
             // replay the synthetic observations
             let obs = &est.observations[o];

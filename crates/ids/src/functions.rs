@@ -43,7 +43,11 @@ impl RateShape {
 
     /// All three shapes in the paper's presentation order.
     pub fn all() -> [RateShape; 3] {
-        [RateShape::Logarithmic, RateShape::Linear, RateShape::Polynomial]
+        [
+            RateShape::Logarithmic,
+            RateShape::Linear,
+            RateShape::Polynomial,
+        ]
     }
 
     /// Human-readable name matching the paper's figure legends.
@@ -71,7 +75,11 @@ pub struct AttackerProfile {
 impl AttackerProfile {
     /// Paper-default linear attacker: `λc = 1/(12 h)`, `p = 3`.
     pub fn paper_default() -> Self {
-        Self { shape: RateShape::Linear, base_rate: 1.0 / (12.0 * 3600.0), exponent: 3.0 }
+        Self {
+            shape: RateShape::Linear,
+            base_rate: 1.0 / (12.0 * 3600.0),
+            exponent: 3.0,
+        }
     }
 
     /// The compromise-progress argument `mc = (T + U) / T`.
@@ -86,7 +94,10 @@ impl AttackerProfile {
 
     /// Node-compromising rate in the given population state.
     pub fn rate(&self, trusted: u32, undetected: u32) -> f64 {
-        self.base_rate * self.shape.eval(Self::mc(trusted, undetected), self.exponent)
+        self.base_rate
+            * self
+                .shape
+                .eval(Self::mc(trusted, undetected), self.exponent)
     }
 }
 
@@ -105,7 +116,11 @@ pub struct DetectionProfile {
 impl DetectionProfile {
     /// Paper-style linear detection at the given base interval.
     pub fn linear(base_interval: f64) -> Self {
-        Self { shape: RateShape::Linear, base_interval, exponent: 3.0 }
+        Self {
+            shape: RateShape::Linear,
+            base_interval,
+            exponent: 3.0,
+        }
     }
 
     /// The detection-progress argument `md = N_init / (T + U)`.
@@ -116,7 +131,10 @@ impl DetectionProfile {
     pub fn md(initial: u32, trusted: u32, undetected: u32) -> f64 {
         let live = trusted + undetected;
         assert!(live > 0, "md undefined with no live members");
-        assert!(initial >= live, "initial population {initial} below live {live}");
+        assert!(
+            initial >= live,
+            "initial population {initial} below live {live}"
+        );
         initial as f64 / live as f64
     }
 
@@ -126,13 +144,17 @@ impl DetectionProfile {
     /// Panics if the base interval is not positive.
     pub fn rate(&self, initial: u32, trusted: u32, undetected: u32) -> f64 {
         assert!(self.base_interval > 0.0, "T_IDS must be positive");
-        self.shape.eval(Self::md(initial, trusted, undetected), self.exponent)
+        self.shape
+            .eval(Self::md(initial, trusted, undetected), self.exponent)
             / self.base_interval
     }
 
     /// Same profile with a different base interval (used by TIDS sweeps).
     pub fn with_interval(&self, base_interval: f64) -> Self {
-        Self { base_interval, ..*self }
+        Self {
+            base_interval,
+            ..*self
+        }
     }
 }
 
@@ -190,9 +212,14 @@ mod tests {
 
     #[test]
     fn polynomial_attacker_dominates_linear() {
-        let lin = AttackerProfile { shape: RateShape::Linear, ..AttackerProfile::paper_default() };
-        let poly =
-            AttackerProfile { shape: RateShape::Polynomial, ..AttackerProfile::paper_default() };
+        let lin = AttackerProfile {
+            shape: RateShape::Linear,
+            ..AttackerProfile::paper_default()
+        };
+        let poly = AttackerProfile {
+            shape: RateShape::Polynomial,
+            ..AttackerProfile::paper_default()
+        };
         assert!(poly.rate(60, 40) > lin.rate(60, 40));
         assert_eq!(poly.rate(100, 0), lin.rate(100, 0)); // equal at base
     }

@@ -32,7 +32,10 @@ impl HostIds {
             (0.0..=1.0).contains(&p_false_positive),
             "p2 = {p_false_positive} outside [0,1]"
         );
-        Self { p_false_negative, p_false_positive }
+        Self {
+            p_false_negative,
+            p_false_positive,
+        }
     }
 
     /// The paper's default: `p1 = p2 = 1%` ("1% or less is considered

@@ -173,15 +173,18 @@ pub fn estimate_error_rates<R: Rng + ?Sized>(
     rounds: u32,
     rng: &mut R,
 ) -> (f64, f64) {
-    assert!(good >= 1 && bad >= 1, "need both populations for the estimate");
+    assert!(
+        good >= 1 && bad >= 1,
+        "need both populations for the estimate"
+    );
     // good target: peers are good-1 good + bad bad
     let mut peers_good_target: Vec<bool> = Vec::new();
-    peers_good_target.extend(std::iter::repeat(false).take((good - 1) as usize));
-    peers_good_target.extend(std::iter::repeat(true).take(bad as usize));
+    peers_good_target.extend(std::iter::repeat_n(false, (good - 1) as usize));
+    peers_good_target.extend(std::iter::repeat_n(true, bad as usize));
     // bad target: peers are good good + bad-1 bad
     let mut peers_bad_target: Vec<bool> = Vec::new();
-    peers_bad_target.extend(std::iter::repeat(false).take(good as usize));
-    peers_bad_target.extend(std::iter::repeat(true).take((bad - 1) as usize));
+    peers_bad_target.extend(std::iter::repeat_n(false, good as usize));
+    peers_bad_target.extend(std::iter::repeat_n(true, (bad - 1) as usize));
 
     let mut fp = 0u32;
     let mut fnn = 0u32;
@@ -275,9 +278,7 @@ mod tests {
         // The paper's Figure 2 argument: with few colluders, larger m →
         // smaller Pfp + Pfn.
         let (good, bad) = (90u32, 4u32);
-        let alarm = |m| {
-            p_false_positive(good, bad, m, 0.01) + p_false_negative(good, bad, m, 0.01)
-        };
+        let alarm = |m| p_false_positive(good, bad, m, 0.01) + p_false_negative(good, bad, m, 0.01);
         let a3 = alarm(3);
         let a5 = alarm(5);
         let a7 = alarm(7);
@@ -287,7 +288,10 @@ mod tests {
 
     #[test]
     fn closed_form_matches_monte_carlo() {
-        let cfg = VotingConfig { participants: 5, host: HostIds::new(0.05, 0.08) };
+        let cfg = VotingConfig {
+            participants: 5,
+            host: HostIds::new(0.05, 0.08),
+        };
         let (good, bad) = (12u32, 5u32);
         let mut rng = StdRng::seed_from_u64(77);
         let (fp_mc, fn_mc) = estimate_error_rates(&cfg, good, bad, 60_000, &mut rng);
@@ -299,7 +303,10 @@ mod tests {
 
     #[test]
     fn vote_outcome_counts_consistent() {
-        let cfg = VotingConfig { participants: 5, host: HostIds::paper_default() };
+        let cfg = VotingConfig {
+            participants: 5,
+            host: HostIds::paper_default(),
+        };
         let peers = vec![false, false, true, false, true, false, false];
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
@@ -312,7 +319,10 @@ mod tests {
 
     #[test]
     fn vote_with_fewer_peers_than_m() {
-        let cfg = VotingConfig { participants: 9, host: HostIds::paper_default() };
+        let cfg = VotingConfig {
+            participants: 9,
+            host: HostIds::paper_default(),
+        };
         let peers = vec![false, false, false];
         let mut rng = StdRng::seed_from_u64(4);
         let o = run_vote(&cfg, true, &peers, &mut rng);
@@ -321,7 +331,10 @@ mod tests {
 
     #[test]
     fn vote_with_no_peers_never_evicts() {
-        let cfg = VotingConfig { participants: 5, host: HostIds::paper_default() };
+        let cfg = VotingConfig {
+            participants: 5,
+            host: HostIds::paper_default(),
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let o = run_vote(&cfg, true, &[], &mut rng);
         assert!(!o.evicted);
@@ -370,7 +383,10 @@ impl CollusionModel {
             CollusionModel::Full => 1.0,
             CollusionModel::None => 0.0,
             CollusionModel::Probabilistic(q) => {
-                assert!((0.0..=1.0).contains(&q), "collusion probability {q} outside [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&q),
+                    "collusion probability {q} outside [0,1]"
+                );
                 q
             }
         }
@@ -392,7 +408,11 @@ fn sum_binomial_tail(n1: u64, p1: f64, n2: u64, p2: f64, threshold: u64) -> f64 
             continue;
         }
         let need = threshold.saturating_sub(k);
-        let tail = if need == 0 { 1.0 } else { b2.sf_inclusive(need) };
+        let tail = if need == 0 {
+            1.0
+        } else {
+            b2.sf_inclusive(need)
+        };
         total += pk * tail;
     }
     total.min(1.0)
@@ -469,8 +489,7 @@ pub fn p_false_negative_with_collusion(
         if pk == 0.0 {
             continue;
         }
-        let p_evict =
-            sum_binomial_tail(k, p_bad_votes_evict, m_eff as u64 - k, 1.0 - p1, majority);
+        let p_evict = sum_binomial_tail(k, p_bad_votes_evict, m_eff as u64 - k, 1.0 - p1, majority);
         total += pk * (1.0 - p_evict);
     }
     total.clamp(0.0, 1.0)
@@ -537,14 +556,12 @@ mod collusion_tests {
     fn no_collusion_equals_all_honest_population() {
         // with q = 0 the bad voters behave exactly like good ones, so the
         // composition no longer matters
-        let fp_mixed =
-            p_false_positive_with_collusion(20, 10, 5, 0.02, CollusionModel::None);
+        let fp_mixed = p_false_positive_with_collusion(20, 10, 5, 0.02, CollusionModel::None);
         let fp_pure = p_false_positive(30, 0, 5, 0.02);
         assert!((fp_mixed - fp_pure).abs() < 1e-12);
         // a bad target with honest voters is caught like any bad target
         // judged by an all-good electorate
-        let fn_mixed =
-            p_false_negative_with_collusion(20, 10, 5, 0.02, CollusionModel::None);
+        let fn_mixed = p_false_negative_with_collusion(20, 10, 5, 0.02, CollusionModel::None);
         let fn_pure = p_false_negative(29, 1, 5, 0.02);
         assert!((fn_mixed - fn_pure).abs() < 1e-12);
     }
@@ -567,15 +584,18 @@ mod collusion_tests {
 
     #[test]
     fn partial_collusion_matches_monte_carlo() {
-        let cfg = VotingConfig { participants: 5, host: HostIds::new(0.05, 0.08) };
+        let cfg = VotingConfig {
+            participants: 5,
+            host: HostIds::new(0.05, 0.08),
+        };
         let collusion = CollusionModel::Probabilistic(0.4);
         let (good, bad) = (15u32, 6u32);
         let mut rng = StdRng::seed_from_u64(404);
         let rounds = 60_000;
         let mut peers_good: Vec<bool> = vec![false; (good - 1) as usize];
-        peers_good.extend(std::iter::repeat(true).take(bad as usize));
+        peers_good.extend(std::iter::repeat_n(true, bad as usize));
         let mut peers_bad: Vec<bool> = vec![false; good as usize];
-        peers_bad.extend(std::iter::repeat(true).take((bad - 1) as usize));
+        peers_bad.extend(std::iter::repeat_n(true, (bad - 1) as usize));
         let mut fp = 0u32;
         let mut fnn = 0u32;
         for _ in 0..rounds {
@@ -590,8 +610,14 @@ mod collusion_tests {
         let fn_mc = fnn as f64 / rounds as f64;
         let fp_a = p_false_positive_with_collusion(good, bad, 5, 0.08, collusion);
         let fn_a = p_false_negative_with_collusion(good, bad, 5, 0.05, collusion);
-        assert!((fp_a - fp_mc).abs() < 0.01, "Pfp {fp_a:.4} vs MC {fp_mc:.4}");
-        assert!((fn_a - fn_mc).abs() < 0.01, "Pfn {fn_a:.4} vs MC {fn_mc:.4}");
+        assert!(
+            (fp_a - fp_mc).abs() < 0.01,
+            "Pfp {fp_a:.4} vs MC {fp_mc:.4}"
+        );
+        assert!(
+            (fn_a - fn_mc).abs() < 0.01,
+            "Pfn {fn_a:.4} vs MC {fn_mc:.4}"
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl DynamicsTracker {
     /// Observe the next snapshot taken `dt` seconds after the previous one.
     /// Returns the events detected in between.
     pub fn observe(&mut self, dt: f64, graph: &ConnectivityGraph) -> Vec<GroupEvent> {
-        assert_eq!(graph.labels().len(), self.prev_labels.len(), "node population changed");
+        assert_eq!(
+            graph.labels().len(),
+            self.prev_labels.len(),
+            "node population changed"
+        );
         let bin = self.prev_count.min(MAX_TRACKED_GROUPS);
         self.time_at[bin] += dt;
         self.group_count_stats.push(self.prev_count as f64);
@@ -222,8 +226,16 @@ impl CalibrationResult {
             time_at,
             partitions_at,
             merges_at,
-            mean_group_count: if total_time > 0.0 { gc_weighted / total_time } else { 1.0 },
-            mean_group_size: if total_time > 0.0 { gs_weighted / total_time } else { 0.0 },
+            mean_group_count: if total_time > 0.0 {
+                gc_weighted / total_time
+            } else {
+                1.0
+            },
+            mean_group_size: if total_time > 0.0 {
+                gs_weighted / total_time
+            } else {
+                0.0
+            },
             partition_rate_per_group: 0.0,
             merge_rate_per_group: 0.0,
             mean_hops: hops.mean_hops(),
@@ -289,8 +301,12 @@ mod tests {
 
     #[test]
     fn three_way_split_counts_two_births() {
-        let together =
-            vec![Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0), Vec2::new(30.0, 0.0)];
+        let together = vec![
+            Vec2::ZERO,
+            Vec2::new(10.0, 0.0),
+            Vec2::new(20.0, 0.0),
+            Vec2::new(30.0, 0.0),
+        ];
         let spread = vec![
             Vec2::ZERO,
             Vec2::new(200.0, 0.0),
@@ -356,8 +372,16 @@ mod tests {
         }
         r.total_time = 4_000.0;
         r.refit();
-        assert!((r.partition_rate_per_group - 0.02).abs() < 1e-3, "{}", r.partition_rate_per_group);
-        assert!((r.merge_rate_per_group - 0.05).abs() < 1e-3, "{}", r.merge_rate_per_group);
+        assert!(
+            (r.partition_rate_per_group - 0.02).abs() < 1e-3,
+            "{}",
+            r.partition_rate_per_group
+        );
+        assert!(
+            (r.merge_rate_per_group - 0.05).abs() < 1e-3,
+            "{}",
+            r.merge_rate_per_group
+        );
         assert!((r.partition_rate(3) - 0.06).abs() < 3e-3);
         assert!((r.merge_rate(1) - 0.0).abs() < 1e-12);
     }
@@ -392,7 +416,10 @@ mod tests {
         let cfg = CalibrationConfig {
             duration: 500.0,
             seeds: 1,
-            mobility: MobilityConfig { node_count: 25, ..Default::default() },
+            mobility: MobilityConfig {
+                node_count: 25,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = run_single_calibration(&cfg, 12);

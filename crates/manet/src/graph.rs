@@ -29,9 +29,16 @@ impl ConnectivityGraph {
                 uf.union(a as usize, b as usize);
             });
         }
-        let (labels, component_sizes) =
-            if n > 0 { uf.component_labels() } else { (Vec::new(), Vec::new()) };
-        Self { adjacency, labels, component_sizes }
+        let (labels, component_sizes) = if n > 0 {
+            uf.component_labels()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            adjacency,
+            labels,
+            component_sizes,
+        }
     }
 
     /// Number of nodes.

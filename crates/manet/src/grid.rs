@@ -24,9 +24,14 @@ impl SpatialGrid {
         assert!(cell_size > 0.0, "cell size must be positive");
         let mut bins: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            bins.entry(Self::key(p, cell_size)).or_default().push(i as u32);
+            bins.entry(Self::key(p, cell_size))
+                .or_default()
+                .push(i as u32);
         }
-        Self { cell: cell_size, bins }
+        Self {
+            cell: cell_size,
+            bins,
+        }
     }
 
     fn key(p: &Vec2, cell: f64) -> (i32, i32) {
@@ -39,7 +44,11 @@ impl SpatialGrid {
     /// # Panics
     /// Panics if `radius` exceeds the cell size.
     pub fn for_each_pair_within(&self, points: &[Vec2], radius: f64, mut f: impl FnMut(u32, u32)) {
-        assert!(radius <= self.cell * (1.0 + 1e-12), "radius {radius} exceeds cell {}", self.cell);
+        assert!(
+            radius <= self.cell * (1.0 + 1e-12),
+            "radius {radius} exceeds cell {}",
+            self.cell
+        );
         let r2 = radius * radius;
         for (&(cx, cy), members) in &self.bins {
             // pairs within the same cell
@@ -135,7 +144,11 @@ mod tests {
 
     #[test]
     fn negative_coordinates_handled() {
-        let pts = [Vec2::new(-5.0, -5.0), Vec2::new(-6.0, -5.5), Vec2::new(200.0, 200.0)];
+        let pts = [
+            Vec2::new(-5.0, -5.0),
+            Vec2::new(-6.0, -5.5),
+            Vec2::new(200.0, 200.0),
+        ];
         let grid = SpatialGrid::build(&pts, 50.0);
         let mut got = Vec::new();
         grid.for_each_pair_within(&pts, 50.0, |a, b| got.push((a, b)));

@@ -30,7 +30,10 @@ impl Default for HopSampler {
 impl HopSampler {
     /// Empty sampler.
     pub fn new() -> Self {
-        Self { overall: Welford::new(), by_size: vec![Welford::new(); SIZE_BINS] }
+        Self {
+            overall: Welford::new(),
+            by_size: vec![Welford::new(); SIZE_BINS],
+        }
     }
 
     /// Log₂ bin index for a group size.
@@ -78,7 +81,11 @@ impl HopSampler {
     /// otherwise the overall mean, floored at 1 hop.
     pub fn hops_for_group_size(&self, size: u32) -> f64 {
         let bin = &self.by_size[Self::bin_for_size(size)];
-        let h = if bin.count() > 0 { bin.mean() } else { self.mean_hops() };
+        let h = if bin.count() > 0 {
+            bin.mean()
+        } else {
+            self.mean_hops()
+        };
         h.max(1.0)
     }
 

@@ -84,7 +84,10 @@ mod tests {
         let cfg = CalibrationConfig {
             duration: 400.0,
             seeds: 2,
-            mobility: MobilityConfig { node_count: 30, ..Default::default() },
+            mobility: MobilityConfig {
+                node_count: 30,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = calibrate(&cfg, 7);
@@ -98,7 +101,10 @@ mod tests {
         let cfg = CalibrationConfig {
             duration: 200.0,
             seeds: 2,
-            mobility: MobilityConfig { node_count: 20, ..Default::default() },
+            mobility: MobilityConfig {
+                node_count: 20,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let a = calibrate(&cfg, 99);

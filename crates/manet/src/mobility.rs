@@ -29,7 +29,13 @@ impl Default for MobilityConfig {
     fn default() -> Self {
         // Dismounted-unit speeds; see DESIGN.md §2.4 (the paper does not
         // publish its speed settings).
-        Self { node_count: 100, area_radius: 500.0, speed_min: 1.0, speed_max: 5.0, pause_time: 30.0 }
+        Self {
+            node_count: 100,
+            area_radius: 500.0,
+            speed_min: 1.0,
+            speed_max: 5.0,
+            pause_time: 30.0,
+        }
     }
 }
 
@@ -77,7 +83,11 @@ impl RandomWaypoint {
                 let position = disc.sample_uniform(rng);
                 let waypoint = disc.sample_uniform(rng);
                 let speed = sample_speed(&cfg, rng);
-                NodeState { position, waypoint, phase: Phase::Moving { speed } }
+                NodeState {
+                    position,
+                    waypoint,
+                    phase: Phase::Moving { speed },
+                }
             })
             .collect();
         Self { cfg, disc, nodes }
@@ -118,9 +128,13 @@ impl RandomWaypoint {
             while remaining > 0.0 {
                 let node = &mut self.nodes[i];
                 match node.phase {
-                    Phase::Paused { remaining: pause_left } => {
+                    Phase::Paused {
+                        remaining: pause_left,
+                    } => {
                         if pause_left > remaining {
-                            node.phase = Phase::Paused { remaining: pause_left - remaining };
+                            node.phase = Phase::Paused {
+                                remaining: pause_left - remaining,
+                            };
                             remaining = 0.0;
                         } else {
                             remaining -= pause_left;
@@ -140,7 +154,9 @@ impl RandomWaypoint {
                         } else {
                             node.position = node.waypoint;
                             remaining -= dist / speed;
-                            node.phase = Phase::Paused { remaining: self.cfg.pause_time };
+                            node.phase = Phase::Paused {
+                                remaining: self.cfg.pause_time,
+                            };
                             if self.cfg.pause_time == 0.0 {
                                 node.waypoint = self.disc.sample_uniform(rng);
                                 let speed = sample_speed(&self.cfg, rng);
@@ -176,7 +192,10 @@ mod tests {
 
     #[test]
     fn nodes_stay_in_region() {
-        let cfg = MobilityConfig { node_count: 50, ..Default::default() };
+        let cfg = MobilityConfig {
+            node_count: 50,
+            ..Default::default()
+        };
         let (mut m, mut rng) = model(3, cfg);
         let disc = Disc::new(cfg.area_radius);
         for _ in 0..500 {
@@ -189,7 +208,11 @@ mod tests {
 
     #[test]
     fn nodes_actually_move() {
-        let cfg = MobilityConfig { node_count: 10, pause_time: 0.0, ..Default::default() };
+        let cfg = MobilityConfig {
+            node_count: 10,
+            pause_time: 0.0,
+            ..Default::default()
+        };
         let (mut m, mut rng) = model(4, cfg);
         let before = m.positions();
         m.step(10.0, &mut rng);
@@ -259,14 +282,20 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_speed_rejected() {
-        let cfg = MobilityConfig { speed_min: 0.0, ..Default::default() };
+        let cfg = MobilityConfig {
+            speed_min: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         RandomWaypoint::new(cfg, &mut rng);
     }
 
     #[test]
     fn deterministic_with_seed() {
-        let cfg = MobilityConfig { node_count: 12, ..Default::default() };
+        let cfg = MobilityConfig {
+            node_count: 12,
+            ..Default::default()
+        };
         let (mut a, mut ra) = model(11, cfg);
         let (mut b, mut rb) = model(11, cfg);
         for _ in 0..50 {

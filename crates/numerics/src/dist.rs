@@ -160,9 +160,19 @@ impl Hypergeometric {
     /// # Panics
     /// Panics unless `tagged ≤ total` and `draws ≤ total`.
     pub fn new(total: u64, tagged: u64, draws: u64) -> Self {
-        assert!(tagged <= total, "Hypergeometric: tagged {tagged} > total {total}");
-        assert!(draws <= total, "Hypergeometric: draws {draws} > total {total}");
-        Self { total, tagged, draws }
+        assert!(
+            tagged <= total,
+            "Hypergeometric: tagged {tagged} > total {total}"
+        );
+        assert!(
+            draws <= total,
+            "Hypergeometric: draws {draws} > total {total}"
+        );
+        Self {
+            total,
+            tagged,
+            draws,
+        }
     }
 
     /// Smallest support value `max(0, draws + tagged − total)`.
@@ -229,7 +239,10 @@ impl Poisson {
     /// # Panics
     /// Panics if `lambda < 0` or non-finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda >= 0.0, "Poisson: bad lambda {lambda}");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson: bad lambda {lambda}"
+        );
         Self { lambda }
     }
 
@@ -273,7 +286,10 @@ impl Poisson {
 /// # Panics
 /// Panics if `rate <= 0`.
 pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate > 0.0, "sample_exponential: rate {rate} must be positive");
+    assert!(
+        rate > 0.0,
+        "sample_exponential: rate {rate} must be positive"
+    );
     // Use 1-u to avoid ln(0).
     let u: f64 = rng.gen::<f64>();
     -(1.0 - u).ln() / rate
@@ -407,7 +423,10 @@ mod tests {
     fn exponential_sampler_mean() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, 4.0))
+            .sum::<f64>()
+            / n as f64;
         close(mean, 0.25, 0.01);
     }
 

@@ -31,7 +31,11 @@ impl PoissonWeights {
         assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
         assert!(epsilon > 0.0 && epsilon < 1.0, "bad epsilon {epsilon}");
         if lambda == 0.0 {
-            return Self { left: 0, right: 0, weights: vec![1.0] };
+            return Self {
+                left: 0,
+                right: 0,
+                weights: vec![1.0],
+            };
         }
         let mode = lambda.floor() as usize;
         // ln pmf at the mode (guards underflow for large lambda).
@@ -88,7 +92,11 @@ impl PoissonWeights {
         for w in &mut weights {
             *w /= total;
         }
-        Self { left, right, weights }
+        Self {
+            left,
+            right,
+            weights,
+        }
     }
 
     /// Weight of `k`, zero outside the truncation window.
@@ -156,7 +164,10 @@ mod tests {
             assert!(w.left <= mean && mean <= w.right, "lambda={lambda}");
             // window should be O(sqrt(lambda)) wide, not O(lambda)
             let width = (w.right - w.left) as f64;
-            assert!(width <= 25.0 * lambda.sqrt() + 80.0, "lambda={lambda}: width {width}");
+            assert!(
+                width <= 25.0 * lambda.sqrt() + 80.0,
+                "lambda={lambda}: width {width}"
+            );
         }
     }
 

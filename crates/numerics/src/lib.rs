@@ -23,6 +23,11 @@
 //! Everything here is deterministic and dependency-light so the higher
 //! layers can be exhaustively property-tested.
 
+// Indexed loops mirror the textbook formulations of the numeric kernels,
+// and the Lanczos/rational-approximation constants are quoted at full
+// published precision.
+#![allow(clippy::needless_range_loop, clippy::excessive_precision)]
+
 pub mod dist;
 pub mod foxglynn;
 pub mod linsolve;

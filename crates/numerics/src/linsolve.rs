@@ -34,7 +34,11 @@ pub struct IterConfig {
 
 impl Default for IterConfig {
     fn default() -> Self {
-        Self { tolerance: 1e-12, max_iterations: 100_000, omega: 1.2 }
+        Self {
+            tolerance: 1e-12,
+            max_iterations: 100_000,
+            omega: 1.2,
+        }
     }
 }
 
@@ -76,12 +80,26 @@ pub fn jacobi(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
         if it % 8 == 0 {
             let res = residual_inf(a, &x, b);
             if res <= cfg.tolerance {
-                return (x, SolveReport { iterations: it + 1, residual: res, converged: true });
+                return (
+                    x,
+                    SolveReport {
+                        iterations: it + 1,
+                        residual: res,
+                        converged: true,
+                    },
+                );
             }
         }
     }
     let res = residual_inf(a, &x, b);
-    (x, SolveReport { iterations: cfg.max_iterations, residual: res, converged: res <= cfg.tolerance })
+    (
+        x,
+        SolveReport {
+            iterations: cfg.max_iterations,
+            residual: res,
+            converged: res <= cfg.tolerance,
+        },
+    )
 }
 
 /// Gauss–Seidel iteration (SOR with ω = 1).
@@ -98,7 +116,11 @@ pub fn sor(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "sor: matrix must be square");
     assert_eq!(b.len(), n, "sor: rhs dimension mismatch");
-    assert!(cfg.omega > 0.0 && cfg.omega < 2.0, "sor: omega {} outside (0,2)", cfg.omega);
+    assert!(
+        cfg.omega > 0.0 && cfg.omega < 2.0,
+        "sor: omega {} outside (0,2)",
+        cfg.omega
+    );
     let diag: Vec<f64> = (0..n).map(|r| a.get(r, r)).collect();
     assert!(diag.iter().all(|&d| d != 0.0), "sor: zero diagonal");
     let mut x = vec![0.0; n];
@@ -120,12 +142,26 @@ pub fn sor(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveReport) {
         if delta_max <= cfg.tolerance {
             let res = residual_inf(a, &x, b);
             if res <= cfg.tolerance.max(1e-10) {
-                return (x, SolveReport { iterations: it + 1, residual: res, converged: true });
+                return (
+                    x,
+                    SolveReport {
+                        iterations: it + 1,
+                        residual: res,
+                        converged: true,
+                    },
+                );
             }
         }
     }
     let res = residual_inf(a, &x, b);
-    (x, SolveReport { iterations: cfg.max_iterations, residual: res, converged: res <= cfg.tolerance })
+    (
+        x,
+        SolveReport {
+            iterations: cfg.max_iterations,
+            residual: res,
+            converged: res <= cfg.tolerance,
+        },
+    )
 }
 
 /// Dense LU with partial pivoting. Returns `None` for a singular matrix.
@@ -137,11 +173,13 @@ pub fn dense_lu_solve(a_dense: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     if n == 0 {
         return Some(Vec::new());
     }
-    assert!(a_dense.iter().all(|row| row.len() == n), "dense_lu: ragged matrix");
+    assert!(
+        a_dense.iter().all(|row| row.len() == n),
+        "dense_lu: ragged matrix"
+    );
     assert_eq!(b.len(), n, "dense_lu: rhs dimension mismatch");
     let mut a: Vec<Vec<f64>> = a_dense.to_vec();
     let mut x: Vec<f64> = b.to_vec();
-    let mut perm: Vec<usize> = (0..n).collect();
     for col in 0..n {
         // pivot
         let (pivot_row, pivot_val) = (col..n)
@@ -153,7 +191,6 @@ pub fn dense_lu_solve(a_dense: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         }
         a.swap(col, pivot_row);
         x.swap(col, pivot_row);
-        perm.swap(col, pivot_row);
         let inv = 1.0 / a[col][col];
         for r in col + 1..n {
             let f = a[r][col] * inv;
@@ -192,7 +229,14 @@ pub fn solve_auto(a: &Csr, b: &[f64], cfg: &IterConfig) -> (Vec<f64>, SolveRepor
     if a.rows() <= 4096 {
         if let Some(x) = dense_lu_solve(&a.to_dense(), b) {
             let res = residual_inf(a, &x, b);
-            return (x, SolveReport { iterations: rep.iterations, residual: res, converged: true });
+            return (
+                x,
+                SolveReport {
+                    iterations: rep.iterations,
+                    residual: res,
+                    converged: true,
+                },
+            );
         }
     }
     (x, rep)
@@ -216,13 +260,31 @@ pub fn power_iteration_stationary(p: &Csr, cfg: &IterConfig) -> (Vec<f64>, Solve
                 *v /= total;
             }
         }
-        let diff = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max);
+        let diff = pi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
         std::mem::swap(&mut pi, &mut next);
         if diff <= cfg.tolerance {
-            return (pi, SolveReport { iterations: it + 1, residual: diff, converged: true });
+            return (
+                pi,
+                SolveReport {
+                    iterations: it + 1,
+                    residual: diff,
+                    converged: true,
+                },
+            );
         }
     }
-    (pi.clone(), SolveReport { iterations: cfg.max_iterations, residual: f64::NAN, converged: false })
+    (
+        pi.clone(),
+        SolveReport {
+            iterations: cfg.max_iterations,
+            residual: f64::NAN,
+            converged: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -267,13 +329,21 @@ mod tests {
         let (_, rj) = jacobi(&a, &b, &IterConfig::default());
         let (_, rg) = gauss_seidel(&a, &b, &IterConfig::default());
         assert!(rg.converged && rj.converged);
-        assert!(rg.iterations <= rj.iterations, "gs {} vs j {}", rg.iterations, rj.iterations);
+        assert!(
+            rg.iterations <= rj.iterations,
+            "gs {} vs j {}",
+            rg.iterations,
+            rj.iterations
+        );
     }
 
     #[test]
     fn sor_converges() {
         let (a, b, x) = diag_dominant_example();
-        let cfg = IterConfig { omega: 1.3, ..Default::default() };
+        let cfg = IterConfig {
+            omega: 1.3,
+            ..Default::default()
+        };
         let (sol, rep) = sor(&a, &b, &cfg);
         assert!(rep.converged);
         assert_vec_close(&sol, &x, 1e-9);
@@ -283,7 +353,10 @@ mod tests {
     #[should_panic]
     fn sor_rejects_bad_omega() {
         let (a, b, _) = diag_dominant_example();
-        let cfg = IterConfig { omega: 2.5, ..Default::default() };
+        let cfg = IterConfig {
+            omega: 2.5,
+            ..Default::default()
+        };
         sor(&a, &b, &cfg);
     }
 
@@ -352,7 +425,10 @@ mod tests {
         t.push(1, 0, 3.0);
         t.push(1, 1, 1.0);
         let a = t.build();
-        let cfg = IterConfig { max_iterations: 50, ..Default::default() };
+        let cfg = IterConfig {
+            max_iterations: 50,
+            ..Default::default()
+        };
         let (x, rep) = solve_auto(&a, &[7.0, 5.0], &cfg);
         assert!(rep.converged);
         assert_vec_close(&x, &[1.0, 2.0], 1e-9);

@@ -82,7 +82,10 @@ mod tests {
         let master = 0xDEADBEEF;
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000 {
-            assert!(seen.insert(child_seed(master, i)), "duplicate child seed at {i}");
+            assert!(
+                seen.insert(child_seed(master, i)),
+                "duplicate child seed at {i}"
+            );
         }
     }
 

@@ -20,8 +20,15 @@ pub struct Extremum {
 /// Panics on an empty grid or if `f` returns NaN.
 pub fn grid_argmax(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> Extremum {
     assert!(!grid.is_empty(), "grid_argmax: empty grid");
-    let mut best = Extremum { x: grid[0], value: f(grid[0]) };
-    assert!(!best.value.is_nan(), "objective returned NaN at {}", grid[0]);
+    let mut best = Extremum {
+        x: grid[0],
+        value: f(grid[0]),
+    };
+    assert!(
+        !best.value.is_nan(),
+        "objective returned NaN at {}",
+        grid[0]
+    );
     for &x in &grid[1..] {
         let v = f(x);
         assert!(!v.is_nan(), "objective returned NaN at {x}");
@@ -35,19 +42,17 @@ pub fn grid_argmax(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> Extremum {
 /// Argmin of `f` over the grid (argmax of `−f`).
 pub fn grid_argmin(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> Extremum {
     let e = grid_argmax(grid, |x| -f(x));
-    Extremum { x: e.x, value: -e.value }
+    Extremum {
+        x: e.x,
+        value: -e.value,
+    }
 }
 
 /// Golden-section search maximizing a unimodal `f` on `[lo, hi]`.
 ///
 /// # Panics
 /// Panics if `lo >= hi` or tolerance is non-positive.
-pub fn golden_section_max(
-    lo: f64,
-    hi: f64,
-    tol: f64,
-    mut f: impl FnMut(f64) -> f64,
-) -> Extremum {
+pub fn golden_section_max(lo: f64, hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> Extremum {
     assert!(lo < hi, "golden_section_max: empty interval [{lo}, {hi}]");
     assert!(tol > 0.0, "golden_section_max: bad tolerance {tol}");
     let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
@@ -78,7 +83,10 @@ pub fn golden_section_max(
 /// Golden-section search minimizing a unimodal `f` on `[lo, hi]`.
 pub fn golden_section_min(lo: f64, hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> Extremum {
     let e = golden_section_max(lo, hi, tol, |x| -f(x));
-    Extremum { x: e.x, value: -e.value }
+    Extremum {
+        x: e.x,
+        value: -e.value,
+    }
 }
 
 /// `n` log-spaced points from `lo` to `hi` inclusive.
@@ -86,7 +94,10 @@ pub fn golden_section_min(lo: f64, hi: f64, tol: f64, mut f: impl FnMut(f64) -> 
 /// # Panics
 /// Panics unless `0 < lo < hi` and `n >= 2`.
 pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && hi > lo, "log_space: need 0 < lo < hi, got [{lo}, {hi}]");
+    assert!(
+        lo > 0.0 && hi > lo,
+        "log_space: need 0 < lo < hi, got [{lo}, {hi}]"
+    );
     assert!(n >= 2, "log_space: need at least two points");
     let (l0, l1) = (lo.ln(), hi.ln());
     (0..n)
@@ -101,7 +112,9 @@ pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 pub fn lin_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(hi > lo, "lin_space: need lo < hi");
     assert!(n >= 2, "lin_space: need at least two points");
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,7 +16,11 @@ pub struct Triplets {
 impl Triplets {
     /// New buffer for a `rows × cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Append `a[r, c] += v`.
@@ -24,7 +28,12 @@ impl Triplets {
     /// # Panics
     /// Panics if the indices are out of range.
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "triplet ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "triplet ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         if v != 0.0 {
             self.entries.push((r as u32, c as u32, v));
         }
@@ -42,7 +51,8 @@ impl Triplets {
 
     /// Sort, merge duplicates, and build the CSR matrix.
     pub fn build(mut self) -> Csr {
-        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
         for (r, c, v) in self.entries {
             match merged.last_mut() {
@@ -58,7 +68,13 @@ impl Triplets {
             row_ptr[i + 1] += row_ptr[i];
         }
         let (col_idx, values) = merged.into_iter().map(|(_, c, v)| (c, v)).unzip();
-        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -75,7 +91,13 @@ pub struct Csr {
 impl Csr {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -106,7 +128,10 @@ impl Csr {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r] as usize;
         let hi = self.row_ptr[r + 1] as usize;
-        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
     }
 
     /// Entry lookup (O(row nnz)).
@@ -166,7 +191,9 @@ impl Csr {
 
     /// Row sums.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// Dense copy (rows × cols) — test/debug helper, avoid for large

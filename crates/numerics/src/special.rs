@@ -7,10 +7,10 @@
 /// Lanczos coefficients (g = 7, n = 9), Boost/GSL-compatible.
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
+    771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
@@ -104,7 +104,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let mut y = 1.0 - poly * (-x * x).exp();
     // One Newton refinement: d/dy? We refine y as root of F(y)=erfinv-ish is
     // awkward; instead do a single correction using the derivative
@@ -171,7 +172,7 @@ pub fn norm_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -253,7 +254,11 @@ mod tests {
         // Γ(1/2) = sqrt(pi)
         close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
         // Γ(3/2) = sqrt(pi)/2
-        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
     }
 
     #[test]

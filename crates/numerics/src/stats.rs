@@ -66,7 +66,13 @@ pub struct Welford {
 impl Welford {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -151,7 +157,12 @@ impl Welford {
         assert!(level > 0.0 && level < 1.0, "bad confidence level {level}");
         let z = norm_quantile(0.5 + level / 2.0);
         let half = z * self.std_err();
-        ConfidenceInterval { mean: self.mean, half_width: half, level, n: self.n }
+        ConfidenceInterval {
+            mean: self.mean,
+            half_width: half,
+            level,
+            n: self.n,
+        }
     }
 }
 
@@ -231,7 +242,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range empty: [{lo}, {hi})");
-        Self { lo, hi, buckets: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Record a value.

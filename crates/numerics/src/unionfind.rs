@@ -14,7 +14,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        Self { parent: (0..len as u32).collect(), rank: vec![0; len], components: len }
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            components: len,
+        }
     }
 
     /// Number of elements.
@@ -45,7 +49,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi as u32;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

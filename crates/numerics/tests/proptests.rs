@@ -1,4 +1,5 @@
 //! Property-based tests for the numerics substrate.
+#![allow(clippy::needless_range_loop)] // dense reference matrices are index-driven
 
 use numerics::dist::{Binomial, Hypergeometric, Poisson};
 use numerics::linsolve::{dense_lu_solve, gauss_seidel, IterConfig};

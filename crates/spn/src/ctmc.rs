@@ -19,7 +19,7 @@
 use crate::error::SpnError;
 use crate::reach::ReachabilityGraph;
 use numerics::foxglynn::PoissonWeights;
-use numerics::linsolve::{solve_auto, IterConfig};
+use numerics::linsolve::IterConfig;
 use numerics::sparse::{Csr, Triplets};
 
 /// A CTMC extracted from a reachability graph.
@@ -68,8 +68,16 @@ impl AbsorptionAnalysis {
     /// # Panics
     /// Panics if `reward_per_state.len()` differs from the state count.
     pub fn accumulated_reward(&self, reward_per_state: &[f64]) -> f64 {
-        assert_eq!(reward_per_state.len(), self.sojourn.len(), "reward vector length mismatch");
-        self.sojourn.iter().zip(reward_per_state).map(|(s, r)| s * r).sum()
+        assert_eq!(
+            reward_per_state.len(),
+            self.sojourn.len(),
+            "reward vector length mismatch"
+        );
+        self.sojourn
+            .iter()
+            .zip(reward_per_state)
+            .map(|(s, r)| s * r)
+            .sum()
     }
 
     /// Time-averaged rate reward until absorption (accumulated / MTTA).
@@ -91,7 +99,9 @@ impl Ctmc {
     pub fn from_graph(graph: &ReachabilityGraph) -> Result<Self, SpnError> {
         let n = graph.state_count();
         if n == 0 {
-            return Err(SpnError::InvalidModel("reachability graph has no states".into()));
+            return Err(SpnError::InvalidModel(
+                "reachability graph has no states".into(),
+            ));
         }
         let mass: f64 = graph.initial_distribution.iter().map(|&(_, p)| p).sum();
         if (mass - 1.0).abs() > 1e-9 {
@@ -103,8 +113,13 @@ impl Ctmc {
         let mut exit = vec![0.0; n];
         for (s, elist) in graph.edges.iter().enumerate() {
             for e in elist {
-                t.push(s, e.target as usize, e.rate);
-                exit[s] += e.rate;
+                // Zero-rate edges can appear after re-weighting a graph with
+                // a rate function that vanishes in some states; they carry
+                // no CTMC mass and would only distort reachability checks.
+                if e.rate > 0.0 {
+                    t.push(s, e.target as usize, e.rate);
+                    exit[s] += e.rate;
+                }
             }
         }
         Ok(Self {
@@ -144,8 +159,12 @@ impl Ctmc {
     fn reachable_from_initial(&self) -> Vec<bool> {
         let n = self.state_count();
         let mut seen = vec![false; n];
-        let mut stack: Vec<usize> =
-            self.initial.iter().filter(|&&(_, p)| p > 0.0).map(|&(s, _)| s as usize).collect();
+        let mut stack: Vec<usize> = self
+            .initial
+            .iter()
+            .filter(|&&(_, p)| p > 0.0)
+            .map(|&(s, _)| s as usize)
+            .collect();
         for &s in &stack {
             seen[s] = true;
         }
@@ -205,7 +224,9 @@ impl Ctmc {
         }
 
         // Transient states: reachable, non-absorbing.
-        let transient: Vec<usize> = (0..n).filter(|&i| reachable[i] && !self.absorbing[i]).collect();
+        let transient: Vec<usize> = (0..n)
+            .filter(|&i| reachable[i] && !self.absorbing[i])
+            .collect();
         let mut local = vec![usize::MAX; n];
         for (li, &gi) in transient.iter().enumerate() {
             local[gi] = li;
@@ -224,32 +245,22 @@ impl Ctmc {
             });
         }
 
-        // Build (Q_TT)^T and RHS −π₀ restricted to transient states.
-        let mut t = Triplets::new(nt, nt);
-        for (li, &gi) in transient.iter().enumerate() {
-            t.push(li, li, -self.exit[gi]);
-            for (gj, rate) in self.rates.row(gi) {
-                if local[gj] != usize::MAX {
-                    // transpose: entry (col, row)
-                    t.push(local[gj], li, rate);
-                }
-            }
-        }
-        let a = t.build();
+        // Solve Σ_i σ_i q_ij = −π₀_j over the transient states. The chains
+        // produced by absorbing security models are mostly acyclic (progress
+        // variables only move one way; only small auxiliary dimensions, like
+        // the group-count birth–death, cycle), so instead of a global
+        // fixed-point iteration we solve block-by-block over the strongly
+        // connected components in topological order: each SCC becomes a
+        // small dense system with already-solved predecessors folded into
+        // its right-hand side. Oversized SCCs fall back to the iterative
+        // solver on their subsystem, so the path is exact and general.
         let mut b = vec![0.0; nt];
         for &(s, p) in &self.initial {
             if local[s as usize] != usize::MAX {
                 b[local[s as usize]] = -p;
             }
         }
-        let cfg = IterConfig { tolerance: 1e-13, max_iterations: 200_000, omega: 1.0 };
-        let (sigma_local, report) = solve_auto(&a, &b, &cfg);
-        if !report.converged {
-            return Err(SpnError::SolverDiverged {
-                iterations: report.iterations,
-                residual: report.residual,
-            });
-        }
+        let sigma_local = self.solve_sojourn_by_scc(&transient, &local, &b)?;
 
         let mut sojourn = vec![0.0; n];
         for (li, &gi) in transient.iter().enumerate() {
@@ -277,7 +288,148 @@ impl Ctmc {
                 }
             }
         }
-        Ok(AbsorptionAnalysis { mtta, sojourn, absorption_probability })
+        Ok(AbsorptionAnalysis {
+            mtta,
+            sojourn,
+            absorption_probability,
+        })
+    }
+
+    /// Solve the sojourn system `Σ_i σ_i q_ij = b_j` over the transient
+    /// states by SCC decomposition: Tarjan's algorithm on the transient
+    /// subgraph, then one small direct solve per component in topological
+    /// order (predecessor components folded into the right-hand side).
+    ///
+    /// # Errors
+    /// Returns [`SpnError::SolverDiverged`] if an oversized component's
+    /// iterative fallback fails to converge.
+    fn solve_sojourn_by_scc(
+        &self,
+        transient: &[usize],
+        local: &[usize],
+        b: &[f64],
+    ) -> Result<Vec<f64>, SpnError> {
+        let nt = transient.len();
+        // Successor and predecessor adjacency restricted to transients
+        // (local indices, parallel edges pre-merged by the CSR build).
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nt];
+        let mut pred: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nt];
+        for (li, &gi) in transient.iter().enumerate() {
+            for (gj, rate) in self.rates.row(gi) {
+                let lj = local[gj];
+                if lj != usize::MAX && rate > 0.0 {
+                    succ[li].push(lj);
+                    pred[lj].push((li, rate));
+                }
+            }
+        }
+
+        let components = tarjan_scc(&succ);
+        let mut sigma = vec![0.0; nt];
+        let mut pos = vec![usize::MAX; nt];
+        // `components` comes back sinks-first; walk it in reverse so every
+        // predecessor component is solved before its successors.
+        for block in components.iter().rev() {
+            for (k, &m) in block.iter().enumerate() {
+                pos[m] = k;
+            }
+            let nb = block.len();
+            if nb == 1 {
+                let j = block[0];
+                let mut rhs = b[j];
+                for &(i, rate) in &pred[j] {
+                    if i != j {
+                        rhs -= rate * sigma[i];
+                    }
+                }
+                // Self-edges cannot appear (the reachability graph drops
+                // them), so the diagonal is exactly −exit.
+                sigma[j] = rhs / -self.exit[transient[j]];
+            } else {
+                // External (already-solved) predecessors fold into the RHS;
+                // in-block couplings form the subsystem matrix.
+                let mut rhs = vec![0.0; nb];
+                for (r, &j) in block.iter().enumerate() {
+                    rhs[r] = b[j];
+                    for &(i, rate) in &pred[j] {
+                        if pos[i] == usize::MAX {
+                            rhs[r] -= rate * sigma[i];
+                        }
+                    }
+                }
+                // Small components solve directly; oversized (or degenerate)
+                // ones stay sparse end-to-end and use the iterative solver —
+                // no O(nb²) dense materialization.
+                let solved = if nb <= 512 {
+                    let mut a = vec![vec![0.0; nb]; nb];
+                    for (r, &j) in block.iter().enumerate() {
+                        a[r][r] = -self.exit[transient[j]];
+                        for &(i, rate) in &pred[j] {
+                            if pos[i] != usize::MAX {
+                                a[r][pos[i]] += rate;
+                            }
+                        }
+                    }
+                    numerics::linsolve::dense_lu_solve(&a, &rhs)
+                } else {
+                    None
+                };
+                let block_sigma = match solved {
+                    Some(x) => x,
+                    None => {
+                        let mut t = Triplets::new(nb, nb);
+                        for (r, &j) in block.iter().enumerate() {
+                            t.push(r, r, -self.exit[transient[j]]);
+                            for &(i, rate) in &pred[j] {
+                                if pos[i] != usize::MAX {
+                                    t.push(r, pos[i], rate);
+                                }
+                            }
+                        }
+                        let cfg = IterConfig {
+                            tolerance: 1e-13,
+                            max_iterations: 200_000,
+                            omega: 1.0,
+                        };
+                        let (x, report) = numerics::linsolve::gauss_seidel(&t.build(), &rhs, &cfg);
+                        if report.converged {
+                            x
+                        } else if nb <= 4096 {
+                            // Divergent iteration on a mid-sized component:
+                            // rescue with a direct solve, as the pre-SCC
+                            // solve_auto path did.
+                            let mut a = vec![vec![0.0; nb]; nb];
+                            for (r, &j) in block.iter().enumerate() {
+                                a[r][r] = -self.exit[transient[j]];
+                                for &(i, rate) in &pred[j] {
+                                    if pos[i] != usize::MAX {
+                                        a[r][pos[i]] += rate;
+                                    }
+                                }
+                            }
+                            numerics::linsolve::dense_lu_solve(&a, &rhs).ok_or(
+                                SpnError::SolverDiverged {
+                                    iterations: report.iterations,
+                                    residual: report.residual,
+                                },
+                            )?
+                        } else {
+                            return Err(SpnError::SolverDiverged {
+                                iterations: report.iterations,
+                                residual: report.residual,
+                            });
+                        }
+                    }
+                };
+                for (&m, &x) in block.iter().zip(&block_sigma) {
+                    sigma[m] = x;
+                }
+            }
+            for &m in block {
+                pos[m] = usize::MAX;
+            }
+        }
+        Ok(sigma)
     }
 
     /// Uniformization constant and DTMC for transient analysis.
@@ -378,7 +530,11 @@ impl Ctmc {
             ));
         }
         let (_, p) = self.uniformized();
-        let cfg = IterConfig { tolerance: 1e-13, max_iterations: 1_000_000, omega: 1.0 };
+        let cfg = IterConfig {
+            tolerance: 1e-13,
+            max_iterations: 1_000_000,
+            omega: 1.0,
+        };
         let (pi, rep) = numerics::linsolve::power_iteration_stationary(&p, &cfg);
         if !rep.converged {
             return Err(SpnError::SolverDiverged {
@@ -388,6 +544,69 @@ impl Ctmc {
         }
         Ok(pi)
     }
+}
+
+/// Iterative Tarjan strongly-connected components. Components are emitted
+/// in reverse topological order of the condensation (every component
+/// appears before its predecessors).
+fn tarjan_scc(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < succ[v].len() {
+                let w = succ[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
 }
 
 #[cfg(test)]
@@ -439,13 +658,25 @@ mod tests {
             let up = b.add_place("up", 1);
             let dead_a = b.add_place("A", 0);
             let dead_b = b.add_place("B", 0);
-            b.add_transition(TransitionDef::timed_const("to_a", 1.0).input(up, 1).output(dead_a, 1));
-            b.add_transition(TransitionDef::timed_const("to_b", 3.0).input(up, 1).output(dead_b, 1));
+            b.add_transition(
+                TransitionDef::timed_const("to_a", 1.0)
+                    .input(up, 1)
+                    .output(dead_a, 1),
+            );
+            b.add_transition(
+                TransitionDef::timed_const("to_b", 3.0)
+                    .input(up, 1)
+                    .output(dead_b, 1),
+            );
         });
         let a = c.mean_time_to_absorption().unwrap();
         assert!((a.mtta - 0.25).abs() < 1e-10);
-        let mut probs: Vec<f64> =
-            a.absorption_probability.iter().copied().filter(|&p| p > 0.0).collect();
+        let mut probs: Vec<f64> = a
+            .absorption_probability
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0)
+            .collect();
         probs.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert!((probs[0] - 0.25).abs() < 1e-10);
         assert!((probs[1] - 0.75).abs() < 1e-10);
@@ -456,7 +687,11 @@ mod tests {
         // no absorbing state: M/M/1/K loop
         let c = build(|b| {
             let q = b.add_place("q", 0);
-            b.add_transition(TransitionDef::timed_const("in", 1.0).output(q, 1).inhibitor(q, 3));
+            b.add_transition(
+                TransitionDef::timed_const("in", 1.0)
+                    .output(q, 1)
+                    .inhibitor(q, 3),
+            );
             b.add_transition(TransitionDef::timed_const("out", 2.0).input(q, 1));
         });
         assert!(matches!(
@@ -536,7 +771,11 @@ mod tests {
         // M/M/1/2 with λ=1, μ=2: π ∝ (1, ρ, ρ²), ρ=0.5
         let c = build(|b| {
             let q = b.add_place("q", 0);
-            b.add_transition(TransitionDef::timed_const("in", 1.0).output(q, 1).inhibitor(q, 2));
+            b.add_transition(
+                TransitionDef::timed_const("in", 1.0)
+                    .output(q, 1)
+                    .inhibitor(q, 2),
+            );
             b.add_transition(TransitionDef::timed_const("out", 2.0).input(q, 1));
         });
         let pi = c.steady_state().unwrap();
@@ -554,7 +793,10 @@ mod tests {
             let up = b.add_place("up", 1);
             b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1));
         });
-        assert!(matches!(c.steady_state(), Err(SpnError::AnalysisUnavailable(_))));
+        assert!(matches!(
+            c.steady_state(),
+            Err(SpnError::AnalysisUnavailable(_))
+        ));
     }
 
     #[test]
@@ -580,7 +822,9 @@ mod tests {
         let c = build(|b| {
             let up = b.add_place("up", 2);
             let leak = b.add_place("leak", 0);
-            b.add_transition(TransitionDef::timed("step", move |m| m.tokens(up) as f64).input(up, 1));
+            b.add_transition(
+                TransitionDef::timed("step", move |m| m.tokens(up) as f64).input(up, 1),
+            );
             b.add_transition(
                 TransitionDef::timed("jump", move |m| 0.3 * m.tokens(up) as f64)
                     .input(up, 1)

@@ -21,7 +21,11 @@ pub fn net_to_dot(net: &Spn) -> String {
         .unwrap();
     }
     for t in net.transition_ids() {
-        let style = if net.is_immediate(t) { "filled" } else { "solid" };
+        let style = if net.is_immediate(t) {
+            "filled"
+        } else {
+            "solid"
+        };
         writeln!(
             s,
             "  t{} [shape=box, style={style}, label=\"{}\"];",
@@ -32,11 +36,19 @@ pub fn net_to_dot(net: &Spn) -> String {
     }
     for (t, def) in net.transition_defs() {
         for &(p, mult) in &def.0 {
-            let lbl = if mult > 1 { format!(" [label=\"{mult}\"]") } else { String::new() };
+            let lbl = if mult > 1 {
+                format!(" [label=\"{mult}\"]")
+            } else {
+                String::new()
+            };
             writeln!(s, "  p{} -> t{}{lbl};", p.index(), t.index()).unwrap();
         }
         for &(p, mult) in &def.1 {
-            let lbl = if mult > 1 { format!(" [label=\"{mult}\"]") } else { String::new() };
+            let lbl = if mult > 1 {
+                format!(" [label=\"{mult}\"]")
+            } else {
+                String::new()
+            };
             writeln!(s, "  t{} -> p{}{lbl};", t.index(), p.index()).unwrap();
         }
         for &(p, thresh) in &def.2 {
@@ -59,7 +71,11 @@ pub fn graph_to_dot(graph: &ReachabilityGraph, net: &Spn) -> String {
     let mut s = String::new();
     writeln!(s, "digraph reach {{").unwrap();
     for (i, m) in graph.states.iter().enumerate() {
-        let shape = if graph.absorbing[i] { "doublecircle" } else { "ellipse" };
+        let shape = if graph.absorbing[i] {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
         writeln!(s, "  s{i} [shape={shape}, label=\"{m:?}\"];").unwrap();
     }
     for (i, elist) in graph.edges.iter().enumerate() {
@@ -95,7 +111,10 @@ impl Spn {
         self.transition_ids()
             .map(|t| {
                 let tr = self.transition_ref(t);
-                (t, (tr.inputs.clone(), tr.outputs.clone(), tr.inhibitors.clone()))
+                (
+                    t,
+                    (tr.inputs.clone(), tr.outputs.clone(), tr.inhibitors.clone()),
+                )
             })
             .collect()
     }
@@ -120,7 +139,10 @@ mod tests {
         let a = b.add_place("A", 2);
         let c = b.add_place("B", 0);
         b.add_transition(
-            TransitionDef::timed_const("mv", 1.0).input(a, 1).output(c, 1).inhibitor(c, 5),
+            TransitionDef::timed_const("mv", 1.0)
+                .input(a, 1)
+                .output(c, 1)
+                .inhibitor(c, 5),
         );
         b.add_transition(TransitionDef::immediate("snap").input(c, 2).output(a, 2));
         b.build().unwrap()

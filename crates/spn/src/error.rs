@@ -50,8 +50,14 @@ impl fmt::Display for SpnError {
                 write!(f, "transition {transition} returned invalid rate {value}")
             }
             SpnError::AnalysisUnavailable(msg) => write!(f, "analysis unavailable: {msg}"),
-            SpnError::SolverDiverged { iterations, residual } => {
-                write!(f, "solver diverged after {iterations} iterations (residual {residual})")
+            SpnError::SolverDiverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "solver diverged after {iterations} iterations (residual {residual})"
+                )
             }
         }
     }
@@ -67,7 +73,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = SpnError::StateSpaceExceeded { cap: 10 };
         assert!(e.to_string().contains("10"));
-        let e = SpnError::BadRate { transition: "T_CP".into(), value: -1.0 };
+        let e = SpnError::BadRate {
+            transition: "T_CP".into(),
+            value: -1.0,
+        };
         assert!(e.to_string().contains("T_CP"));
         assert!(e.to_string().contains("-1"));
         let e = SpnError::InvalidModel("dup".into());

@@ -149,7 +149,9 @@ impl TransitionDef {
     ) -> Self {
         Self {
             name: name.into(),
-            kind: TransitionKind::Timed { rate: Arc::new(rate) },
+            kind: TransitionKind::Timed {
+                rate: Arc::new(rate),
+            },
             inputs: Vec::new(),
             outputs: Vec::new(),
             inhibitors: Vec::new(),
@@ -177,7 +179,10 @@ impl TransitionDef {
     ) -> Self {
         Self {
             name: name.into(),
-            kind: TransitionKind::Immediate { weight: Arc::new(weight), priority },
+            kind: TransitionKind::Immediate {
+                weight: Arc::new(weight),
+                priority,
+            },
             inputs: Vec::new(),
             outputs: Vec::new(),
             inhibitors: Vec::new(),
@@ -289,7 +294,10 @@ impl SpnBuilder {
         let mut seen = std::collections::HashSet::new();
         for t in &self.transitions {
             if !seen.insert(t.name.as_str()) {
-                return Err(SpnError::InvalidModel(format!("duplicate transition name {}", t.name)));
+                return Err(SpnError::InvalidModel(format!(
+                    "duplicate transition name {}",
+                    t.name
+                )));
             }
             let np = self.place_names.len() as u32;
             for &(p, mult) in t.inputs.iter().chain(&t.outputs) {
@@ -365,12 +373,18 @@ impl Spn {
 
     /// Look up a place id by name.
     pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
-        self.place_names.iter().position(|n| n == name).map(|i| PlaceId(i as u32))
+        self.place_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| PlaceId(i as u32))
     }
 
     /// Look up a transition id by name.
     pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
-        self.transitions.iter().position(|t| t.name == name).map(|i| TransitionId(i as u32))
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TransitionId(i as u32))
     }
 
     /// All transition ids.
@@ -420,7 +434,10 @@ impl Spn {
             TransitionKind::Timed { rate } => {
                 let r = rate(m);
                 if !r.is_finite() || r < 0.0 {
-                    return Err(SpnError::BadRate { transition: tr.name.clone(), value: r });
+                    return Err(SpnError::BadRate {
+                        transition: tr.name.clone(),
+                        value: r,
+                    });
                 }
                 Ok(Some(r))
             }
@@ -443,7 +460,10 @@ impl Spn {
             TransitionKind::Immediate { weight, priority } => {
                 let w = weight(m);
                 if !w.is_finite() || w < 0.0 {
-                    return Err(SpnError::BadRate { transition: tr.name.clone(), value: w });
+                    return Err(SpnError::BadRate {
+                        transition: tr.name.clone(),
+                        value: w,
+                    });
                 }
                 Ok(Some((w, *priority)))
             }
@@ -453,7 +473,10 @@ impl Spn {
 
     /// True when `t` is an immediate transition.
     pub fn is_immediate(&self, t: TransitionId) -> bool {
-        matches!(self.transitions[t.0 as usize].kind, TransitionKind::Immediate { .. })
+        matches!(
+            self.transitions[t.0 as usize].kind,
+            TransitionKind::Immediate { .. }
+        )
     }
 
     /// Fire `t` in `m`, returning the successor marking.
@@ -534,7 +557,10 @@ impl fmt::Debug for Spn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Spn")
             .field("places", &self.place_names)
-            .field("transitions", &self.transitions.iter().map(|t| &t.name).collect::<Vec<_>>())
+            .field(
+                "transitions",
+                &self.transitions.iter().map(|t| &t.name).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -547,7 +573,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("A", 2);
         let c = b.add_place("B", 0);
-        b.add_transition(TransitionDef::timed_const("move", 1.5).input(a, 1).output(c, 1));
+        b.add_transition(
+            TransitionDef::timed_const("move", 1.5)
+                .input(a, 1)
+                .output(c, 1),
+        );
         (b.build().unwrap(), a, c)
     }
 
@@ -590,7 +620,10 @@ mod tests {
 
     #[test]
     fn empty_net_rejected() {
-        assert!(matches!(SpnBuilder::new().build(), Err(SpnError::InvalidModel(_))));
+        assert!(matches!(
+            SpnBuilder::new().build(),
+            Err(SpnError::InvalidModel(_))
+        ));
     }
 
     #[test]
@@ -619,7 +652,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("A", 1);
         let block = b.add_place("Block", 1);
-        b.add_transition(TransitionDef::timed_const("t", 1.0).input(a, 1).inhibitor(block, 1));
+        b.add_transition(
+            TransitionDef::timed_const("t", 1.0)
+                .input(a, 1)
+                .inhibitor(block, 1),
+        );
         let net = b.build().unwrap();
         let t = net.transition_by_name("t").unwrap();
         let mut m = net.initial_marking();
@@ -633,7 +670,9 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("A", 5);
         b.add_transition(
-            TransitionDef::timed_const("t", 1.0).input(a, 1).guard(move |m| m.tokens(a) > 3),
+            TransitionDef::timed_const("t", 1.0)
+                .input(a, 1)
+                .guard(move |m| m.tokens(a) > 3),
         );
         let net = b.build().unwrap();
         let t = net.transition_by_name("t").unwrap();
@@ -666,8 +705,9 @@ mod tests {
         let (net, a, _) = simple_net();
         let mut b = SpnBuilder::new();
         let a2 = b.add_place("A", 7);
-        b.add_transition(TransitionDef::timed("drain", move |m| 0.5 * m.tokens(a2) as f64)
-            .input(a2, 1));
+        b.add_transition(
+            TransitionDef::timed("drain", move |m| 0.5 * m.tokens(a2) as f64).input(a2, 1),
+        );
         let net2 = b.build().unwrap();
         let t = net2.transition_by_name("drain").unwrap();
         let m = net2.initial_marking();

@@ -30,7 +30,10 @@ pub struct ExploreOptions {
 
 impl Default for ExploreOptions {
     fn default() -> Self {
-        Self { max_states: 2_000_000, max_vanishing_depth: 64 }
+        Self {
+            max_states: 2_000_000,
+            max_vanishing_depth: 64,
+        }
     }
 }
 
@@ -77,12 +80,118 @@ impl ReachabilityGraph {
 
     /// Indices of absorbing states.
     pub fn absorbing_states(&self) -> impl Iterator<Item = usize> + '_ {
-        self.absorbing.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i)
+        self.absorbing
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i)
     }
 
     /// Exit rate (sum of outgoing edge rates) of a state.
     pub fn exit_rate(&self, state: usize) -> f64 {
         self.edges[state].iter().map(|e| e.rate).sum()
+    }
+
+    /// Re-weight every edge and self-loop in place from `net`'s *current*
+    /// timed-rate functions, without re-exploring the state space.
+    ///
+    /// This is the engine behind explore-once-solve-many sweeps: the state
+    /// space of the Cho–Chen net depends only on structural parameters
+    /// (`N`, `max_groups`), while the detection interval, attacker
+    /// intensity, vote-participant count and rate shapes only change the
+    /// *rates*. For such rate-only variations the graph explored once can
+    /// be re-weighted in `O(states × transitions)` instead of re-running
+    /// the full breadth-first interning walk.
+    ///
+    /// For each tangible state `s` and timed transition `t`, the total rate
+    /// mass recorded at exploration time (the sum over `t`'s edges out of
+    /// `s` plus any retained self-loop rate) equals `rate_t(s)` of the net
+    /// that was explored; each edge holds its share of that mass (1 unless
+    /// vanishing markings split the firing probabilistically). Re-weighting
+    /// rescales every share by `new_rate / old_mass`, which preserves the
+    /// vanishing-resolution probabilities — exact whenever the immediate
+    /// weight *ratios* are unchanged (trivially true for nets without
+    /// immediate transitions, like the GCS model).
+    ///
+    /// # Errors
+    /// * [`SpnError::InvalidModel`] if `net` enables a timed transition with
+    ///   positive rate in a state where the explored graph recorded no mass
+    ///   for it (the variation is structural; re-explore instead), or if
+    ///   `net` refers to a transition id outside this graph's vocabulary.
+    /// * [`SpnError::BadRate`] from misbehaving rate functions.
+    pub fn reweight_in_place(&mut self, net: &Spn) -> Result<(), SpnError> {
+        let mut old_mass: HashMap<TransitionId, f64> = HashMap::new();
+        let mut new_rate: HashMap<TransitionId, f64> = HashMap::new();
+        for s in 0..self.states.len() {
+            old_mass.clear();
+            for e in &self.edges[s] {
+                *old_mass.entry(e.transition).or_insert(0.0) += e.rate;
+            }
+            for &(t, r) in &self.self_loop_rates[s] {
+                *old_mass.entry(t).or_insert(0.0) += r;
+            }
+            let marking = &self.states[s];
+            new_rate.clear();
+            for (t, r) in net.enabled_timed(marking)? {
+                match old_mass.get(&t) {
+                    Some(&mass) if mass > 0.0 => {}
+                    _ => {
+                        return Err(SpnError::InvalidModel(format!(
+                            "reweight: transition {} gained rate {r} in state {s} \
+                             where the explored graph has no mass for it; \
+                             the change is structural — re-explore",
+                            net.transition_name(t)
+                        )))
+                    }
+                }
+                new_rate.insert(t, r);
+            }
+            // Transitions absent from `new_rate` now have rate zero
+            // (disabled-by-rate); their edges keep the graph's structure but
+            // contribute no CTMC mass. A transition whose mass is already
+            // zero (zeroed by a previous re-weight) stays zero — guarding
+            // the division avoids 0/0 → NaN on repeated re-weighting. (It
+            // cannot be revived either: its probability split is lost, and
+            // a positive new rate is rejected by the check above.)
+            let scale_for = |t: TransitionId,
+                             new_rate: &HashMap<TransitionId, f64>,
+                             old_mass: &HashMap<TransitionId, f64>| {
+                match old_mass.get(&t) {
+                    Some(&mass) if mass > 0.0 => new_rate.get(&t).copied().unwrap_or(0.0) / mass,
+                    _ => 0.0,
+                }
+            };
+            for e in &mut self.edges[s] {
+                e.rate *= scale_for(e.transition, &new_rate, &old_mass);
+            }
+            for sl in &mut self.self_loop_rates[s] {
+                sl.1 *= scale_for(sl.0, &new_rate, &old_mass);
+            }
+        }
+        // A rate that drops to zero can silence every remaining edge of a
+        // state, making it absorbing for CTMC purposes.
+        for (i, flag) in self.absorbing.iter_mut().enumerate() {
+            *flag = net.is_absorbing_marking(&self.states[i])
+                || self.edges[i].iter().all(|e| e.rate <= 0.0);
+        }
+        Ok(())
+    }
+
+    /// Copy of this graph re-weighted from `net`'s current rate functions;
+    /// see [`ReachabilityGraph::reweight_in_place`].
+    ///
+    /// # Errors
+    /// Same conditions as [`ReachabilityGraph::reweight_in_place`].
+    pub fn reweighted(&self, net: &Spn) -> Result<Self, SpnError> {
+        let mut g = Self {
+            states: self.states.clone(),
+            edges: self.edges.clone(),
+            self_loop_rates: self.self_loop_rates.clone(),
+            initial_distribution: self.initial_distribution.clone(),
+            absorbing: self.absorbing.clone(),
+        };
+        g.reweight_in_place(net)?;
+        Ok(g)
     }
 }
 
@@ -103,7 +212,9 @@ fn resolve_to_tangible(
             continue;
         }
         if depth >= opts.max_vanishing_depth {
-            return Err(SpnError::VanishingLoop { marking: format!("{m:?}") });
+            return Err(SpnError::VanishingLoop {
+                marking: format!("{m:?}"),
+            });
         }
         let total_w: f64 = immediates.iter().map(|&(_, w)| w).sum();
         for (t, w) in immediates {
@@ -142,7 +253,9 @@ pub fn explore(net: &Spn, opts: &ExploreOptions) -> Result<ReachabilityGraph, Sp
             return Ok(id);
         }
         if states.len() >= opts.max_states {
-            return Err(SpnError::StateSpaceExceeded { cap: opts.max_states });
+            return Err(SpnError::StateSpaceExceeded {
+                cap: opts.max_states,
+            });
         }
         let id = states.len() as u32;
         index.insert(m.clone(), id);
@@ -176,9 +289,12 @@ pub fn explore(net: &Spn, opts: &ExploreOptions) -> Result<ReachabilityGraph, Sp
                     self_loops[sid as usize].push((t, rate * prob));
                     continue;
                 }
-                let tid =
-                    intern(succ, &mut states, &mut edges, &mut self_loops, &mut queue)?;
-                edges[sid as usize].push(Edge { target: tid, rate: rate * prob, transition: t });
+                let tid = intern(succ, &mut states, &mut edges, &mut self_loops, &mut queue)?;
+                edges[sid as usize].push(Edge {
+                    target: tid,
+                    rate: rate * prob,
+                    transition: t,
+                });
             }
         }
     }
@@ -250,8 +366,14 @@ mod tests {
     #[test]
     fn state_cap_enforced() {
         let net = death_chain(100);
-        let opts = ExploreOptions { max_states: 10, ..Default::default() };
-        assert!(matches!(explore(&net, &opts), Err(SpnError::StateSpaceExceeded { cap: 10 })));
+        let opts = ExploreOptions {
+            max_states: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            explore(&net, &opts),
+            Err(SpnError::StateSpaceExceeded { cap: 10 })
+        ));
     }
 
     #[test]
@@ -260,7 +382,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let q = b.add_place("q", 0);
         let k = 5;
-        b.add_transition(TransitionDef::timed_const("arrive", 2.0).output(q, 1).inhibitor(q, k));
+        b.add_transition(
+            TransitionDef::timed_const("arrive", 2.0)
+                .output(q, 1)
+                .inhibitor(q, k),
+        );
         b.add_transition(TransitionDef::timed_const("serve", 3.0).input(q, 1));
         let net = b.build().unwrap();
         let g = explore(&net, &ExploreOptions::default()).unwrap();
@@ -277,9 +403,21 @@ mod tests {
         let mid = b.add_place("mid", 0);
         let left = b.add_place("left", 0);
         let right = b.add_place("right", 0);
-        b.add_transition(TransitionDef::timed_const("go", 2.0).input(start, 1).output(mid, 1));
-        b.add_transition(TransitionDef::immediate_weighted("l", |_| 1.0, 0).input(mid, 1).output(left, 1));
-        b.add_transition(TransitionDef::immediate_weighted("r", |_| 3.0, 0).input(mid, 1).output(right, 1));
+        b.add_transition(
+            TransitionDef::timed_const("go", 2.0)
+                .input(start, 1)
+                .output(mid, 1),
+        );
+        b.add_transition(
+            TransitionDef::immediate_weighted("l", |_| 1.0, 0)
+                .input(mid, 1)
+                .output(left, 1),
+        );
+        b.add_transition(
+            TransitionDef::immediate_weighted("r", |_| 3.0, 0)
+                .input(mid, 1)
+                .output(right, 1),
+        );
         let net = b.build().unwrap();
         let g = explore(&net, &ExploreOptions::default()).unwrap();
         // states: start, left, right — mid is vanishing and eliminated
@@ -302,7 +440,11 @@ mod tests {
         let v1 = b.add_place("v1", 0);
         let v2 = b.add_place("v2", 0);
         let end = b.add_place("end", 0);
-        b.add_transition(TransitionDef::timed_const("go", 1.0).input(s, 1).output(v1, 1));
+        b.add_transition(
+            TransitionDef::timed_const("go", 1.0)
+                .input(s, 1)
+                .output(v1, 1),
+        );
         b.add_transition(TransitionDef::immediate("i1").input(v1, 1).output(v2, 1));
         b.add_transition(TransitionDef::immediate("i2").input(v2, 1).output(end, 1));
         let net = b.build().unwrap();
@@ -319,7 +461,11 @@ mod tests {
         let s = b.add_place("s", 1);
         let a = b.add_place("a", 0);
         let c = b.add_place("c", 0);
-        b.add_transition(TransitionDef::timed_const("go", 1.0).input(s, 1).output(a, 1));
+        b.add_transition(
+            TransitionDef::timed_const("go", 1.0)
+                .input(s, 1)
+                .output(a, 1),
+        );
         b.add_transition(TransitionDef::immediate("ab").input(a, 1).output(c, 1));
         b.add_transition(TransitionDef::immediate("ba").input(c, 1).output(a, 1));
         let net = b.build().unwrap();
@@ -335,8 +481,16 @@ mod tests {
         let v = b.add_place("v", 1);
         let x = b.add_place("x", 0);
         let y = b.add_place("y", 0);
-        b.add_transition(TransitionDef::immediate_weighted("ix", |_| 1.0, 0).input(v, 1).output(x, 1));
-        b.add_transition(TransitionDef::immediate_weighted("iy", |_| 1.0, 0).input(v, 1).output(y, 1));
+        b.add_transition(
+            TransitionDef::immediate_weighted("ix", |_| 1.0, 0)
+                .input(v, 1)
+                .output(x, 1),
+        );
+        b.add_transition(
+            TransitionDef::immediate_weighted("iy", |_| 1.0, 0)
+                .input(v, 1)
+                .output(y, 1),
+        );
         let net = b.build().unwrap();
         let g = explore(&net, &ExploreOptions::default()).unwrap();
         assert_eq!(g.initial_distribution.len(), 2);
@@ -370,7 +524,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let up = b.add_place("up", 3);
         let down = b.add_place("down", 0);
-        b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1).output(down, 1));
+        b.add_transition(
+            TransitionDef::timed_const("fail", 1.0)
+                .input(up, 1)
+                .output(down, 1),
+        );
         b.absorbing_when(move |m| m.tokens(down) >= 2);
         let net = b.build().unwrap();
         let g = explore(&net, &ExploreOptions::default()).unwrap();
@@ -379,6 +537,144 @@ mod tests {
         let abs: Vec<usize> = g.absorbing_states().collect();
         assert_eq!(abs.len(), 1);
         assert_eq!(g.states[abs[0]].tokens(down), 2);
+    }
+
+    /// Death chain with a tunable rate constant (structure fixed).
+    fn scaled_death_chain(n: u32, k: f64) -> Spn {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", n);
+        b.add_transition(
+            TransitionDef::timed("die", move |m| k * m.tokens(up) as f64).input(up, 1),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reweight_matches_fresh_exploration() {
+        let base = explore(&scaled_death_chain(5, 1.0), &ExploreOptions::default()).unwrap();
+        let hot = scaled_death_chain(5, 3.5);
+        let rg = base.reweighted(&hot).unwrap();
+        let fresh = explore(&hot, &ExploreOptions::default()).unwrap();
+        assert_eq!(rg.state_count(), fresh.state_count());
+        for (a, b) in rg.edges.iter().zip(&fresh.edges) {
+            assert_eq!(a.len(), b.len());
+            for (ea, eb) in a.iter().zip(b) {
+                assert_eq!(ea.target, eb.target);
+                assert!(
+                    (ea.rate - eb.rate).abs() < 1e-12,
+                    "{} vs {}",
+                    ea.rate,
+                    eb.rate
+                );
+            }
+        }
+        assert_eq!(rg.absorbing, fresh.absorbing);
+    }
+
+    #[test]
+    fn reweight_preserves_vanishing_probability_split() {
+        // timed "go" into a vanishing marking split 1:3; rate-only change
+        // rescales both edges while keeping the 1:3 split.
+        let build = |rate: f64| {
+            let mut b = SpnBuilder::new();
+            let start = b.add_place("start", 1);
+            let mid = b.add_place("mid", 0);
+            let left = b.add_place("left", 0);
+            let right = b.add_place("right", 0);
+            b.add_transition(
+                TransitionDef::timed_const("go", rate)
+                    .input(start, 1)
+                    .output(mid, 1),
+            );
+            b.add_transition(
+                TransitionDef::immediate_weighted("l", |_| 1.0, 0)
+                    .input(mid, 1)
+                    .output(left, 1),
+            );
+            b.add_transition(
+                TransitionDef::immediate_weighted("r", |_| 3.0, 0)
+                    .input(mid, 1)
+                    .output(right, 1),
+            );
+            b.build().unwrap()
+        };
+        let base = explore(&build(2.0), &ExploreOptions::default()).unwrap();
+        let rg = base.reweighted(&build(8.0)).unwrap();
+        let mut rates: Vec<f64> = rg.edges[0].iter().map(|e| e.rate).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((rates[0] - 2.0).abs() < 1e-12);
+        assert!((rates[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweight_rescales_self_loops() {
+        let build = |noop_rate: f64| {
+            let mut b = SpnBuilder::new();
+            let a = b.add_place("a", 1);
+            b.add_transition(TransitionDef::timed_const("noop", noop_rate));
+            b.add_transition(TransitionDef::timed_const("drain", 1.0).input(a, 1));
+            b.build().unwrap()
+        };
+        let base = explore(&build(7.0), &ExploreOptions::default()).unwrap();
+        let rg = base.reweighted(&build(21.0)).unwrap();
+        assert_eq!(rg.self_loop_rates[0][0].1, 21.0);
+    }
+
+    #[test]
+    fn reweight_rejects_structural_change() {
+        // A guard flips from blocking to enabling a transition: the explored
+        // graph has no mass for it, so re-weighting must refuse.
+        let build = |enabled: bool| {
+            let mut b = SpnBuilder::new();
+            let a = b.add_place("a", 2);
+            b.add_transition(TransitionDef::timed_const("drain", 1.0).input(a, 1));
+            b.add_transition(
+                TransitionDef::timed_const("dump", 1.0)
+                    .input(a, 2)
+                    .guard(move |_| enabled),
+            );
+            b.build().unwrap()
+        };
+        let base = explore(&build(false), &ExploreOptions::default()).unwrap();
+        assert!(matches!(
+            base.reweighted(&build(true)),
+            Err(SpnError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn reweight_to_zero_rate_makes_state_absorbing() {
+        let base = explore(&scaled_death_chain(3, 1.0), &ExploreOptions::default()).unwrap();
+        let dead = {
+            let mut b = SpnBuilder::new();
+            let up = b.add_place("up", 3);
+            b.add_transition(TransitionDef::timed("die", move |_| 0.0).input(up, 1));
+            b.build().unwrap()
+        };
+        let rg = base.reweighted(&dead).unwrap();
+        assert!(rg.absorbing.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn repeated_reweight_through_zero_stays_finite() {
+        // Zero a rate, re-weight again while still zero: no 0/0 → NaN, and
+        // reviving the zeroed transition is rejected as structural.
+        let base = explore(&scaled_death_chain(3, 1.0), &ExploreOptions::default()).unwrap();
+        let dead = {
+            let mut b = SpnBuilder::new();
+            let up = b.add_place("up", 3);
+            b.add_transition(TransitionDef::timed("die", move |_| 0.0).input(up, 1));
+            b.build().unwrap()
+        };
+        let mut g = base.reweighted(&dead).unwrap();
+        g.reweight_in_place(&dead).unwrap();
+        for e in g.edges.iter().flatten() {
+            assert!(e.rate == 0.0, "expected zero, got {}", e.rate);
+        }
+        assert!(matches!(
+            g.reweighted(&scaled_death_chain(3, 1.0)),
+            Err(SpnError::InvalidModel(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl RateReward {
         name: impl Into<String>,
         rate: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), rate: Arc::new(rate) }
+        Self {
+            name: name.into(),
+            rate: Arc::new(rate),
+        }
     }
 
     /// Evaluate on every state of a reachability graph, producing the dense
@@ -64,7 +67,11 @@ impl ImpulseReward {
         transition: TransitionId,
         amount: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), transition, amount: Arc::new(amount) }
+        Self {
+            name: name.into(),
+            transition,
+            amount: Arc::new(amount),
+        }
     }
 
     /// Convert to an equivalent per-state rate-reward vector:
@@ -155,7 +162,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let up = b.add_place("up", 1);
         let down = b.add_place("down", 0);
-        b.add_transition(TransitionDef::timed_const("fail", 2.0).input(up, 1).output(down, 1));
+        b.add_transition(
+            TransitionDef::timed_const("fail", 2.0)
+                .input(up, 1)
+                .output(down, 1),
+        );
         let net = b.build().unwrap();
         let g = explore(&net, &ExploreOptions::default()).unwrap();
         (net, g)

@@ -31,7 +31,11 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        Self { max_time: f64::INFINITY, max_firings: 50_000_000, max_immediate_chain: 64 }
+        Self {
+            max_time: f64::INFINITY,
+            max_firings: 50_000_000,
+            max_immediate_chain: 64,
+        }
     }
 }
 
@@ -203,7 +207,9 @@ impl<'a> Simulator<'a> {
             *marking = self.net.fire(chosen, marking);
             *firings.entry(chosen).or_insert(0) += 1;
         }
-        Err(SpnError::VanishingLoop { marking: format!("{marking:?}") })
+        Err(SpnError::VanishingLoop {
+            marking: format!("{marking:?}"),
+        })
     }
 
     /// Run `n` replications in parallel with deterministic per-replication
@@ -211,11 +217,7 @@ impl<'a> Simulator<'a> {
     ///
     /// # Errors
     /// Returns the first replication error encountered.
-    pub fn run_replications(
-        &self,
-        n: u64,
-        master_seed: u64,
-    ) -> Result<ReplicationStats, SpnError> {
+    pub fn run_replications(&self, n: u64, master_seed: u64) -> Result<ReplicationStats, SpnError> {
         let outcomes: Result<Vec<SimOutcome>, SpnError> = (0..n)
             .into_par_iter()
             .map(|i| self.run_one(child_seed(master_seed, i)))
@@ -277,7 +279,12 @@ mod tests {
         let stats = sim.run_replications(20_000, 7).unwrap();
         assert_eq!(stats.censored, 0);
         let ci = stats.mtta_ci(0.99);
-        assert!(ci.contains(0.5), "CI [{}, {}] should contain 0.5", ci.lo(), ci.hi());
+        assert!(
+            ci.contains(0.5),
+            "CI [{}, {}] should contain 0.5",
+            ci.lo(),
+            ci.hi()
+        );
     }
 
     #[test]
@@ -294,7 +301,10 @@ mod tests {
     fn censoring_at_max_time() {
         let net = exp_net(1e-9); // effectively never fires
         let rewards = RewardSet::new();
-        let opts = SimOptions { max_time: 5.0, ..Default::default() };
+        let opts = SimOptions {
+            max_time: 5.0,
+            ..Default::default()
+        };
         let sim = Simulator::new(&net, &rewards, opts);
         let o = sim.run_one(1).unwrap();
         assert!(!o.absorbed);
@@ -317,9 +327,7 @@ mod tests {
     fn impulse_reward_counts_firings() {
         let mut b = SpnBuilder::new();
         let up = b.add_place("up", 4);
-        b.add_transition(
-            TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
-        );
+        b.add_transition(TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1));
         let net = b.build().unwrap();
         let t = net.transition_by_name("die").unwrap();
         let rewards = RewardSet::new().with_impulse(ImpulseReward::new("evt", t, |_| 2.5));
@@ -336,7 +344,11 @@ mod tests {
         let s = b.add_place("s", 1);
         let v = b.add_place("v", 0);
         let done = b.add_place("done", 0);
-        b.add_transition(TransitionDef::timed_const("go", 4.0).input(s, 1).output(v, 1));
+        b.add_transition(
+            TransitionDef::timed_const("go", 4.0)
+                .input(s, 1)
+                .output(v, 1),
+        );
         b.add_transition(TransitionDef::immediate("snap").input(v, 1).output(done, 1));
         let net = b.build().unwrap();
         let rewards = RewardSet::new();
@@ -357,16 +369,17 @@ mod tests {
         let net = b.build().unwrap();
         let rewards = RewardSet::new();
         let sim = Simulator::new(&net, &rewards, SimOptions::default());
-        assert!(matches!(sim.run_one(1), Err(SpnError::VanishingLoop { .. })));
+        assert!(matches!(
+            sim.run_one(1),
+            Err(SpnError::VanishingLoop { .. })
+        ));
     }
 
     #[test]
     fn absorbing_predicate_stops_run() {
         let mut b = SpnBuilder::new();
         let up = b.add_place("up", 10);
-        b.add_transition(
-            TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
-        );
+        b.add_transition(TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1));
         b.absorbing_when(move |m| m.tokens(up) <= 7);
         let net = b.build().unwrap();
         let rewards = RewardSet::new();
@@ -392,6 +405,11 @@ mod tests {
         let sim = Simulator::new(&net, &rewards, SimOptions::default());
         let stats = sim.run_replications(30_000, 123).unwrap();
         let ci = stats.mtta_ci(0.99);
-        assert!(ci.contains(exact), "CI [{}, {}] vs exact {exact}", ci.lo(), ci.hi());
+        assert!(
+            ci.contains(exact),
+            "CI [{}, {}] vs exact {exact}",
+            ci.lo(),
+            ci.hi()
+        );
     }
 }

@@ -82,7 +82,10 @@ pub fn incidence(net: &Spn) -> Incidence {
             opaque.push(t);
         }
     }
-    Incidence { matrix, opaque_transitions: opaque }
+    Incidence {
+        matrix,
+        opaque_transitions: opaque,
+    }
 }
 
 /// Farkas algorithm: minimal-support semi-positive solutions of
@@ -173,8 +176,10 @@ fn gcd(a: i64, b: i64) -> i64 {
 
 /// Drop rows whose support strictly contains another row's support.
 fn prune_non_minimal(rows: Vec<(Vec<i64>, Vec<i64>)>) -> Vec<(Vec<i64>, Vec<i64>)> {
-    let supports: Vec<Vec<bool>> =
-        rows.iter().map(|(_, id)| id.iter().map(|&v| v != 0).collect()).collect();
+    let supports: Vec<Vec<bool>> = rows
+        .iter()
+        .map(|(_, id)| id.iter().map(|&v| v != 0).collect())
+        .collect();
     let mut keep = vec![true; rows.len()];
     for i in 0..rows.len() {
         if !keep[i] {
@@ -185,16 +190,25 @@ fn prune_non_minimal(rows: Vec<(Vec<i64>, Vec<i64>)>) -> Vec<(Vec<i64>, Vec<i64>
                 continue;
             }
             // does support(j) strictly contain support(i)?
-            let contains =
-                supports[i].iter().zip(&supports[j]).all(|(&si, &sj)| !si || sj);
+            let contains = supports[i]
+                .iter()
+                .zip(&supports[j])
+                .all(|(&si, &sj)| !si || sj);
             let strictly = contains
-                && supports[i].iter().zip(&supports[j]).any(|(&si, &sj)| sj && !si);
+                && supports[i]
+                    .iter()
+                    .zip(&supports[j])
+                    .any(|(&si, &sj)| sj && !si);
             if strictly {
                 keep[j] = false;
             }
         }
     }
-    rows.into_iter().zip(keep).filter(|&(_, k)| k).map(|(r, _)| r).collect()
+    rows.into_iter()
+        .zip(keep)
+        .filter(|&(_, k)| k)
+        .map(|(r, _)| r)
+        .collect()
 }
 
 /// Compute P- and T-invariants of the net's arc structure.
@@ -210,9 +224,9 @@ pub fn analyze(net: &Spn) -> StructuralReport {
     let places = net.place_count();
     let transitions = net.transition_count();
     let mut transposed = vec![vec![0i64; places]; transitions];
-    for p in 0..places {
-        for t in 0..transitions {
-            transposed[t][p] = inc.matrix[p][t];
+    for (p, row) in inc.matrix.iter().enumerate().take(places) {
+        for (t, entry) in transposed.iter_mut().enumerate().take(transitions) {
+            entry[p] = row[t];
         }
     }
     let t_invariants = farkas(&transposed);
@@ -241,7 +255,10 @@ pub fn analyze(net: &Spn) -> StructuralReport {
 /// the weighted sum.
 fn effect_preserves_invariant(net: &Spn, opaque: &[TransitionId], inv: &[i64]) -> bool {
     let weighted = |m: &crate::model::Marking| -> i64 {
-        inv.iter().enumerate().map(|(p, &w)| w * m.as_slice()[p] as i64).sum()
+        inv.iter()
+            .enumerate()
+            .map(|(p, &w)| w * m.as_slice()[p] as i64)
+            .sum()
     };
     // bounded BFS probe
     let mut frontier = vec![net.initial_marking()];
@@ -281,8 +298,16 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("a", 3);
         let c = b.add_place("c", 0);
-        b.add_transition(TransitionDef::timed_const("ac", 1.0).input(a, 1).output(c, 1));
-        b.add_transition(TransitionDef::timed_const("ca", 1.0).input(c, 1).output(a, 1));
+        b.add_transition(
+            TransitionDef::timed_const("ac", 1.0)
+                .input(a, 1)
+                .output(c, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed_const("ca", 1.0)
+                .input(c, 1)
+                .output(a, 1),
+        );
         let net = b.build().unwrap();
         let report = analyze(&net);
         // P-invariant a + c; T-invariant ac + ca (fire both, return)
@@ -299,8 +324,16 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("a", 4);
         let p = b.add_place("b", 0);
-        b.add_transition(TransitionDef::timed_const("t", 1.0).input(a, 2).output(p, 1));
-        b.add_transition(TransitionDef::timed_const("back", 1.0).input(p, 1).output(a, 2));
+        b.add_transition(
+            TransitionDef::timed_const("t", 1.0)
+                .input(a, 2)
+                .output(p, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed_const("back", 1.0)
+                .input(p, 1)
+                .output(a, 2),
+        );
         let net = b.build().unwrap();
         let report = analyze(&net);
         assert_eq!(report.p_invariants, vec![vec![1, 2]]);
@@ -324,10 +357,26 @@ mod tests {
         let c = b.add_place("c", 0);
         let x = b.add_place("x", 2);
         let y = b.add_place("y", 0);
-        b.add_transition(TransitionDef::timed_const("ac", 1.0).input(a, 1).output(c, 1));
-        b.add_transition(TransitionDef::timed_const("ca", 1.0).input(c, 1).output(a, 1));
-        b.add_transition(TransitionDef::timed_const("xy", 1.0).input(x, 1).output(y, 1));
-        b.add_transition(TransitionDef::timed_const("yx", 1.0).input(y, 1).output(x, 1));
+        b.add_transition(
+            TransitionDef::timed_const("ac", 1.0)
+                .input(a, 1)
+                .output(c, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed_const("ca", 1.0)
+                .input(c, 1)
+                .output(a, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed_const("xy", 1.0)
+                .input(x, 1)
+                .output(y, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed_const("yx", 1.0)
+                .input(y, 1)
+                .output(x, 1),
+        );
         let net = b.build().unwrap();
         let report = analyze(&net);
         // two minimal invariants, not their sum
@@ -342,7 +391,11 @@ mod tests {
         let mut b = SpnBuilder::new();
         let a = b.add_place("a", 4);
         let c = b.add_place("c", 0);
-        b.add_transition(TransitionDef::timed_const("ac", 1.0).input(a, 1).output(c, 1));
+        b.add_transition(
+            TransitionDef::timed_const("ac", 1.0)
+                .input(a, 1)
+                .output(c, 1),
+        );
         // effect that destroys tokens: breaks the a + c invariant
         b.add_transition(TransitionDef::timed_const("halve", 1.0).effect(move |m| {
             let cur = m.tokens(a);

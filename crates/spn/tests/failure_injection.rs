@@ -25,9 +25,7 @@ fn negative_rate_rejected_during_simulation() {
     let mut b = SpnBuilder::new();
     let a = b.add_place("a", 2);
     // rate turns negative after the first firing
-    b.add_transition(
-        TransitionDef::timed("decay", move |m| m.tokens(a) as f64 - 1.5).input(a, 1),
-    );
+    b.add_transition(TransitionDef::timed("decay", move |m| m.tokens(a) as f64 - 1.5).input(a, 1));
     let net = b.build().unwrap();
     let rewards = RewardSet::new();
     let sim = Simulator::new(&net, &rewards, SimOptions::default());
@@ -56,17 +54,27 @@ fn vanishing_depth_option_controls_loop_detection() {
         places.push(b.add_place(format!("v{i}"), 0));
     }
     b.add_transition(
-        TransitionDef::timed_const("go", 1.0).input(start, 1).output(places[1], 1),
+        TransitionDef::timed_const("go", 1.0)
+            .input(start, 1)
+            .output(places[1], 1),
     );
     for i in 1..6 {
         b.add_transition(
-            TransitionDef::immediate(format!("i{i}")).input(places[i], 1).output(places[i + 1], 1),
+            TransitionDef::immediate(format!("i{i}"))
+                .input(places[i], 1)
+                .output(places[i + 1], 1),
         );
     }
     let net = b.build().unwrap();
     // depth 3 < chain length 5 → reported as a loop
-    let tight = ExploreOptions { max_vanishing_depth: 3, ..Default::default() };
-    assert!(matches!(explore(&net, &tight), Err(SpnError::VanishingLoop { .. })));
+    let tight = ExploreOptions {
+        max_vanishing_depth: 3,
+        ..Default::default()
+    };
+    assert!(matches!(
+        explore(&net, &tight),
+        Err(SpnError::VanishingLoop { .. })
+    ));
     // default depth succeeds
     assert!(explore(&net, &ExploreOptions::default()).is_ok());
 }
@@ -75,15 +83,17 @@ fn vanishing_depth_option_controls_loop_detection() {
 fn parallel_replications_propagate_first_error() {
     let mut b = SpnBuilder::new();
     let a = b.add_place("a", 3);
-    b.add_transition(TransitionDef::timed("bad", move |m| {
-        // valid at first, NaN after two firings
-        if m.tokens(a) >= 2 {
-            1.0
-        } else {
-            f64::NAN
-        }
-    })
-    .input(a, 1));
+    b.add_transition(
+        TransitionDef::timed("bad", move |m| {
+            // valid at first, NaN after two firings
+            if m.tokens(a) >= 2 {
+                1.0
+            } else {
+                f64::NAN
+            }
+        })
+        .input(a, 1),
+    );
     let net = b.build().unwrap();
     let rewards = RewardSet::new();
     let sim = Simulator::new(&net, &rewards, SimOptions::default());
@@ -98,7 +108,11 @@ fn empty_reachability_graph_rejected_by_ctmc() {
     // check the unreachable-absorption path.
     let mut b = SpnBuilder::new();
     let q = b.add_place("q", 0);
-    b.add_transition(TransitionDef::timed_const("in", 1.0).output(q, 1).inhibitor(q, 2));
+    b.add_transition(
+        TransitionDef::timed_const("in", 1.0)
+            .output(q, 1)
+            .inhibitor(q, 2),
+    );
     b.add_transition(TransitionDef::timed_const("out", 2.0).input(q, 1));
     let net = b.build().unwrap();
     let g = explore(&net, &ExploreOptions::default()).unwrap();
@@ -115,11 +129,22 @@ fn max_firings_censors_runaway_simulation() {
     let mut b = SpnBuilder::new();
     let q = b.add_place("q", 1);
     let r = b.add_place("r", 0);
-    b.add_transition(TransitionDef::timed_const("qr", 10.0).input(q, 1).output(r, 1));
-    b.add_transition(TransitionDef::timed_const("rq", 10.0).input(r, 1).output(q, 1));
+    b.add_transition(
+        TransitionDef::timed_const("qr", 10.0)
+            .input(q, 1)
+            .output(r, 1),
+    );
+    b.add_transition(
+        TransitionDef::timed_const("rq", 10.0)
+            .input(r, 1)
+            .output(q, 1),
+    );
     let net = b.build().unwrap();
     let rewards = RewardSet::new();
-    let opts = SimOptions { max_firings: 1_000, ..Default::default() };
+    let opts = SimOptions {
+        max_firings: 1_000,
+        ..Default::default()
+    };
     let sim = Simulator::new(&net, &rewards, opts);
     let o = sim.run_one(1).unwrap();
     assert!(!o.absorbed);

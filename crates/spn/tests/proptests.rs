@@ -15,13 +15,10 @@ use spn::sim::{SimOptions, Simulator};
 fn death_net(n: u32, base: f64, with_bypass: bool) -> spn::model::Spn {
     let mut b = SpnBuilder::new();
     let up = b.add_place("up", n);
-    b.add_transition(
-        TransitionDef::timed("die", move |m| base * m.tokens(up) as f64).input(up, 1),
-    );
+    b.add_transition(TransitionDef::timed("die", move |m| base * m.tokens(up) as f64).input(up, 1));
     if with_bypass {
         b.add_transition(
-            TransitionDef::timed("die2", move |m| 0.3 * base * m.tokens(up) as f64)
-                .input(up, 2),
+            TransitionDef::timed("die2", move |m| 0.3 * base * m.tokens(up) as f64).input(up, 2),
         );
     }
     b.build().unwrap()
@@ -123,6 +120,96 @@ proptest! {
         prop_assert!((total - 1.0).abs() < 1e-7, "sum {}", total);
         for &p in &pi {
             prop_assert!(p >= -1e-10);
+        }
+    }
+}
+
+/// Randomized nets with tunable rate constants but fixed structure, for the
+/// explore-once-solve-many re-weighting property below.
+fn two_rate_net(n: u32, die: f64, leak: f64) -> spn::model::Spn {
+    let mut b = SpnBuilder::new();
+    let up = b.add_place("up", n);
+    let bad = b.add_place("bad", 0);
+    b.add_transition(TransitionDef::timed("die", move |m| die * m.tokens(up) as f64).input(up, 1));
+    b.add_transition(
+        TransitionDef::timed("leak", move |m| leak * m.tokens(up) as f64)
+            .input(up, 1)
+            .output(bad, 1),
+    );
+    // cost-only self loop whose rate also varies
+    b.add_transition(TransitionDef::timed("noop", move |m| {
+        0.5 * die * (m.tokens(up) + 1) as f64
+    }));
+    b.absorbing_when(move |m| m.tokens(bad) >= 2 || m.tokens(up) == 0);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reweighted_graph_solves_equal_fresh_explores(
+        n in 1u32..12,
+        die0 in 0.05f64..5.0,
+        leak0 in 0.01f64..2.0,
+        die1 in 0.05f64..5.0,
+        leak1 in 0.01f64..2.0,
+    ) {
+        // Explore once at (die0, leak0), re-weight to (die1, leak1), and
+        // compare against a fresh exploration at (die1, leak1): the CTMC
+        // solutions must be identical to solver precision.
+        let base = explore(&two_rate_net(n, die0, leak0), &ExploreOptions::default()).unwrap();
+        let target = two_rate_net(n, die1, leak1);
+        let reweighted = base.reweighted(&target).unwrap();
+        let fresh = explore(&target, &ExploreOptions::default()).unwrap();
+
+        prop_assert_eq!(reweighted.state_count(), fresh.state_count());
+        let a_re = Ctmc::from_graph(&reweighted).unwrap().mean_time_to_absorption().unwrap();
+        let a_fresh = Ctmc::from_graph(&fresh).unwrap().mean_time_to_absorption().unwrap();
+        let rel = (a_re.mtta - a_fresh.mtta).abs() / a_fresh.mtta.max(1e-300);
+        prop_assert!(rel < 1e-8, "MTTA {} vs {} (rel {})", a_re.mtta, a_fresh.mtta, rel);
+
+        // Sojourn vectors and absorption splits agree state-by-state.
+        // (State order matches: re-weighting never re-orders, and the fresh
+        // exploration of the same structure walks states identically.)
+        for (s_re, s_fresh) in a_re.sojourn.iter().zip(&a_fresh.sojourn) {
+            prop_assert!((s_re - s_fresh).abs() < 1e-8 * (1.0 + s_fresh.abs()));
+        }
+        for (p_re, p_fresh) in
+            a_re.absorption_probability.iter().zip(&a_fresh.absorption_probability)
+        {
+            prop_assert!((p_re - p_fresh).abs() < 1e-8);
+        }
+
+        // Self-loop rates (reward-only mass) track the new net too.
+        for (sl_re, sl_fresh) in
+            reweighted.self_loop_rates.iter().zip(&fresh.self_loop_rates)
+        {
+            prop_assert_eq!(sl_re.len(), sl_fresh.len());
+            for (&(t_re, r_re), &(t_fresh, r_fresh)) in sl_re.iter().zip(sl_fresh) {
+                prop_assert_eq!(t_re, t_fresh);
+                prop_assert!((r_re - r_fresh).abs() < 1e-10 * (1.0 + r_fresh.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_reweighting_is_stable(
+        n in 1u32..10,
+        die in 0.05f64..5.0,
+        leak in 0.01f64..2.0,
+    ) {
+        // Re-weighting back and forth must return to the original rates
+        // (no drift from repeated in-place rescaling).
+        let original = explore(&two_rate_net(n, die, leak), &ExploreOptions::default()).unwrap();
+        let mut g = original.reweighted(&two_rate_net(n, die * 3.0, leak * 0.25)).unwrap();
+        g.reweight_in_place(&two_rate_net(n, die, leak)).unwrap();
+        for (e_re, e_orig) in g.edges.iter().flatten().zip(original.edges.iter().flatten()) {
+            prop_assert_eq!(e_re.target, e_orig.target);
+            prop_assert!(
+                (e_re.rate - e_orig.rate).abs() < 1e-12 * (1.0 + e_orig.rate),
+                "{} vs {}", e_re.rate, e_orig.rate
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ fn main() {
     // --- 1. ground truth: a polynomial attacker ---------------------------
     let truth = RateShape::Polynomial;
     cfg.attacker.shape = truth;
-    println!("ground-truth attacker: {} (hidden from the defender)", truth.name());
+    println!(
+        "ground-truth attacker: {} (hidden from the defender)",
+        truth.name()
+    );
 
     // --- 2. the defender observes compromise events -----------------------
     let mut controller = AdaptiveController::new(3.0, cfg.detection.base_interval);
@@ -49,29 +52,56 @@ fn main() {
 
     // --- 3. build the response surface for the matched defense ------------
     let matched_shape = controller.matching_shape();
-    println!("\ndefender selects {} detection (matching rule)", matched_shape.name());
+    println!(
+        "\ndefender selects {} detection (matching rule)",
+        matched_shape.name()
+    );
     let matched_cfg = cfg.with_detection_shape(matched_shape);
-    let series = sweep_tids(&matched_cfg, SystemConfig::paper_tids_grid(), "matched")
-        .expect("sweep");
+    let series =
+        sweep_tids(&matched_cfg, SystemConfig::paper_tids_grid(), "matched").expect("sweep");
     let surface = ResponseSurface::new(series.mttsf_surface());
     let profile = controller.recommend(Some(&surface));
-    println!("{}", row("recommended detection shape", profile.shape.name()));
-    println!("{}", row("recommended base interval", format!("{:.0} s", profile.base_interval)));
+    println!(
+        "{}",
+        row("recommended detection shape", profile.shape.name())
+    );
+    println!(
+        "{}",
+        row(
+            "recommended base interval",
+            format!("{:.0} s", profile.base_interval)
+        )
+    );
 
     // --- 4. compare against a naive (mismatched, default-interval) defense -
-    let naive = gcsids::metrics::evaluate(
-        &cfg.with_detection_shape(RateShape::Linear).with_tids(120.0),
-    )
-    .expect("naive evaluation");
+    let naive =
+        gcsids::metrics::evaluate(&cfg.with_detection_shape(RateShape::Linear).with_tids(120.0))
+            .expect("naive evaluation");
     let adapted = gcsids::metrics::evaluate(
-        &cfg.with_detection_shape(profile.shape).with_tids(profile.base_interval),
+        &cfg.with_detection_shape(profile.shape)
+            .with_tids(profile.base_interval),
     )
     .expect("adapted evaluation");
     println!("\n== survivability comparison ==");
-    println!("{}", row("naive (linear @ 120 s) MTTSF", format!("{:.3e} s", naive.mttsf_seconds)));
-    println!("{}", row("adaptive MTTSF", format!("{:.3e} s", adapted.mttsf_seconds)));
     println!(
         "{}",
-        row("improvement", format!("{:.1}%", 100.0 * (adapted.mttsf_seconds / naive.mttsf_seconds - 1.0)))
+        row(
+            "naive (linear @ 120 s) MTTSF",
+            format!("{:.3e} s", naive.mttsf_seconds)
+        )
+    );
+    println!(
+        "{}",
+        row("adaptive MTTSF", format!("{:.3e} s", adapted.mttsf_seconds))
+    );
+    println!(
+        "{}",
+        row(
+            "improvement",
+            format!(
+                "{:.1}%",
+                100.0 * (adapted.mttsf_seconds / naive.mttsf_seconds - 1.0)
+            )
+        )
     );
 }

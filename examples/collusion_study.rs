@@ -11,7 +11,9 @@
 use examples::row;
 use gcsids::config::{KeyAgreementProtocol, SystemConfig};
 use gcsids::metrics::evaluate;
-use ids::voting::{p_false_negative_with_collusion, p_false_positive_with_collusion, CollusionModel};
+use ids::voting::{
+    p_false_negative_with_collusion, p_false_positive_with_collusion, CollusionModel,
+};
 
 fn main() {
     // --- voting error rates vs collusion probability ------------------------
@@ -48,17 +50,23 @@ fn main() {
         let e = evaluate(&cfg).expect("evaluation");
         println!(
             "{}",
-            row(label, format!("MTTSF = {:.4e} s, C_total = {:.4e}", e.mttsf_seconds,
-                e.c_total_hop_bits_per_sec))
+            row(
+                label,
+                format!(
+                    "MTTSF = {:.4e} s, C_total = {:.4e}",
+                    e.mttsf_seconds, e.c_total_hop_bits_per_sec
+                )
+            )
         );
     }
 
     // --- key agreement protocol choice --------------------------------------
     println!("\n== rekey pricing at paper scale: GDH.2 (paper) vs GDH.3 ==");
     let paper = SystemConfig::paper_default().with_tids(60.0);
-    for (label, proto) in
-        [("GDH.2", KeyAgreementProtocol::Gdh2), ("GDH.3", KeyAgreementProtocol::Gdh3)]
-    {
+    for (label, proto) in [
+        ("GDH.2", KeyAgreementProtocol::Gdh2),
+        ("GDH.3", KeyAgreementProtocol::Gdh3),
+    ] {
         let mut cfg = paper.clone();
         cfg.key_agreement = proto;
         let e = evaluate(&cfg).expect("evaluation");

@@ -12,12 +12,19 @@ use gcsids::pareto::{best_mttsf_under_cost, cheapest_meeting_mttsf, design_space
 
 fn main() {
     let cfg = SystemConfig::paper_default();
-    let points = design_space(&cfg, SystemConfig::paper_m_grid(), SystemConfig::paper_tids_grid())
-        .expect("design space evaluation");
+    let points = design_space(
+        &cfg,
+        SystemConfig::paper_m_grid(),
+        SystemConfig::paper_tids_grid(),
+    )
+    .expect("design space evaluation");
     println!("evaluated {} (m, TIDS) designs\n", points.len());
 
     println!("== Pareto frontier (maximize MTTSF, minimize C_total) ==");
-    println!("{:>3} {:>8} {:>16} {:>18}", "m", "TIDS(s)", "MTTSF", "C_total(hop·b/s)");
+    println!(
+        "{:>3} {:>8} {:>16} {:>18}",
+        "m", "TIDS(s)", "MTTSF", "C_total(hop·b/s)"
+    );
     let front = pareto_front(&points);
     for p in &front {
         println!(
@@ -28,7 +35,11 @@ fn main() {
             p.evaluation.c_total_hop_bits_per_sec
         );
     }
-    println!("({} of {} designs are Pareto-efficient)\n", front.len(), points.len());
+    println!(
+        "({} of {} designs are Pareto-efficient)\n",
+        front.len(),
+        points.len()
+    );
 
     // Planning question 1: survive a two-week mission as cheaply as possible.
     let mission = 14.0 * 86_400.0;

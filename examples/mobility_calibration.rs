@@ -30,10 +30,31 @@ fn main() {
         cal_cfg.duration
     );
     let cal = calibrate(&cal_cfg, 2009);
-    println!("{}", row("mean number of groups", format!("{:.4}", cal.mean_group_count)));
-    println!("{}", row("mean group size", format!("{:.2}", cal.mean_group_size)));
-    println!("{}", row("partition rate ν_p", format!("{:.3e} /s per group", cal.partition_rate_per_group)));
-    println!("{}", row("merge rate ν_m", format!("{:.3e} /s per group", cal.merge_rate_per_group)));
+    println!(
+        "{}",
+        row(
+            "mean number of groups",
+            format!("{:.4}", cal.mean_group_count)
+        )
+    );
+    println!(
+        "{}",
+        row("mean group size", format!("{:.2}", cal.mean_group_size))
+    );
+    println!(
+        "{}",
+        row(
+            "partition rate ν_p",
+            format!("{:.3e} /s per group", cal.partition_rate_per_group)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "merge rate ν_m",
+            format!("{:.3e} /s per group", cal.merge_rate_per_group)
+        )
+    );
     println!("{}", row("mean hop count", format!("{:.2}", cal.mean_hops)));
 
     // Feed into the analytic model.
@@ -42,8 +63,26 @@ fn main() {
     cfg.apply_calibration(&cal);
     let after = evaluate(&cfg).expect("fresh calibration");
     println!("\n== analytic metrics: shipped vs freshly calibrated dynamics ==");
-    println!("{}", row("MTTSF (shipped)", format!("{:.4e} s", before.mttsf_seconds)));
-    println!("{}", row("MTTSF (fresh)", format!("{:.4e} s", after.mttsf_seconds)));
-    println!("{}", row("C_total (shipped)", format!("{:.4e}", before.c_total_hop_bits_per_sec)));
-    println!("{}", row("C_total (fresh)", format!("{:.4e}", after.c_total_hop_bits_per_sec)));
+    println!(
+        "{}",
+        row("MTTSF (shipped)", format!("{:.4e} s", before.mttsf_seconds))
+    );
+    println!(
+        "{}",
+        row("MTTSF (fresh)", format!("{:.4e} s", after.mttsf_seconds))
+    );
+    println!(
+        "{}",
+        row(
+            "C_total (shipped)",
+            format!("{:.4e}", before.c_total_hop_bits_per_sec)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "C_total (fresh)",
+            format!("{:.4e}", after.c_total_hop_bits_per_sec)
+        )
+    );
 }

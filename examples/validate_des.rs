@@ -34,7 +34,10 @@ fn main() {
         &CalibrationConfig {
             duration: 8_000.0,
             seeds: 4,
-            mobility: MobilityConfig { node_count: 30, ..Default::default() },
+            mobility: MobilityConfig {
+                node_count: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
         2009,
@@ -46,10 +49,19 @@ fn main() {
     );
 
     let analytic = evaluate(&cfg).expect("analytic");
-    println!("{}", row("analytic MTTSF", format!("{:.4e} s", analytic.mttsf_seconds)));
     println!(
         "{}",
-        row("analytic failure split C1/C2", format!("{:.2}/{:.2}", analytic.p_failure_c1, analytic.p_failure_c2))
+        row(
+            "analytic MTTSF",
+            format!("{:.4e} s", analytic.mttsf_seconds)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "analytic failure split C1/C2",
+            format!("{:.2}/{:.2}", analytic.p_failure_c1, analytic.p_failure_c2)
+        )
     );
 
     let model = build_model(&cfg);
@@ -61,19 +73,34 @@ fn main() {
         "{}",
         row(
             "SPN token game MTTSF (95% CI)",
-            format!("{:.4e} ± {:.2e} s (n={replications})", ci.mean, ci.half_width)
+            format!(
+                "{:.4e} ± {:.2e} s (n={replications})",
+                ci.mean, ci.half_width
+            )
         )
     );
-    println!("{}", row("analytic inside token-game CI", ci.contains(analytic.mttsf_seconds)));
+    println!(
+        "{}",
+        row(
+            "analytic inside token-game CI",
+            ci.contains(analytic.mttsf_seconds)
+        )
+    );
 
     let des = run_des_replications(&DesConfig::new(cfg.clone()), replications, 43);
     let dci = des.mttsf.confidence_interval(0.95);
     let deviation = (dci.mean / analytic.mttsf_seconds - 1.0) * 100.0;
     println!(
         "{}",
-        row("protocol DES MTTSF (95% CI)", format!("{:.4e} ± {:.2e} s", dci.mean, dci.half_width))
+        row(
+            "protocol DES MTTSF (95% CI)",
+            format!("{:.4e} ± {:.2e} s", dci.mean, dci.half_width)
+        )
     );
-    println!("{}", row("protocol DES deviation", format!("{deviation:+.1}%")));
+    println!(
+        "{}",
+        row("protocol DES deviation", format!("{deviation:+.1}%"))
+    );
     println!(
         "{}",
         row(
@@ -81,10 +108,19 @@ fn main() {
             format!("{}/{}", des.c1_failures, des.c2_failures)
         )
     );
-    println!("{}", row("protocol DES mean cost rate", format!("{:.4e} hop·bits/s", des.cost_rate.mean())));
     println!(
         "{}",
-        row("analytic C_total", format!("{:.4e} hop·bits/s", analytic.c_total_hop_bits_per_sec))
+        row(
+            "protocol DES mean cost rate",
+            format!("{:.4e} hop·bits/s", des.cost_rate.mean())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "analytic C_total",
+            format!("{:.4e} hop·bits/s", analytic.c_total_hop_bits_per_sec)
+        )
     );
 
     // The expensive, fully integrated check: groups from live connectivity.
@@ -110,8 +146,11 @@ fn main() {
         "{}",
         row(
             "observed partition rate",
-            format!("{:.2e} /s (calibrated: {:.2e})", m.partition_rate.mean(),
-                cfg.partition_rate_per_group)
+            format!(
+                "{:.2e} /s (calibrated: {:.2e})",
+                m.partition_rate.mean(),
+                cfg.partition_rate_per_group
+            )
         )
     );
 }

@@ -1,0 +1,2 @@
+//! Workspace-level integration tests live in `tests/`; this library target
+//! exists only so Cargo has a package to attach them to.

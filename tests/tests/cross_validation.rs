@@ -114,5 +114,9 @@ fn occupancy_integral_reproduces_mttsf_definition() {
         .map(|(_, &o)| o)
         .sum();
     let rel = (integral - analytic.mtta).abs() / analytic.mtta;
-    assert!(rel < 5e-3, "integral {integral:.6e} vs MTTA {:.6e}", analytic.mtta);
+    assert!(
+        rel < 5e-3,
+        "integral {integral:.6e} vs MTTA {:.6e}",
+        analytic.mtta
+    );
 }

@@ -21,9 +21,16 @@ fn fig2_optimal_tids_shrinks_and_mttsf_grows_with_m() {
         SystemConfig::paper_m_grid(),
     )
     .unwrap();
-    let optima: Vec<f64> = series.iter().map(|s| s.optimal_tids_for_mttsf()).collect();
+    let optima: Vec<f64> = series
+        .iter()
+        .map(|s| s.optimal_tids_for_mttsf().expect("non-empty series"))
+        .collect();
     // paper's exact grid points
-    assert_eq!(optima, vec![480.0, 60.0, 15.0, 5.0], "optimal TIDS by m = 3/5/7/9");
+    assert_eq!(
+        optima,
+        vec![480.0, 60.0, 15.0, 5.0],
+        "optimal TIDS by m = 3/5/7/9"
+    );
     let peaks: Vec<f64> = series
         .iter()
         .map(|s| {
@@ -37,23 +44,30 @@ fn fig2_optimal_tids_shrinks_and_mttsf_grows_with_m() {
         assert!(w[1] > w[0], "peak MTTSF must increase with m: {peaks:?}");
     }
     // magnitudes: paper's Figure 2 tops out in the units of 1e6 s
-    assert!(peaks[3] > 1.0e6 && peaks[3] < 1.0e8, "m=9 peak {:.3e}", peaks[3]);
+    assert!(
+        peaks[3] > 1.0e6 && peaks[3] < 1.0e8,
+        "m=9 peak {:.3e}",
+        peaks[3]
+    );
 }
 
 /// Figure 2 mechanism: MTTSF rises then falls in TIDS for every m.
 #[test]
 fn fig2_interior_optimum_for_every_m() {
-    let series = sweep_tids_by_m(
-        &paper(),
-        SystemConfig::paper_tids_grid(),
-        &[5, 7],
-    )
-    .unwrap();
+    let series = sweep_tids_by_m(&paper(), SystemConfig::paper_tids_grid(), &[5, 7]).unwrap();
     for s in &series {
-        let v: Vec<f64> = s.points.iter().map(|p| p.evaluation.mttsf_seconds).collect();
+        let v: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.evaluation.mttsf_seconds)
+            .collect();
         let peak = v.iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak > v[0], "{}: no rise from the short-TIDS side", s.label);
-        assert!(peak > *v.last().unwrap(), "{}: no fall to the long-TIDS side", s.label);
+        assert!(
+            peak > *v.last().unwrap(),
+            "{}: no fall to the long-TIDS side",
+            s.label
+        );
     }
 }
 
@@ -63,6 +77,7 @@ fn fig2_interior_optimum_for_every_m() {
 fn fig3_cost_ordering_and_interior_optimum() {
     let grid = &SystemConfig::paper_tids_grid()[2..];
     let series = sweep_tids_by_m(&paper(), grid, SystemConfig::paper_m_grid()).unwrap();
+    #[allow(clippy::needless_range_loop)] // index couples `grid` with every series
     for i in 0..grid.len() {
         let costs: Vec<f64> = series
             .iter()
@@ -77,10 +92,17 @@ fn fig3_cost_ordering_and_interior_optimum() {
         }
     }
     for s in &series[1..] {
-        let v: Vec<f64> =
-            s.points.iter().map(|p| p.evaluation.c_total_hop_bits_per_sec).collect();
+        let v: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.evaluation.c_total_hop_bits_per_sec)
+            .collect();
         let min = v.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(min < v[0] && min < *v.last().unwrap(), "{}: no interior optimum", s.label);
+        assert!(
+            min < v[0] && min < *v.last().unwrap(),
+            "{}: no interior optimum",
+            s.label
+        );
     }
 }
 
@@ -94,14 +116,28 @@ fn fig4_shape_crossovers() {
     };
     let (log, lin, poly) = (0usize, 1, 2);
     // paper: log performs well when TIDS is small (< 15 s)
-    assert!(at(log, 0) > at(lin, 0) && at(log, 0) > at(poly, 0), "log must win at TIDS=5");
+    assert!(
+        at(log, 0) > at(lin, 0) && at(log, 0) > at(poly, 0),
+        "log must win at TIDS=5"
+    );
     // paper: poly performs well when TIDS is large (> 240 s)
     let last = SystemConfig::paper_tids_grid().len() - 1;
-    assert!(at(poly, last) > at(lin, last), "poly must beat linear at TIDS=1200");
-    assert!(at(poly, last) > at(log, last), "poly must beat log at TIDS=1200");
+    assert!(
+        at(poly, last) > at(lin, last),
+        "poly must beat linear at TIDS=1200"
+    );
+    assert!(
+        at(poly, last) > at(log, last),
+        "poly must beat log at TIDS=1200"
+    );
     // linear's peak lands in the paper's 60–120 s region
-    let lin_opt = series[lin].optimal_tids_for_mttsf();
-    assert!((60.0..=240.0).contains(&lin_opt), "linear optimum at {lin_opt}");
+    let lin_opt = series[lin]
+        .optimal_tids_for_mttsf()
+        .expect("non-empty series");
+    assert!(
+        (60.0..=240.0).contains(&lin_opt),
+        "linear optimum at {lin_opt}"
+    );
 }
 
 /// Figure 5: linear detection is the cheapest at the paper's quoted
@@ -112,12 +148,20 @@ fn fig5_cost_crossovers() {
     let grid = &SystemConfig::paper_tids_grid()[1..];
     let series = sweep_tids_by_detection_shape(&paper(), grid).unwrap();
     let cost = |shape_idx: usize, tids_idx: usize| {
-        series[shape_idx].points[tids_idx].evaluation.c_total_hop_bits_per_sec
+        series[shape_idx].points[tids_idx]
+            .evaluation
+            .c_total_hop_bits_per_sec
     };
     let (log, lin, poly) = (0usize, 1, 2);
     let i240 = grid.iter().position(|&t| t == 240.0).unwrap();
-    assert!(cost(lin, i240) < cost(log, i240), "linear cheapest at 240 (vs log)");
-    assert!(cost(lin, i240) < cost(poly, i240), "linear cheapest at 240 (vs poly)");
+    assert!(
+        cost(lin, i240) < cost(log, i240),
+        "linear cheapest at 240 (vs log)"
+    );
+    assert!(
+        cost(lin, i240) < cost(poly, i240),
+        "linear cheapest at 240 (vs poly)"
+    );
     // poly most expensive at TIDS = 15 and 30
     for i in 0..2 {
         assert!(cost(poly, i) > cost(lin, i) && cost(poly, i) > cost(log, i));
@@ -158,7 +202,11 @@ fn adaptive_interval_selection_pays_off_for_every_attacker() {
         let mut cfg = paper();
         cfg.attacker.shape = attacker_shape;
         let s = sweep_tids(&cfg, grid, attacker_shape.name()).unwrap();
-        let v: Vec<f64> = s.points.iter().map(|p| p.evaluation.mttsf_seconds).collect();
+        let v: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| p.evaluation.mttsf_seconds)
+            .collect();
         let best = v.iter().cloned().fold(f64::MIN, f64::max);
         assert!(
             best > 2.0 * v[0] && best > 2.0 * v.last().unwrap(),

@@ -21,7 +21,10 @@ fn calibration_to_analytic_pipeline() {
         &CalibrationConfig {
             duration: 2_000.0,
             seeds: 2,
-            mobility: MobilityConfig { node_count: 40, ..Default::default() },
+            mobility: MobilityConfig {
+                node_count: 40,
+                ..Default::default()
+            },
             ..Default::default()
         },
         99,
@@ -72,25 +75,40 @@ fn eviction_pipeline_vsync_rekey_secrecy() {
 fn analytic_voting_matches_executed_votes_at_spn_populations() {
     // Sample a few populations the SPN's rate functions evaluate and check
     // the closed-form Pfp/Pfn against executed voting rounds.
-    let cases =
-        [Population { trusted: 20, undetected: 4, groups: 1 }, Population {
+    let cases = [
+        Population {
+            trusted: 20,
+            undetected: 4,
+            groups: 1,
+        },
+        Population {
             trusted: 40,
             undetected: 8,
             groups: 2,
-        }];
+        },
+    ];
     let mut rng = StdRng::seed_from_u64(31);
     for pop in cases {
         let (good_b, bad_b) = pop.per_group_for_bad_target();
         let (good_g, bad_g) = pop.per_group_for_good_target();
         let m = 5;
-        let cfg = VotingConfig { participants: m, host: HostIds::new(0.05, 0.05) };
+        let cfg = VotingConfig {
+            participants: m,
+            host: HostIds::new(0.05, 0.05),
+        };
         // Monte-Carlo with the *good-target* composition
         let (fp_mc, _) = estimate_error_rates(&cfg, good_g, bad_g.max(1), 40_000, &mut rng);
         let fp = p_false_positive(good_g, bad_g, m, 0.05);
-        assert!((fp - fp_mc).abs() < 0.012, "Pfp {fp:.4} vs MC {fp_mc:.4} at {pop:?}");
+        assert!(
+            (fp - fp_mc).abs() < 0.012,
+            "Pfp {fp:.4} vs MC {fp_mc:.4} at {pop:?}"
+        );
         let (_, fn_mc) = estimate_error_rates(&cfg, good_b, bad_b, 40_000, &mut rng);
         let fnn = p_false_negative(good_b, bad_b, m, 0.05);
-        assert!((fnn - fn_mc).abs() < 0.012, "Pfn {fnn:.4} vs MC {fn_mc:.4} at {pop:?}");
+        assert!(
+            (fnn - fn_mc).abs() < 0.012,
+            "Pfn {fnn:.4} vs MC {fn_mc:.4} at {pop:?}"
+        );
     }
 }
 
@@ -145,8 +163,15 @@ fn structural_analysis_proves_node_conservation() {
     // covered, so the net is not structurally bounded as a whole (it is
     // bounded in practice by the absorbing conditions and the NG guard).
     assert!(!report.covers_all_places());
-    assert_eq!(report.invariant_value(
-        report.p_invariants.iter().position(|i| i == &node_invariant).unwrap(),
-        &model.net.initial_marking(),
-    ), cfg.node_count as i64);
+    assert_eq!(
+        report.invariant_value(
+            report
+                .p_invariants
+                .iter()
+                .position(|i| i == &node_invariant)
+                .unwrap(),
+            &model.net.initial_marking(),
+        ),
+        cfg.node_count as i64
+    );
 }

@@ -1,0 +1,280 @@
+//! Offline, dependency-free subset of the `rayon` parallel-iterator API.
+//!
+//! The build environment has no access to crates.io, so this vendored stub
+//! implements the surface the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `.map(...).collect()` — with real
+//! parallelism on `std::thread::scope`. Items are materialized eagerly,
+//! split into one contiguous chunk per available core, mapped on worker
+//! threads, and reassembled in input order, so outputs are identical to the
+//! sequential result (the workspace's deterministic per-replication seeding
+//! does not depend on scheduling).
+
+use std::num::NonZeroUsize;
+
+/// Everything the workspace imports from `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads to use (`RAYON_NUM_THREADS` override honored).
+fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Order-preserving parallel map over owned items.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    // Split from the back so each drain is O(chunk).
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse(); // restore input order: first chunk = first items
+
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator" holding its items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator (map is deferred until `collect`).
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Collection types constructible from a parallel map's output.
+pub trait FromParallelIterator<T>: Sized {
+    /// Assemble from results in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// The operations the workspace chains on a parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Map each item (executed in parallel at `collect`).
+    fn map<R, F>(self, f: F) -> Map<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> Map<T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync + Send,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(parallel_map(self.items, &self.f))
+    }
+
+    /// Parallel map followed by a sequential sum.
+    pub fn sum<R>(self) -> R
+    where
+        F: Fn(T) -> R + Sync + Send,
+        R: Send + std::iter::Sum<R>,
+    {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let xs = vec![1.0f64, 2.0, 3.0];
+        let squares: Vec<f64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let r: Result<Vec<u32>, String> = (0..100u32)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "bad 57");
+        let ok: Result<Vec<u32>, String> = (0..10u32).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn parallel_sum() {
+        let s: u64 = (0..101u64).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 5050);
+    }
+}
