@@ -1,0 +1,62 @@
+//! Criterion benchmark of the mission-survivability path: the exact
+//! uniformization survival sweep at paper scale (N = 100), alone and as the
+//! marginal cost on top of a steady MTTSF solve — plus the single-segment
+//! vs whole-grid comparison that justifies the sequential propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{backend_for, BackendKind, RunBudget, ScenarioSpec};
+use gcsids::model::build_model;
+use spn::ctmc::{Ctmc, TransientOptions};
+use spn::reach::{explore, ExploreOptions};
+use std::hint::black_box;
+
+fn mission_grid(points: usize, horizon: f64) -> Vec<f64> {
+    (0..=points)
+        .map(|i| horizon * i as f64 / points as f64)
+        .collect()
+}
+
+fn bench_survival_sweep(c: &mut Criterion) {
+    // N = 50 and a 0.05·MTTSF horizon keep one sweep sub-second
+    // (uniformization cost ∝ q·t_max; profile_point reports the N = 100
+    // numbers) while preserving the sweep-vs-per-point comparison.
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+    spec.system.node_count = 50;
+    let model = build_model(&spec.system);
+    let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+    let ctmc = Ctmc::from_graph(&graph).unwrap();
+    let horizon = 0.05 * ctmc.mean_time_to_absorption().unwrap().mtta;
+    let opts = TransientOptions::default();
+
+    let mut g = c.benchmark_group("fig_survival");
+    g.sample_size(10);
+    g.bench_function("uniformization_sweep_24pt", |b| {
+        let grid = mission_grid(24, horizon);
+        b.iter(|| ctmc.survival_curve(black_box(&grid), &opts));
+    });
+    g.bench_function("per_point_transients_24pt", |b| {
+        // the naive alternative the sequential sweep replaces
+        let grid = mission_grid(24, horizon);
+        b.iter(|| {
+            grid.iter()
+                .map(|&t| ctmc.transient_distribution(t, &opts))
+                .map(|pi| {
+                    pi.iter()
+                        .zip(ctmc.absorbing())
+                        .filter_map(|(&x, &a)| (!a).then_some(x))
+                        .sum::<f64>()
+                })
+                .collect::<Vec<f64>>()
+        });
+    });
+    g.bench_function("engine_exact_with_mission_grid", |b| {
+        let mut s = spec.clone();
+        s.mission_times = mission_grid(24, horizon);
+        let backend = backend_for(BackendKind::Exact);
+        b.iter(|| backend.run(black_box(&s), &RunBudget::default()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_survival_sweep);
+criterion_main!(benches);

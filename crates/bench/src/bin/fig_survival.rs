@@ -1,0 +1,31 @@
+//! Mission-survivability figure (extension beyond the paper's Figures 2–5):
+//! exact `P[no security failure by mission time t]` per vote-participant
+//! count m, on a grid spanning the planning-relevant band (0.1 × the base
+//! MTTSF — uniformization cost grows with the horizon; see
+//! `bench_harness::fig_survival`).
+//!
+//! The paper's §2.1 security requirement — survive "past the minimum
+//! mission time" — is a transient statement the MTTSF point metric only
+//! summarizes; this figure answers it directly via uniformization.
+
+use bench_harness::{fig_survival, results_dir};
+use gcsids::config::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let t = fig_survival(&cfg, 24).expect("survival evaluation");
+    println!("{}", t.render());
+    // mission time each m sustains at 95% survival, the planner's number
+    for (label, ys) in &t.series {
+        let t95 =
+            t.x.iter()
+                .zip(ys)
+                .take_while(|&(_, &s)| s >= 0.95)
+                .last()
+                .map_or(0.0, |(&x, _)| x);
+        println!("longest mission at ≥95% survival for {label}: {t95:.0} s");
+    }
+    let path = results_dir().join("fig_survival.csv");
+    t.write_csv(&path).expect("write results");
+    println!("\ncsv written: {}", path.display());
+}

@@ -41,6 +41,19 @@ fn main() {
         let t0 = Instant::now();
         let a = ctmc.mean_time_to_absorption().unwrap();
         let t_solve = t0.elapsed();
-        println!("N={n}: rates={t_rates:?} cost={t_cost:?} ctmc_build={t_build:?} solve={t_solve:?} (mtta={:.3e}, acc={acc:.1})", a.mtta);
+
+        // Transient cost scales with q·t_max: time the mission-survival
+        // sweep at a day-scale horizon (the regime the crossval harness
+        // and fig_survival run in).
+        let t0 = Instant::now();
+        let horizon = 0.05 * a.mtta;
+        let grid: Vec<f64> = (1..=5).map(|i| horizon * i as f64 / 5.0).collect();
+        let s = ctmc.survival_curve(&grid, &spn::ctmc::TransientOptions::default());
+        let t_survival = t0.elapsed();
+        println!(
+            "N={n}: rates={t_rates:?} cost={t_cost:?} ctmc_build={t_build:?} solve={t_solve:?} \
+             survival5pt@0.05mtta={t_survival:?} (mtta={:.3e}, S(end)={:.4}, acc={acc:.1})",
+            a.mtta, s[4]
+        );
     }
 }

@@ -263,6 +263,49 @@ pub fn fig5(cfg: &SystemConfig) -> Result<FigureTable, EngineError> {
     )
 }
 
+/// Mission-survivability figure: exact `P[no security failure by t]` per
+/// vote-participant count `m`, on a mission grid scaled to the base
+/// configuration's MTTSF (so the curves always span the planning-relevant
+/// band regardless of parameterization). One state-space exploration
+/// serves all `m` series via the batched runner, and each curve is one
+/// uniformization sweep.
+///
+/// The horizon is 0.1 × MTTSF — the hours-to-days regime where mission
+/// planning happens, and where uniformization (cost ∝ q·t_max) stays
+/// cheap at paper scale; push the factor up only with profiling
+/// (`profile_point` times the sweep).
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn fig_survival(cfg: &SystemConfig, points: usize) -> Result<FigureTable, EngineError> {
+    // One template serves both the MTTSF probe (which scales the grid) and
+    // every m series: the vote-participant count is rate-only, so all
+    // evaluations share this single state-space exploration.
+    let template = gcsids::metrics::ExactTemplate::new(cfg)?;
+    let probe = template.evaluate(cfg)?;
+    let horizon = 0.1 * probe.mttsf_seconds;
+    let times: Vec<f64> = (0..=points)
+        .map(|i| horizon * i as f64 / points as f64)
+        .collect();
+
+    let ms = SystemConfig::paper_m_grid();
+    let series = ms
+        .iter()
+        .map(|&m| {
+            let (_, survival) =
+                template.evaluate_with_survival(&cfg.with_vote_participants(m), &times)?;
+            Ok((format!("m={m}"), survival.expect("mission grid requested")))
+        })
+        .collect::<Result<Vec<(String, Vec<f64>)>, EngineError>>()?;
+    Ok(FigureTable {
+        title: "Mission survivability: P[survive t] by vote participants m".into(),
+        x_label: "t (s)".into(),
+        y_label: "P[no security failure by t] (exact, uniformization)".into(),
+        x: times,
+        series,
+    })
+}
+
 /// Default output directory for CSVs.
 pub fn results_dir() -> std::path::PathBuf {
     std::path::PathBuf::from(std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into()))
@@ -356,5 +399,19 @@ mod tests {
         let t5 = fig5(&tiny_cfg()).unwrap();
         assert_eq!(t5.x[0], 15.0);
         assert!(t5.series.iter().all(|(_, ys)| ys.iter().all(|&y| y > 0.0)));
+    }
+
+    #[test]
+    fn fig_survival_produces_proper_curves() {
+        let t = fig_survival(&tiny_cfg(), 8).unwrap();
+        assert_eq!(t.series.len(), 4);
+        assert_eq!(t.x.len(), 9);
+        assert_eq!(t.x[0], 0.0);
+        for (label, ys) in &t.series {
+            assert!((ys[0] - 1.0).abs() < 1e-9, "{label}: S(0) = {}", ys[0]);
+            for w in ys.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{label}: not monotone {ys:?}");
+            }
+        }
     }
 }

@@ -583,10 +583,13 @@ mod tests {
 }
 
 /// Empirical survival function from replication outcomes: for each horizon
-/// `t`, the fraction of replications still failure-free at `t` (censored
-/// runs count as surviving up to their censoring time and are excluded
-/// beyond it — a simplified Kaplan–Meier suited to a common censoring
-/// horizon).
+/// `t`, the fraction of replications still failure-free at `t` — a
+/// simplified Kaplan–Meier suited to a common censoring horizon.
+///
+/// Horizons past the earliest censoring time are `NaN` ("not estimable"):
+/// there the at-risk set would consist only of replications that failed,
+/// so the raw proportion would be severely failure-biased rather than
+/// merely noisy (the engine-level estimator applies the same rule).
 ///
 /// The paper's §2.1 states the security requirement as surviving "past the
 /// minimum mission time" — a survival-probability statement that the MTTSF
@@ -596,21 +599,17 @@ mod tests {
 /// Panics if `outcomes` is empty.
 pub fn survival_curve(outcomes: &[DesOutcome], horizons: &[f64]) -> Vec<f64> {
     assert!(!outcomes.is_empty(), "survival curve needs outcomes");
+    let events: Vec<(f64, bool)> = outcomes
+        .iter()
+        .map(|o| (o.time, o.cause == FailureCause::Censored))
+        .collect();
     horizons
         .iter()
         .map(|&t| {
-            let mut at_risk = 0u64;
-            let mut surviving = 0u64;
-            for o in outcomes {
-                // runs censored before t carry no information about t
-                if o.cause == FailureCause::Censored && o.time < t {
-                    continue;
-                }
-                at_risk += 1;
-                if o.time >= t {
-                    surviving += 1;
-                }
+            if events.iter().any(|&(time, censored)| censored && time < t) {
+                return f64::NAN;
             }
+            let (surviving, at_risk) = numerics::stats::at_risk_surviving(&events, t);
             if at_risk == 0 {
                 f64::NAN
             } else {
@@ -689,7 +688,9 @@ mod survival_tests {
         let s = survival_curve(&[survivor, failure], &[2.0, 7.0, 20.0]);
         assert_eq!(s[0], 1.0); // both alive at t=2
         assert_eq!(s[1], 0.5); // failure dead at 7, censored alive
-        assert_eq!(s[2], 0.0); // only the failed run informs t=20
+                               // past the censoring time only the failed run would remain at
+                               // risk — a raw 0.0 would be failure-biased, so: not estimable
+        assert!(s[2].is_nan());
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //!
 //! This is the most expensive validator in the repository (every step
 //! rebuilds connectivity), so it is used with accelerated parameters by
-//! tests and the `validate_des` example, and serves as the ground-truth
-//! check that the birth–death abstraction in the SPN/DES does not distort
-//! MTTSF (EXPERIMENTS.md §6).
+//! tests and runs in the cross-backend validation harness only on request
+//! (`runner --mobility`; see `engine::crossval`). It serves as the
+//! ground-truth check that the birth–death abstraction in the SPN/DES does
+//! not distort MTTSF (EXPERIMENTS.md §6).
 
 use crate::config::SystemConfig;
 use crate::cost::gdh_rekey_hop_bits;

@@ -9,7 +9,7 @@
 use crate::config::SystemConfig;
 use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
 use crate::model::{build_model, population, GcsIdsModel};
-use spn::ctmc::Ctmc;
+use spn::ctmc::{Ctmc, TransientOptions};
 use spn::error::SpnError;
 use spn::reach::{explore, ExploreOptions, ReachabilityGraph};
 use spn::reward::{ImpulseReward, RateReward};
@@ -112,28 +112,77 @@ impl ExactTemplate {
     /// # Errors
     /// Propagates validation, re-weighting, and solver failures.
     pub fn evaluate(&self, cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
+        self.evaluate_with_survival(cfg, &[]).map(|(e, _)| e)
+    }
+
+    /// Evaluate and additionally compute the exact mission survival curve
+    /// `P[no security failure by t]` on `mission_times` (ascending), over
+    /// the same (re-weighted) graph the steady metrics use. An empty grid
+    /// skips the transient solve and returns `None`.
+    ///
+    /// # Errors
+    /// Propagates validation, re-weighting, and solver failures.
+    pub fn evaluate_with_survival(
+        &self,
+        cfg: &SystemConfig,
+        mission_times: &[f64],
+    ) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
         cfg.validate().map_err(SpnError::InvalidModel)?;
         if !self.compatible(cfg) {
-            return self.evaluate_fresh(cfg);
+            return self.evaluate_fresh(cfg, mission_times);
         }
         let model = build_model(cfg);
         match self.graph.reweighted(&model.net) {
-            Ok(graph) => evaluate_prebuilt(&model, &graph),
+            Ok(graph) => evaluate_graph(&model, &graph, mission_times),
             // Structural mismatch despite matching keys — e.g. a rate that
             // was zero at template-build time pruned states that this
             // configuration can reach. Fall back to a fresh exploration.
-            Err(SpnError::InvalidModel(_)) => self.evaluate_fresh(cfg),
+            Err(SpnError::InvalidModel(_)) => self.evaluate_fresh(cfg, mission_times),
             Err(e) => Err(e),
         }
     }
 
     /// Fresh exploration under the template's own limits, so a
     /// caller-imposed state budget is never silently bypassed.
-    fn evaluate_fresh(&self, cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
+    fn evaluate_fresh(
+        &self,
+        cfg: &SystemConfig,
+        mission_times: &[f64],
+    ) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
         let model = build_model(cfg);
         let graph = explore(&model.net, &self.opts)?;
-        evaluate_prebuilt(&model, &graph)
+        evaluate_graph(&model, &graph, mission_times)
     }
+}
+
+/// Steady metrics plus the optional exact survival curve on one graph.
+fn evaluate_graph(
+    model: &GcsIdsModel,
+    graph: &ReachabilityGraph,
+    mission_times: &[f64],
+) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
+    let e = evaluate_prebuilt(model, graph)?;
+    let s = if mission_times.is_empty() {
+        None
+    } else {
+        Some(survival_exact(graph, mission_times)?)
+    };
+    Ok((e, s))
+}
+
+/// Exact mission survival `P[no security failure by t]` for each horizon in
+/// the ascending grid `mission_times`: one uniformization sweep over the
+/// tangible CTMC, reading off the non-absorbed probability mass — the
+/// transient counterpart of the MTTSF absorption solve.
+///
+/// # Errors
+/// Returns [`SpnError::InvalidModel`] for a degenerate graph.
+pub fn survival_exact(
+    graph: &ReachabilityGraph,
+    mission_times: &[f64],
+) -> Result<Vec<f64>, SpnError> {
+    let ctmc = Ctmc::from_graph(graph)?;
+    Ok(ctmc.survival_curve(mission_times, &TransientOptions::default()))
 }
 
 /// The eviction-rekey impulse rewards (a GDH rekey charged on every `T_IDS`
@@ -395,6 +444,47 @@ mod tests {
         let direct = evaluate(&other).unwrap();
         assert_eq!(via_template.state_count, direct.state_count);
         assert!((via_template.mttsf_seconds - direct.mttsf_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_survival_curve_brackets_mttsf() {
+        // S(t) is monotone from 1, and the area under it is the MTTSF — at
+        // t = MTTSF the survival of a roughly-exponential failure law sits
+        // near e^{-1}.
+        let cfg = small(12, 3, 120.0);
+        let model = build_model(&cfg);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        let e = evaluate_prebuilt(&model, &graph).unwrap();
+        let m = e.mttsf_seconds;
+        let times = [0.0, 0.25 * m, m, 4.0 * m];
+        let s = survival_exact(&graph, &times).unwrap();
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{s:?}");
+        }
+        assert!(s[2] > 0.05 && s[2] < 0.8, "S(MTTSF) = {}", s[2]);
+        assert!(s[3] < s[2]);
+    }
+
+    #[test]
+    fn template_survival_matches_fresh_graph() {
+        let base = small(12, 3, 120.0);
+        let template = ExactTemplate::new(&base).unwrap();
+        let variant = base.with_tids(45.0);
+        let (eval, surv) = template
+            .evaluate_with_survival(&variant, &[1.0e4, 1.0e5])
+            .unwrap();
+        let model = build_model(&variant);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        let direct = survival_exact(&graph, &[1.0e4, 1.0e5]).unwrap();
+        let surv = surv.unwrap();
+        for (a, b) in surv.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-9, "{surv:?} vs {direct:?}");
+        }
+        assert!(eval.mttsf_seconds > 0.0);
+        // empty grid skips the transient solve
+        let (_, none) = template.evaluate_with_survival(&variant, &[]).unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

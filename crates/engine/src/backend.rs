@@ -8,7 +8,7 @@
 //! uniformly instead of hand-rolling one orchestration per evaluator.
 
 use crate::error::EngineError;
-use crate::report::{Estimate, FailureSplit, RunReport};
+use crate::report::{survival_estimates, Estimate, FailureSplit, RunReport};
 use crate::spec::{BackendKind, ScenarioSpec};
 use gcsids::des::{run_des, DesConfig, FailureCause};
 use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
@@ -86,10 +86,11 @@ impl ExactBackend {
     ) -> Result<RunReport, EngineError> {
         spec.validate()?;
         let t0 = Instant::now();
-        let e = template.evaluate(&spec.system)?;
+        let (e, survival) = template.evaluate_with_survival(&spec.system, &spec.mission_times)?;
         Ok(Self::report_from_evaluation(
             spec,
             &e,
+            survival,
             t0.elapsed().as_secs_f64(),
         ))
     }
@@ -97,6 +98,7 @@ impl ExactBackend {
     fn report_from_evaluation(
         spec: &ScenarioSpec,
         e: &gcsids::metrics::Evaluation,
+        survival: Option<Vec<f64>>,
         wall_seconds: f64,
     ) -> RunReport {
         RunReport {
@@ -114,6 +116,13 @@ impl ExactBackend {
             edge_count: Some(e.edge_count),
             replications: None,
             censored: None,
+            survival: survival.map(|s| {
+                spec.mission_times
+                    .iter()
+                    .copied()
+                    .zip(s.into_iter().map(Estimate::exact))
+                    .collect()
+            }),
             wall_seconds,
         }
     }
@@ -136,9 +145,18 @@ impl Backend for ExactBackend {
         let model = build_model(&spec.system);
         let graph = spn::reach::explore(&model.net, &opts)?;
         let e = gcsids::metrics::evaluate_prebuilt(&model, &graph)?;
+        let survival = if spec.mission_times.is_empty() {
+            None
+        } else {
+            Some(gcsids::metrics::survival_exact(
+                &graph,
+                &spec.mission_times,
+            )?)
+        };
         Ok(Self::report_from_evaluation(
             spec,
             &e,
+            survival,
             t0.elapsed().as_secs_f64(),
         ))
     }
@@ -152,6 +170,9 @@ struct StochasticAggregate {
     c2: u64,
     other: u64,
     censored: u64,
+    /// Per-replication `(end time, censored)` — the right-censored failure
+    /// times behind the Kaplan–Meier-style survival estimates.
+    events: Vec<(f64, bool)>,
 }
 
 impl StochasticAggregate {
@@ -163,12 +184,15 @@ impl StochasticAggregate {
             c2: 0,
             other: 0,
             censored: 0,
+            events: Vec::new(),
         }
     }
 
     /// Record one ended replication. `cause = None` means censored.
     fn record(&mut self, time: f64, cost_rate: f64, cause: Option<FailureCause>) {
         self.cost_rate.push(cost_rate);
+        let censored = matches!(cause, Some(FailureCause::Censored) | None);
+        self.events.push((time, censored));
         match cause {
             Some(FailureCause::DataLeak) => {
                 self.c1 += 1;
@@ -198,6 +222,15 @@ impl StochasticAggregate {
             FailureSplit::default()
         };
         let confidence = spec.stochastic.confidence;
+        let survival = if spec.mission_times.is_empty() {
+            None
+        } else {
+            Some(survival_estimates(
+                &self.events,
+                &spec.mission_times,
+                confidence,
+            ))
+        };
         RunReport {
             scenario: spec.name.clone(),
             backend: kind,
@@ -209,6 +242,7 @@ impl StochasticAggregate {
             edge_count: None,
             replications: Some(self.c1 + self.c2 + self.other + self.censored),
             censored: Some(self.censored),
+            survival,
             wall_seconds: wall,
         }
     }
@@ -368,6 +402,75 @@ mod tests {
                 assert!(report.mttsf.ci.is_some(), "{kind:?} should carry a CI");
             }
         }
+    }
+
+    #[test]
+    fn mission_survival_reported_by_every_backend() {
+        for kind in BackendKind::all() {
+            let mut spec = hot_spec(kind);
+            spec.mission_times = vec![0.0, 20_000.0, 80_000.0];
+            let report = backend_for(kind).run(&spec, &RunBudget::default()).unwrap();
+            let surv = report.survival.expect("mission grid requested");
+            assert_eq!(surv.len(), 3);
+            assert_eq!(surv[0].0, 0.0);
+            assert!(
+                (surv[0].1.value - 1.0).abs() < 1e-9,
+                "{kind:?}: S(0) = {}",
+                surv[0].1.value
+            );
+            for w in surv.windows(2) {
+                assert!(
+                    w[1].1.value <= w[0].1.value + 1e-9,
+                    "{kind:?}: survival not monotone: {surv:?}"
+                );
+            }
+            for (t, e) in &surv {
+                assert!(
+                    (0.0..=1.0).contains(&e.value),
+                    "{kind:?} t={t}: {}",
+                    e.value
+                );
+                if kind == BackendKind::Exact {
+                    assert!(e.ci.is_none());
+                } else {
+                    let (lo, hi) = e.ci.expect("stochastic survival carries a CI");
+                    assert!(lo <= e.value && e.value <= hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_mission_grid_means_no_survival_field() {
+        let spec = hot_spec(BackendKind::Des);
+        let report = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        assert!(report.survival.is_none());
+    }
+
+    #[test]
+    fn survival_beyond_horizon_is_rejected_up_front() {
+        // a grid point past the censoring horizon can only yield a
+        // failure-biased or empty estimate — the spec must not validate
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.max_time = 1.0;
+        spec.stochastic.replications = 5;
+        spec.mission_times = vec![0.5, 10.0];
+        let out = backend_for(BackendKind::Des).run(&spec, &RunBudget::default());
+        assert!(matches!(out, Err(EngineError::InvalidSpec(_))));
+        // at the horizon itself the estimate is fine (censored runs are
+        // still at risk there), including the all-censored zero-variance
+        // case — finite bounds, no NaN
+        spec.mission_times = vec![0.5, 1.0];
+        let report = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        let surv = report.survival.unwrap();
+        assert_eq!(surv[0].1.value, 1.0);
+        assert_eq!(surv[1].1.value, 1.0);
+        let (lo, hi) = surv[1].1.ci.unwrap();
+        assert!(!lo.is_nan() && (hi - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Cross-backend validation harness over on-disk scenario specs.
+//!
+//! ```text
+//! runner --specs <dir> [--out <file>] [--confidence 0.99] [--mttsf-rel-tol 0.2]
+//!        [--survival-abs-tol 0.05] [--max-replications N] [--max-states N]
+//!        [--mobility] [--quiet]
+//! ```
+//!
+//! Every `*.json` [`engine::ScenarioSpec`] in `--specs` runs on the exact
+//! backend and on each applicable stochastic backend; the exact value must
+//! lie inside the stochastic confidence interval (or within the explicit
+//! modeling tolerance) metric-by-metric and mission-grid-point-by-point.
+//! A machine-readable agreement report is written to `--out` (or printed),
+//! a human summary goes to stderr, and the exit code is non-zero on any
+//! disagreement — ready for CI.
+
+use engine::{cross_validate_dir, CrossValOptions, CrossValReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    specs: PathBuf,
+    out: Option<PathBuf>,
+    opts: CrossValOptions,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runner --specs <dir> [--out <file>] [--confidence <c>] \
+         [--mttsf-rel-tol <x>] [--survival-abs-tol <x>] \
+         [--max-replications <n>] [--max-states <n>] [--mobility] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut specs: Option<PathBuf> = None;
+    let mut out = None;
+    let mut opts = CrossValOptions::default();
+    let mut quiet = false;
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--specs" => specs = Some(PathBuf::from(value(&mut args, "--specs"))),
+            "--out" => out = Some(PathBuf::from(value(&mut args, "--out"))),
+            "--confidence" => {
+                opts.confidence = parse_num(&value(&mut args, "--confidence"), "--confidence")
+            }
+            "--mttsf-rel-tol" => {
+                opts.mttsf_rel_tol =
+                    parse_num(&value(&mut args, "--mttsf-rel-tol"), "--mttsf-rel-tol")
+            }
+            "--survival-abs-tol" => {
+                opts.survival_abs_tol = parse_num(
+                    &value(&mut args, "--survival-abs-tol"),
+                    "--survival-abs-tol",
+                )
+            }
+            "--max-replications" => {
+                opts.budget.max_replications = Some(parse_count(
+                    &value(&mut args, "--max-replications"),
+                    "--max-replications",
+                ))
+            }
+            "--max-states" => {
+                opts.budget.max_states =
+                    parse_count(&value(&mut args, "--max-states"), "--max-states") as usize
+            }
+            "--mobility" => opts.include_mobility = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let Some(specs) = specs else {
+        eprintln!("--specs is required");
+        usage()
+    };
+    Args {
+        specs,
+        out,
+        opts,
+        quiet,
+    }
+}
+
+fn parse_num(text: &str, flag: &str) -> f64 {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("bad value `{text}` for {flag}");
+        usage()
+    })
+}
+
+/// Strictly positive integer (a zero budget would make every comparison
+/// vacuous).
+fn parse_count(text: &str, flag: &str) -> u64 {
+    match text.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} needs a positive integer, got `{text}`");
+            usage()
+        }
+    }
+}
+
+fn summarize(report: &CrossValReport) {
+    for s in &report.specs {
+        eprintln!(
+            "{} [{}]  exact MTTSF {:.4e} s",
+            s.name,
+            if s.agrees { "ok" } else { "DISAGREES" },
+            s.exact.mttsf.value
+        );
+        for c in &s.comparisons {
+            let verdict = if c.agrees { "ok" } else { "DISAGREES" };
+            eprintln!(
+                "  vs {:<12} {:>10}  ({} checks, {} skipped)",
+                c.backend.name(),
+                verdict,
+                c.checks.len(),
+                c.skipped.len()
+            );
+            for ch in c.checks.iter().filter(|ch| !ch.agrees) {
+                eprintln!(
+                    "    {}: exact {:.4e} vs {:.4e} (CI {:?}), discrepancy {:.3}",
+                    ch.metric, ch.exact, ch.estimate.value, ch.estimate.ci, ch.discrepancy
+                );
+            }
+        }
+    }
+    if let Some((name, backend, ch)) = report.worst_offender() {
+        eprintln!(
+            "worst offender: {name} vs {} on {} (discrepancy {:.4})",
+            backend.name(),
+            ch.metric,
+            ch.discrepancy
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = match cross_validate_dir(&args.specs, &args.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runner: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet {
+        summarize(&report);
+    }
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("runner: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("agreement report written to {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    if report.agrees() {
+        eprintln!("cross-backend validation: all specs agree");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cross-backend validation: DISAGREEMENT detected");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,512 @@
+//! Cross-backend validation: make the evaluators check each other.
+//!
+//! One scenario is run on the exact backend and on every applicable
+//! stochastic backend, then compared metric-by-metric: MTTSF (when the
+//! stochastic run observed uncensored failures) and every mission-grid
+//! survival point. A stochastic estimate *agrees* with the exact value when
+//! the exact value lies inside its confidence interval (level configurable
+//! via [`CrossValOptions::confidence`] — the "z" knob) or, failing that,
+//! when the discrepancy is inside an explicit modeling tolerance (the
+//! protocol DES executes real votes rather than the analytic `Pfn`/`Pfp`,
+//! so a small systematic gap is expected and documented — see
+//! EXPERIMENTS.md).
+//!
+//! [`cross_validate_dir`] is the batch entry point behind the `runner`
+//! binary: it loads every `*.json` [`ScenarioSpec`] in a directory,
+//! cross-validates each, and produces one machine-readable
+//! [`CrossValReport`] with per-point deltas and the worst offender.
+
+use crate::backend::{backend_for, RunBudget};
+use crate::error::EngineError;
+use crate::json::Value;
+use crate::report::{Estimate, RunReport};
+use crate::runner::Runner;
+use crate::spec::{BackendKind, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+/// Agreement-check configuration.
+#[derive(Debug, Clone)]
+pub struct CrossValOptions {
+    /// Confidence level for the stochastic intervals used in containment
+    /// checks (overrides each spec's own level, so one z applies across
+    /// the whole run).
+    pub confidence: f64,
+    /// Relative modeling tolerance for MTTSF: a stochastic mean within
+    /// this fraction of the exact value agrees even when the CI (which
+    /// shrinks without bound with replications) excludes it.
+    pub mttsf_rel_tol: f64,
+    /// Absolute modeling tolerance for survival probabilities.
+    pub survival_abs_tol: f64,
+    /// Relative modeling tolerance for Ĉtotal. Deliberately loose: cost
+    /// accounting differs structurally between the evaluators (event-level
+    /// GDH charges and per-group vote floods vs state-averaged rates), so
+    /// this guards against gross regressions — same ballpark, not
+    /// statistical identity.
+    pub cost_rel_tol: f64,
+    /// Resource budget applied to every run (cap replications here for
+    /// quick CI sweeps).
+    pub budget: RunBudget,
+    /// Include the mobility-integrated DES. Off by default: it is by far
+    /// the slowest backend and its group dynamics come from live
+    /// connectivity rather than the calibrated birth–death rates, so it is
+    /// only comparable when the spec's rates match its geometry.
+    pub include_mobility: bool,
+}
+
+impl Default for CrossValOptions {
+    fn default() -> Self {
+        Self {
+            confidence: 0.99,
+            mttsf_rel_tol: 0.20,
+            survival_abs_tol: 0.05,
+            cost_rel_tol: 1.0,
+            budget: RunBudget::default(),
+            include_mobility: false,
+        }
+    }
+}
+
+impl CrossValOptions {
+    /// The stochastic backends a spec is checked against.
+    pub fn applicable_backends(&self) -> Vec<BackendKind> {
+        let mut kinds = vec![BackendKind::SpnSim, BackendKind::Des];
+        if self.include_mobility {
+            kinds.push(BackendKind::MobilityDes);
+        }
+        kinds
+    }
+}
+
+/// One exact-vs-stochastic comparison of a single metric.
+#[derive(Debug, Clone)]
+pub struct MetricCheck {
+    /// Metric label (`mttsf` or `survival@<t>`).
+    pub metric: String,
+    /// The exact backend's value.
+    pub exact: f64,
+    /// The stochastic backend's estimate (with interval).
+    pub estimate: Estimate,
+    /// Signed estimate − exact.
+    pub delta: f64,
+    /// `delta` relative to the exact value (absolute delta for survival
+    /// probabilities, whose natural scale is already [0, 1]).
+    pub discrepancy: f64,
+    /// True when the exact value lies inside the stochastic interval.
+    pub inside_ci: bool,
+    /// True when the check passes (inside the CI or within the modeling
+    /// tolerance).
+    pub agrees: bool,
+}
+
+impl MetricCheck {
+    fn new(metric: String, exact: f64, estimate: Estimate, tol: f64, relative: bool) -> Self {
+        let inside_ci = estimate
+            .ci
+            .is_some_and(|(lo, hi)| lo <= exact && exact <= hi);
+        let delta = estimate.value - exact;
+        let discrepancy = if relative {
+            delta.abs() / exact.abs().max(f64::MIN_POSITIVE)
+        } else {
+            delta.abs()
+        };
+        Self {
+            metric,
+            exact,
+            estimate,
+            delta,
+            discrepancy,
+            inside_ci,
+            agrees: inside_ci || discrepancy <= tol,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let num = crate::report::num;
+        let (ci_lo, ci_hi) = self.estimate.ci.unwrap_or((f64::NAN, f64::NAN));
+        Value::obj([
+            ("metric", Value::Str(self.metric.clone())),
+            ("exact", num(self.exact)),
+            ("estimate", num(self.estimate.value)),
+            ("ci_lo", num(ci_lo)),
+            ("ci_hi", num(ci_hi)),
+            ("delta", num(self.delta)),
+            ("discrepancy", num(self.discrepancy)),
+            ("inside_ci", Value::Bool(self.inside_ci)),
+            ("agrees", Value::Bool(self.agrees)),
+        ])
+    }
+}
+
+/// All checks of one stochastic backend against the exact reference.
+#[derive(Debug, Clone)]
+pub struct BackendComparison {
+    /// The stochastic backend under test.
+    pub backend: BackendKind,
+    /// Its full report (for downstream tooling).
+    pub report: RunReport,
+    /// Per-metric checks.
+    pub checks: Vec<MetricCheck>,
+    /// Metrics that could not be compared (not estimable: censored MTTSF,
+    /// grid points past the horizon) — reported, never silently dropped.
+    pub skipped: Vec<String>,
+    /// True when every comparable metric agrees.
+    pub agrees: bool,
+}
+
+/// Cross-validation verdict for one scenario.
+#[derive(Debug, Clone)]
+pub struct SpecCrossValidation {
+    /// Scenario label.
+    pub name: String,
+    /// The exact reference report.
+    pub exact: RunReport,
+    /// One comparison per applicable stochastic backend.
+    pub comparisons: Vec<BackendComparison>,
+    /// True when every backend agrees.
+    pub agrees: bool,
+}
+
+/// The aggregate agreement report over a batch of scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct CrossValReport {
+    /// Per-scenario verdicts.
+    pub specs: Vec<SpecCrossValidation>,
+}
+
+impl CrossValReport {
+    /// True when every scenario agrees on every backend.
+    pub fn agrees(&self) -> bool {
+        self.specs.iter().all(|s| s.agrees)
+    }
+
+    /// The comparable check with the largest discrepancy across the whole
+    /// run, as `(scenario, backend, check)` — the first thing to look at
+    /// when a sweep disagrees.
+    pub fn worst_offender(&self) -> Option<(&str, BackendKind, &MetricCheck)> {
+        self.specs
+            .iter()
+            .flat_map(|s| {
+                s.comparisons.iter().flat_map(move |c| {
+                    c.checks
+                        .iter()
+                        .map(move |ch| (s.name.as_str(), c.backend, ch))
+                })
+            })
+            .filter(|(_, _, ch)| ch.discrepancy.is_finite())
+            .max_by(|a, b| {
+                a.2.discrepancy
+                    .partial_cmp(&b.2.discrepancy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Machine-readable JSON for logs and CI artifacts.
+    pub fn to_json(&self) -> String {
+        let specs = self
+            .specs
+            .iter()
+            .map(|s| {
+                let comparisons = s
+                    .comparisons
+                    .iter()
+                    .map(|c| {
+                        Value::obj([
+                            ("backend", Value::Str(c.backend.name().into())),
+                            (
+                                "checks",
+                                Value::Arr(c.checks.iter().map(MetricCheck::to_value).collect()),
+                            ),
+                            (
+                                "skipped",
+                                Value::Arr(
+                                    c.skipped.iter().map(|m| Value::Str(m.clone())).collect(),
+                                ),
+                            ),
+                            ("agrees", Value::Bool(c.agrees)),
+                        ])
+                    })
+                    .collect();
+                Value::obj([
+                    ("name", Value::Str(s.name.clone())),
+                    ("exact_mttsf", Value::Num(s.exact.mttsf.value)),
+                    ("comparisons", Value::Arr(comparisons)),
+                    ("agrees", Value::Bool(s.agrees)),
+                ])
+            })
+            .collect();
+        let worst = self
+            .worst_offender()
+            .map_or(Value::Null, |(name, kind, ch)| {
+                Value::obj([
+                    ("scenario", Value::Str(name.into())),
+                    ("backend", Value::Str(kind.name().into())),
+                    ("metric", Value::Str(ch.metric.clone())),
+                    ("discrepancy", Value::Num(ch.discrepancy)),
+                ])
+            });
+        Value::obj([
+            ("specs", Value::Arr(specs)),
+            ("worst_offender", worst),
+            ("agrees", Value::Bool(self.agrees())),
+        ])
+        .encode()
+    }
+}
+
+/// Compare a stochastic report against the exact reference.
+fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> BackendComparison {
+    let mut checks = Vec::new();
+    let mut skipped = Vec::new();
+
+    // MTTSF and the time-averaged cost are only unbiased when nothing was
+    // censored: a censored mean is conditional on failing within the
+    // horizon, systematically off the exact until-absorption quantities.
+    if stoch.censored.unwrap_or(0) > 0 {
+        skipped.push("mttsf (censored replications bias the mean)".into());
+        skipped.push("c_total (censored replications bias the rate)".into());
+    } else if !stoch.mttsf.value.is_finite() {
+        skipped.push("mttsf (not estimable)".into());
+        skipped.push("c_total (not estimable)".into());
+    } else {
+        checks.push(MetricCheck::new(
+            "mttsf".into(),
+            exact.mttsf.value,
+            stoch.mttsf,
+            opts.mttsf_rel_tol,
+            true,
+        ));
+        checks.push(MetricCheck::new(
+            "c_total".into(),
+            exact.c_total.value,
+            stoch.c_total,
+            opts.cost_rel_tol,
+            true,
+        ));
+    }
+
+    match (&exact.survival, &stoch.survival) {
+        (Some(exact_points), Some(stoch_points)) => {
+            for ((t, e), (_, s)) in exact_points.iter().zip(stoch_points) {
+                if s.value.is_finite() {
+                    checks.push(MetricCheck::new(
+                        format!("survival@{t}"),
+                        e.value,
+                        *s,
+                        opts.survival_abs_tol,
+                        false,
+                    ));
+                } else {
+                    skipped.push(format!(
+                        "survival@{t} (not estimable: censoring before this horizon)"
+                    ));
+                }
+            }
+        }
+        (None, None) => {}
+        _ => skipped.push("survival (grid missing on one side)".into()),
+    }
+
+    // An all-skipped comparison validated nothing — that must read as
+    // disagreement, not as a vacuous pass (the skipped list says why).
+    let agrees = !checks.is_empty() && checks.iter().all(|c| c.agrees);
+    BackendComparison {
+        backend: stoch.backend,
+        report: stoch,
+        checks,
+        skipped,
+        agrees,
+    }
+}
+
+/// The spec as the harness runs it: exact reference backend, one
+/// confidence level across the whole run.
+fn harness_base(spec: &ScenarioSpec, opts: &CrossValOptions) -> ScenarioSpec {
+    let mut base = spec.clone();
+    base.backend = BackendKind::Exact;
+    base.stochastic.confidence = opts.confidence;
+    base
+}
+
+/// Run every applicable stochastic backend against an already-computed
+/// exact reference.
+fn compare_against(
+    base: &ScenarioSpec,
+    exact: RunReport,
+    opts: &CrossValOptions,
+) -> Result<SpecCrossValidation, EngineError> {
+    let mut comparisons = Vec::new();
+    for kind in opts.applicable_backends() {
+        let mut s = base.clone();
+        s.backend = kind;
+        let report = backend_for(kind).run(&s, &opts.budget)?;
+        comparisons.push(compare(&exact, report, opts));
+    }
+    let agrees = comparisons.iter().all(|c| c.agrees);
+    Ok(SpecCrossValidation {
+        name: base.name.clone(),
+        exact,
+        comparisons,
+        agrees,
+    })
+}
+
+/// Cross-validate one scenario: exact reference vs every applicable
+/// stochastic backend. The spec's own `backend` field is ignored — the
+/// harness decides where it runs.
+///
+/// # Errors
+/// Propagates spec validation and backend failures.
+pub fn cross_validate(
+    spec: &ScenarioSpec,
+    opts: &CrossValOptions,
+) -> Result<SpecCrossValidation, EngineError> {
+    let base = harness_base(spec, opts);
+    let exact = backend_for(BackendKind::Exact).run(&base, &opts.budget)?;
+    compare_against(&base, exact, opts)
+}
+
+/// Load every `*.json` scenario spec in `dir`, sorted by file name.
+///
+/// # Errors
+/// Returns [`EngineError::Json`] for unreadable directories/files and
+/// malformed specs (the offending path is named in the message).
+pub fn load_spec_dir(dir: &Path) -> Result<Vec<(PathBuf, ScenarioSpec)>, EngineError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| EngineError::Json(format!("cannot read spec dir {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| EngineError::Json(format!("cannot read {}: {e}", p.display())))?;
+            let spec = ScenarioSpec::from_json(&text)
+                .map_err(|e| EngineError::Json(format!("{}: {e}", p.display())))?;
+            Ok((p, spec))
+        })
+        .collect()
+}
+
+/// Cross-validate every spec file in a directory. The exact references run
+/// through the batched [`Runner`], so rate-only spec variants of one
+/// structural family share a single state-space exploration.
+///
+/// # Errors
+/// Propagates loading and evaluation failures; an empty directory is an
+/// error (a harness that validates nothing should not report success).
+pub fn cross_validate_dir(
+    dir: &Path,
+    opts: &CrossValOptions,
+) -> Result<CrossValReport, EngineError> {
+    let specs = load_spec_dir(dir)?;
+    if specs.is_empty() {
+        return Err(EngineError::Json(format!(
+            "no .json specs found in {}",
+            dir.display()
+        )));
+    }
+    let bases: Vec<ScenarioSpec> = specs
+        .iter()
+        .map(|(_, spec)| harness_base(spec, opts))
+        .collect();
+    let exact_reports = Runner::with_budget(opts.budget).run_batch(&bases)?;
+    let mut report = CrossValReport::default();
+    for (base, exact) in bases.iter().zip(exact_reports) {
+        report.specs.push(compare_against(base, exact, opts)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcsids::config::SystemConfig;
+
+    /// Small, fast-failing system mirroring the backend tests.
+    fn hot_spec() -> ScenarioSpec {
+        let mut sys = SystemConfig::paper_default();
+        sys.node_count = 12;
+        sys.vote_participants = 3;
+        sys.attacker.base_rate = 1.0 / 600.0;
+        sys.detection = sys.detection.with_interval(120.0);
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.name = "crossval-hot".into();
+        spec.system = sys;
+        spec.stochastic.replications = 600;
+        spec.stochastic.max_time = 1.0e6;
+        spec
+    }
+
+    #[test]
+    fn spn_sim_agrees_with_exact_on_hot_spec() {
+        let mut spec = hot_spec();
+        spec.mission_times = vec![0.0, 2.0e4, 8.0e4];
+        let opts = CrossValOptions::default();
+        let out = cross_validate(&spec, &opts).unwrap();
+        assert_eq!(out.comparisons.len(), 2);
+        let spn = out
+            .comparisons
+            .iter()
+            .find(|c| c.backend == BackendKind::SpnSim)
+            .unwrap();
+        // the token game simulates the very SPN the exact solver analyses —
+        // it must agree outright
+        assert!(spn.agrees, "{:#?}", spn.checks);
+        // survival at t=0 is comparable and trivially inside the
+        // degenerate CI
+        let s0 = spn
+            .checks
+            .iter()
+            .find(|c| c.metric == "survival@0")
+            .unwrap();
+        assert!(s0.inside_ci);
+        assert_eq!(out.agrees, out.comparisons.iter().all(|c| c.agrees));
+    }
+
+    #[test]
+    fn censored_mttsf_is_skipped_not_failed() {
+        let mut spec = hot_spec();
+        spec.mission_times = vec![0.0, 2.0e3];
+        // horizon far below the typical failure time: replications censor
+        spec.stochastic.max_time = 5.0e3;
+        spec.stochastic.replications = 60;
+        let out = cross_validate(&spec, &CrossValOptions::default()).unwrap();
+        for c in &out.comparisons {
+            assert!(
+                c.skipped.iter().any(|m| m.starts_with("mttsf")),
+                "{:?}: {:?}",
+                c.backend,
+                c.skipped
+            );
+            assert!(c.checks.iter().all(|ch| ch.metric.starts_with("survival")));
+        }
+    }
+
+    #[test]
+    fn report_json_names_worst_offender() {
+        let mut spec = hot_spec();
+        spec.stochastic.replications = 80;
+        let mut report = CrossValReport::default();
+        report
+            .specs
+            .push(cross_validate(&spec, &CrossValOptions::default()).unwrap());
+        let text = report.to_json();
+        let v = crate::json::Value::parse(&text).unwrap();
+        assert!(v.field("agrees").is_ok());
+        assert!(v.field("worst_offender").is_ok());
+        let worst = report.worst_offender();
+        assert!(worst.is_some());
+    }
+
+    #[test]
+    fn dir_harness_rejects_empty_dir() {
+        let dir = std::env::temp_dir().join("gcsids-crossval-empty-test");
+        let _ = std::fs::create_dir_all(&dir);
+        assert!(cross_validate_dir(&dir, &CrossValOptions::default()).is_err());
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

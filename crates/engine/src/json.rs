@@ -108,6 +108,17 @@ impl Value {
         }
     }
 
+    /// Array elements.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Json`] when `self` is not an array.
+    pub fn as_arr(&self) -> Result<&[Value], EngineError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(EngineError::Json(format!("expected array, got {self:?}"))),
+        }
+    }
+
     /// Boolean value.
     ///
     /// # Errors

@@ -12,13 +12,21 @@
 //!   [`BackendKind`]).
 //! * [`RunReport`] — the common output: MTTSF and Ĉtotal (with confidence
 //!   intervals where stochastic), the failure-mode split, cost components
-//!   and state/edge counts where exact.
+//!   and state/edge counts where exact, and — when the spec carries a
+//!   mission-time grid — the survival curve `P[no security failure by t]`
+//!   (uniformization on the exact backend, Kaplan–Meier-style estimates on
+//!   the stochastic ones).
 //! * [`Runner`] / [`ScenarioGrid`] — batched execution with a cartesian
 //!   grid expander. Exact scenarios in a batch share one state-space
 //!   exploration per structural family and solve against re-weighted
 //!   cached graphs (**explore once, solve many**), which makes rate-only
 //!   sweeps (TIDS, λc, detection shape, m) several-fold faster than
 //!   per-point exploration.
+//! * [`crossval`] — the backends check each other: one scenario runs on the
+//!   exact backend and every applicable stochastic backend, and the harness
+//!   reports per-metric/per-grid-point agreement (exact value inside the
+//!   stochastic CI, with explicit modeling tolerances). The `runner` binary
+//!   drives it over a directory of on-disk spec files.
 //!
 //! # Example
 //!
@@ -35,6 +43,7 @@
 //! ```
 
 pub mod backend;
+pub mod crossval;
 pub mod error;
 pub mod json;
 pub mod report;
@@ -42,7 +51,11 @@ pub mod runner;
 pub mod spec;
 
 pub use backend::{backend_for, Backend, ExactBackend, RunBudget};
+pub use crossval::{
+    cross_validate, cross_validate_dir, CrossValOptions, CrossValReport, MetricCheck,
+    SpecCrossValidation,
+};
 pub use error::EngineError;
-pub use report::{Estimate, FailureSplit, RunReport};
+pub use report::{survival_estimates, Estimate, FailureSplit, RunReport};
 pub use runner::{Runner, ScenarioGrid};
 pub use spec::{BackendKind, MobilityOptions, ScenarioSpec, StochasticOptions};

@@ -1,9 +1,10 @@
 //! The common result shape every backend produces.
 
+use crate::error::EngineError;
 use crate::json::Value;
 use crate::spec::BackendKind;
 use gcsids::cost::CostBreakdown;
-use numerics::stats::Welford;
+use numerics::stats::{at_risk_surviving, proportion_ci, Welford};
 
 /// A point estimate with an optional confidence interval (exact backends
 /// report the value alone; stochastic backends attach the interval).
@@ -47,6 +48,61 @@ impl Estimate {
             ci: Some((ci.lo(), ci.hi())),
         }
     }
+
+    /// Binomial proportion `successes / n` with a Wilson score interval
+    /// (survival probabilities). The value is the raw proportion; the
+    /// interval is Wilson's, which keeps the degenerate cases sane:
+    /// `n = 0` (nothing at risk) is the `NaN` "not estimable" marker with
+    /// no interval, and zero-variance samples — e.g. survival at `t = 0`,
+    /// where every replication is alive — get finite one-sided bounds,
+    /// never a `NaN` or a spuriously zero-width interval.
+    pub fn proportion(successes: u64, n: u64, confidence: f64) -> Self {
+        match proportion_ci(successes, n, confidence) {
+            None => Self {
+                value: f64::NAN,
+                ci: None,
+            },
+            Some(ci) => Self {
+                value: successes as f64 / n as f64,
+                ci: Some((ci.lo(), ci.hi())),
+            },
+        }
+    }
+}
+
+/// Kaplan–Meier-style survival estimates on a mission-time grid from
+/// right-censored replication outcomes (`events` holds `(time, censored)`
+/// pairs), each point a binomial proportion with its confidence interval.
+///
+/// The estimator assumes a common censoring horizon: past the earliest
+/// censoring time the remaining at-risk set consists only of replications
+/// that failed, so the proportion would be severely failure-biased — not
+/// merely noisy. Any grid point with a censoring event strictly before it
+/// is therefore reported as the `NaN` "not estimable" marker (spec
+/// validation already rejects grids beyond the horizon; this guards the
+/// remaining early-censoring paths, e.g. a simulation firing cap).
+pub fn survival_estimates(
+    events: &[(f64, bool)],
+    mission_times: &[f64],
+    confidence: f64,
+) -> Vec<(f64, Estimate)> {
+    mission_times
+        .iter()
+        .map(|&t| {
+            let censored_earlier = events.iter().any(|&(time, censored)| censored && time < t);
+            if censored_earlier {
+                return (
+                    t,
+                    Estimate {
+                        value: f64::NAN,
+                        ci: None,
+                    },
+                );
+            }
+            let (surviving, at_risk) = at_risk_surviving(events, t);
+            (t, Estimate::proportion(surviving, at_risk, confidence))
+        })
+        .collect()
 }
 
 /// How the observed runs ended, as probabilities.
@@ -83,35 +139,84 @@ pub struct RunReport {
     pub replications: Option<u64>,
     /// Replications censored by the time horizon (stochastic backends only).
     pub censored: Option<u64>,
+    /// Mission survival curve `P[no security failure by t]` per grid point
+    /// of [`crate::ScenarioSpec::mission_times`] (`None` when the spec has
+    /// no grid). Exact on the exact backend; Kaplan–Meier-style estimates
+    /// with confidence intervals on the stochastic ones.
+    pub survival: Option<Vec<(f64, Estimate)>>,
     /// Wall-clock seconds spent producing this report.
     pub wall_seconds: f64,
 }
 
+/// Non-finite numbers (the "not estimable" marker) encode as null.
+pub(crate) fn num(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Num(x)
+    } else {
+        Value::Null
+    }
+}
+
+fn est_to_value(e: &Estimate) -> Value {
+    match e.ci {
+        Some((lo, hi)) => Value::obj([
+            ("value", num(e.value)),
+            ("ci_lo", num(lo)),
+            ("ci_hi", num(hi)),
+        ]),
+        None => Value::obj([("value", num(e.value))]),
+    }
+}
+
+fn est_from_value(v: &Value) -> Result<Estimate, EngineError> {
+    // null value = the NaN "not estimable" marker
+    let value = match v.opt_field("value") {
+        Some(x) => x.as_f64()?,
+        None => f64::NAN,
+    };
+    let ci = match (v.opt_field("ci_lo"), v.opt_field("ci_hi")) {
+        (Some(lo), Some(hi)) => Some((lo.as_f64()?, hi.as_f64()?)),
+        _ => None,
+    };
+    Ok(Estimate { value, ci })
+}
+
 impl RunReport {
-    /// Serialize to JSON (for logs / downstream tooling).
+    /// Serialize to JSON (for logs / downstream tooling). Lossless up to
+    /// the `NaN → null` "not estimable" encoding, which
+    /// [`RunReport::from_json`] maps back to `NaN`.
     pub fn to_json(&self) -> String {
-        // Non-finite estimates (all replications censored) encode as null.
-        let num = |x: f64| {
-            if x.is_finite() {
-                Value::Num(x)
-            } else {
-                Value::Null
-            }
-        };
-        let est = |e: &Estimate| match e.ci {
-            Some((lo, hi)) => Value::obj([
-                ("value", num(e.value)),
-                ("ci_lo", num(lo)),
-                ("ci_hi", num(hi)),
-            ]),
-            None => Value::obj([("value", num(e.value))]),
-        };
         let opt_num = |x: Option<f64>| x.map_or(Value::Null, Value::Num);
+        let components = self.cost_components.as_ref().map_or(Value::Null, |c| {
+            Value::obj([
+                ("group_comm", Value::Num(c.group_comm)),
+                ("status", Value::Num(c.status)),
+                ("rekey", Value::Num(c.rekey)),
+                ("ids", Value::Num(c.ids)),
+                ("beacon", Value::Num(c.beacon)),
+                ("partition_merge", Value::Num(c.partition_merge)),
+            ])
+        });
+        let survival = self.survival.as_ref().map_or(Value::Null, |points| {
+            Value::Arr(
+                points
+                    .iter()
+                    .map(|(t, e)| {
+                        let Value::Obj(mut fields) = est_to_value(e) else {
+                            unreachable!("estimates encode as objects")
+                        };
+                        fields.insert("t".into(), Value::Num(*t));
+                        Value::Obj(fields)
+                    })
+                    .collect(),
+            )
+        });
         Value::obj([
             ("scenario", Value::Str(self.scenario.clone())),
             ("backend", Value::Str(self.backend.name().into())),
-            ("mttsf", est(&self.mttsf)),
-            ("c_total", est(&self.c_total)),
+            ("mttsf", est_to_value(&self.mttsf)),
+            ("c_total", est_to_value(&self.c_total)),
+            ("cost_components", components),
             (
                 "failure",
                 Value::obj([
@@ -124,9 +229,60 @@ impl RunReport {
             ("edge_count", opt_num(self.edge_count.map(|x| x as f64))),
             ("replications", opt_num(self.replications.map(|x| x as f64))),
             ("censored", opt_num(self.censored.map(|x| x as f64))),
+            ("survival", survival),
             ("wall_seconds", Value::Num(self.wall_seconds)),
         ])
         .encode()
+    }
+
+    /// Parse a report serialized by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Json`] for malformed documents.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let v = Value::parse(text)?;
+        let f = v.field("failure")?;
+        let cost_components = match v.opt_field("cost_components") {
+            None => None,
+            Some(c) => Some(CostBreakdown {
+                group_comm: c.field("group_comm")?.as_f64()?,
+                status: c.field("status")?.as_f64()?,
+                rekey: c.field("rekey")?.as_f64()?,
+                ids: c.field("ids")?.as_f64()?,
+                beacon: c.field("beacon")?.as_f64()?,
+                partition_merge: c.field("partition_merge")?.as_f64()?,
+            }),
+        };
+        let survival = match v.opt_field("survival") {
+            None => None,
+            Some(arr) => Some(
+                arr.as_arr()?
+                    .iter()
+                    .map(|p| Ok((p.field("t")?.as_f64()?, est_from_value(p)?)))
+                    .collect::<Result<Vec<(f64, Estimate)>, EngineError>>()?,
+            ),
+        };
+        let opt_u64 = |name: &str| -> Result<Option<u64>, EngineError> {
+            v.opt_field(name).map(Value::as_u64).transpose()
+        };
+        Ok(Self {
+            scenario: v.field("scenario")?.as_str()?.to_string(),
+            backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
+            mttsf: est_from_value(v.field("mttsf")?)?,
+            c_total: est_from_value(v.field("c_total")?)?,
+            cost_components,
+            failure: FailureSplit {
+                p_c1: f.field("p_c1")?.as_f64()?,
+                p_c2: f.field("p_c2")?.as_f64()?,
+                p_other: f.field("p_other")?.as_f64()?,
+            },
+            state_count: opt_u64("state_count")?.map(|x| x as usize),
+            edge_count: opt_u64("edge_count")?.map(|x| x as usize),
+            replications: opt_u64("replications")?,
+            censored: opt_u64("censored")?,
+            survival,
+            wall_seconds: v.field("wall_seconds")?.as_f64()?,
+        })
     }
 }
 
@@ -156,8 +312,45 @@ mod tests {
     }
 
     #[test]
-    fn report_serializes() {
-        let r = RunReport {
+    fn estimate_proportion_edge_cases() {
+        // zero-variance at t = 0: every replication alive — finite Wilson
+        // bounds reaching exactly 1, never NaN, never zero-width
+        let p = Estimate::proportion(40, 40, 0.95);
+        assert_eq!(p.value, 1.0);
+        let (lo, hi) = p.ci.unwrap();
+        assert!(!lo.is_nan() && !hi.is_nan());
+        assert!((hi - 1.0).abs() < 1e-12);
+        assert!(lo < 1.0, "degenerate sample still carries uncertainty");
+        // nothing at risk (all censored before t): NaN marker, no interval
+        let none = Estimate::proportion(0, 0, 0.95);
+        assert!(none.value.is_nan());
+        assert_eq!(none.ci, None);
+        // interior proportion: interval brackets the value inside [0, 1]
+        let mid = Estimate::proportion(3, 4, 0.99);
+        let (lo, hi) = mid.ci.unwrap();
+        assert!(lo < mid.value && mid.value < hi);
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn survival_estimates_respect_censoring() {
+        // failure at 5, censored at 10
+        let events = [(5.0, false), (10.0, true)];
+        let s = survival_estimates(&events, &[0.0, 7.0, 20.0], 0.95);
+        assert_eq!(s[0].1.value, 1.0);
+        assert_eq!(s[1].1.value, 0.5);
+        // past the censoring time the at-risk set holds only failures — a
+        // raw proportion would report 0.0 when the true survival could be
+        // anything; the point must be marked not estimable instead
+        assert!(s[2].1.value.is_nan());
+        assert_eq!(s[2].1.ci, None);
+        // all censored before t: not estimable either
+        let gone = survival_estimates(&[(1.0, true)], &[2.0], 0.95);
+        assert!(gone[0].1.value.is_nan());
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
             scenario: "s".into(),
             backend: BackendKind::Exact,
             mttsf: Estimate::exact(100.0),
@@ -165,7 +358,14 @@ mod tests {
                 value: 5.0,
                 ci: Some((4.0, 6.0)),
             },
-            cost_components: None,
+            cost_components: Some(CostBreakdown {
+                group_comm: 1.0,
+                status: 2.0,
+                rekey: 3.0,
+                ids: 4.0,
+                beacon: 5.0,
+                partition_merge: 6.0,
+            }),
             failure: FailureSplit {
                 p_c1: 0.7,
                 p_c2: 0.3,
@@ -175,11 +375,63 @@ mod tests {
             edge_count: Some(20),
             replications: None,
             censored: None,
+            survival: Some(vec![
+                (0.0, Estimate::exact(1.0)),
+                (50.0, Estimate::exact(0.5)),
+            ]),
             wall_seconds: 0.5,
-        };
-        let text = r.to_json();
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let text = sample_report().to_json();
         assert!(text.contains("\"backend\":\"exact\""));
         assert!(text.contains("\"ci_lo\":4.0"));
+        assert!(text.contains("\"survival\":[{"));
+        assert!(text.contains("\"partition_merge\":6.0"));
         assert!(crate::json::Value::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_lossless() {
+        let r = sample_report();
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // and a stochastic-shaped report with intervals on survival points
+        let mut s = sample_report();
+        s.backend = BackendKind::Des;
+        s.cost_components = None;
+        s.state_count = None;
+        s.edge_count = None;
+        s.replications = Some(40);
+        s.censored = Some(3);
+        s.survival = Some(vec![
+            (0.0, Estimate::proportion(40, 40, 0.95)),
+            (9.0, Estimate::proportion(21, 40, 0.95)),
+        ]);
+        let back = RunReport::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn non_estimable_survival_encodes_as_null_and_survives_roundtrip() {
+        let mut r = sample_report();
+        r.survival = Some(vec![(3.0, Estimate::proportion(0, 0, 0.95))]);
+        r.mttsf = Estimate {
+            value: f64::NAN,
+            ci: None,
+        };
+        let text = r.to_json();
+        assert!(text.contains("\"survival\":[{\"t\":3.0,\"value\":null}]"));
+        assert!(text.contains("\"mttsf\":{\"value\":null}"));
+        let back = RunReport::from_json(&text).unwrap();
+        assert!(back.mttsf.value.is_nan());
+        let surv = back.survival.unwrap();
+        assert_eq!(surv[0].0, 3.0);
+        assert!(surv[0].1.value.is_nan());
+        // the re-encoding is byte-identical (canonical form)
+        let again = RunReport::from_json(&text).unwrap().to_json();
+        assert_eq!(again, text);
     }
 }

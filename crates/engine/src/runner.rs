@@ -267,6 +267,29 @@ mod tests {
     }
 
     #[test]
+    fn batched_exact_survival_matches_solo() {
+        // The batched (reweighted-template) transient solve must agree with
+        // the standalone freshly-explored one.
+        let mut a = small_spec();
+        a.mission_times = vec![0.0, 5.0e4, 2.0e5];
+        let mut b = a.clone();
+        b.system = b.system.with_tids(30.0);
+        b.name = "small/t30".into();
+        let reports = Runner::new().run_batch(&[a.clone(), b]).unwrap();
+        let solo = Runner::new().run(&a).unwrap();
+        let batched = reports[0].survival.as_ref().unwrap();
+        let fresh = solo.survival.as_ref().unwrap();
+        for ((t1, e1), (t2, e2)) in batched.iter().zip(fresh) {
+            assert_eq!(t1, t2);
+            assert!(
+                (e1.value - e2.value).abs() < 1e-9,
+                "{batched:?} vs {fresh:?}"
+            );
+        }
+        assert!(reports[1].survival.as_ref().unwrap()[0].1.value >= 0.999);
+    }
+
+    #[test]
     fn batch_mixes_backends() {
         let mut exact = small_spec();
         exact.system.attacker.base_rate = 1.0 / 600.0;

@@ -127,6 +127,12 @@ pub struct ScenarioSpec {
     pub stochastic: StochasticOptions,
     /// Mobility geometry for the mobility backend.
     pub mobility: MobilityOptions,
+    /// Mission-time grid (s), strictly ascending. When non-empty, every
+    /// backend additionally reports `P[no security failure by t]` per grid
+    /// point ([`crate::RunReport::survival`]): exactly via uniformization
+    /// on the exact backend, as Kaplan–Meier-style estimates with
+    /// confidence intervals on the stochastic ones.
+    pub mission_times: Vec<f64>,
 }
 
 impl ScenarioSpec {
@@ -138,7 +144,14 @@ impl ScenarioSpec {
             backend,
             stochastic: StochasticOptions::default(),
             mobility: MobilityOptions::default(),
+            mission_times: Vec::new(),
         }
+    }
+
+    /// Same spec with a mission-time grid (builder style).
+    pub fn with_mission_times(mut self, times: &[f64]) -> Self {
+        self.mission_times = times.to_vec();
+        self
     }
 
     /// Validate the spec (system consistency plus engine-level constraints).
@@ -161,6 +174,30 @@ impl ScenarioSpec {
                     "confidence must lie strictly between 0 and 1".into(),
                 ));
             }
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &t in &self.mission_times {
+            if !t.is_finite() || t < 0.0 {
+                return Err(EngineError::InvalidSpec(format!(
+                    "mission times must be finite and non-negative, got {t}"
+                )));
+            }
+            if t <= prev {
+                return Err(EngineError::InvalidSpec(
+                    "mission times must be strictly ascending".into(),
+                ));
+            }
+            // Beyond the censoring horizon a stochastic backend has no
+            // at-risk information: every estimate there would be either
+            // not-estimable or failure-biased. Reject up front.
+            if self.backend.is_stochastic() && t > self.stochastic.max_time {
+                return Err(EngineError::InvalidSpec(format!(
+                    "mission time {t} exceeds the censoring horizon {} — \
+                     survival there is not estimable",
+                    self.stochastic.max_time
+                )));
+            }
+            prev = t;
         }
         if self.backend == BackendKind::MobilityDes {
             if self.mobility.radio_range.is_nan() || self.mobility.radio_range <= 0.0 {
@@ -207,6 +244,10 @@ impl ScenarioSpec {
                     ("dt", Value::Num(self.mobility.dt)),
                 ]),
             ),
+            (
+                "mission_times",
+                Value::Arr(self.mission_times.iter().copied().map(Value::Num).collect()),
+            ),
         ])
         .encode()
     }
@@ -233,6 +274,16 @@ impl ScenarioSpec {
             mobility: MobilityOptions {
                 radio_range: mob.field("radio_range")?.as_f64()?,
                 dt: mob.field("dt")?.as_f64()?,
+            },
+            // Optional so specs written before mission survivability landed
+            // (and terse hand-written ones) keep parsing.
+            mission_times: match v.opt_field("mission_times") {
+                Some(arr) => arr
+                    .as_arr()?
+                    .iter()
+                    .map(Value::as_f64)
+                    .collect::<Result<Vec<f64>, EngineError>>()?,
+                None => Vec::new(),
             },
         };
         spec.validate()?;
@@ -402,10 +453,31 @@ mod tests {
             spec.system.batch_rekey_interval = Some(120.0);
             spec.system.key_agreement = KeyAgreementProtocol::Gdh3;
             spec.system.detection.shape = RateShape::Polynomial;
+            spec.mission_times = vec![0.0, 3.6e3, 8.64e4, 6.048e5];
             let text = spec.to_json();
             let back = ScenarioSpec::from_json(&text).unwrap();
             assert_eq!(spec, back);
         }
+    }
+
+    #[test]
+    fn mission_grid_is_optional_and_validated() {
+        // absent field parses to an empty grid (pre-survival spec files)
+        let spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        let text = spec.to_json().replace(",\"mission_times\":[]", "");
+        assert!(!text.contains("mission_times"));
+        assert_eq!(ScenarioSpec::from_json(&text).unwrap().mission_times, []);
+
+        // grid must be strictly ascending, finite, non-negative
+        let mut bad = ScenarioSpec::paper_default(BackendKind::Des);
+        bad.mission_times = vec![10.0, 10.0];
+        assert!(matches!(bad.validate(), Err(EngineError::InvalidSpec(_))));
+        bad.mission_times = vec![-1.0];
+        assert!(matches!(bad.validate(), Err(EngineError::InvalidSpec(_))));
+        bad.mission_times = vec![f64::INFINITY];
+        assert!(matches!(bad.validate(), Err(EngineError::InvalidSpec(_))));
+        bad.mission_times = vec![0.0, 5.0, 60.0];
+        assert!(bad.validate().is_ok());
     }
 
     #[test]

@@ -205,6 +205,72 @@ impl ConfidenceInterval {
     }
 }
 
+/// Survival counts at horizon `t` for right-censored event times.
+///
+/// `events` holds `(time, censored)` pairs: a failure observed at `time`,
+/// or a run censored (still alive, no longer observed) at `time`. Runs
+/// censored *before* `t` carry no information about surviving to `t` and
+/// are excluded; everything else is at risk, and survives when its event
+/// time is `≥ t`. Returns `(surviving, at_risk)` — the simplified
+/// Kaplan–Meier numerator/denominator for a common censoring horizon.
+pub fn at_risk_surviving(events: &[(f64, bool)], t: f64) -> (u64, u64) {
+    let mut at_risk = 0u64;
+    let mut surviving = 0u64;
+    for &(time, censored) in events {
+        if censored && time < t {
+            continue;
+        }
+        at_risk += 1;
+        if time >= t {
+            surviving += 1;
+        }
+    }
+    (surviving, at_risk)
+}
+
+/// Wilson score interval for a binomial proportion `successes / n`.
+///
+/// The returned [`ConfidenceInterval`] is centred on the **Wilson
+/// midpoint** `(k + z²/2) / (n + z²)` (the interval is symmetric around
+/// it), not on the raw proportion `k/n` — read the point estimate
+/// separately.
+///
+/// Wilson is chosen over the naive Wald interval because the degenerate
+/// samples that survival analysis hits constantly stay well-behaved, with
+/// no `NaN` anywhere:
+/// * `n = 0` (nothing at risk — every replication censored earlier)
+///   returns `None` instead of propagating a `0/0` mean;
+/// * zero-variance samples (`successes ∈ {0, n}`, e.g. survival at `t = 0`
+///   where every replication is alive) get the exact one-sided bounds
+///   `[n/(n+z²), 1]` / `[0, z²/(n+z²)]` — a Wald interval collapses to
+///   zero width there, which both understates the uncertainty and makes
+///   any exact-inside-CI containment check fail spuriously.
+///
+/// Bounds are analytically inside `[0, 1]`.
+///
+/// # Panics
+/// Panics if `successes > n` or `level` is outside (0, 1).
+pub fn proportion_ci(successes: u64, n: u64, level: f64) -> Option<ConfidenceInterval> {
+    assert!(successes <= n, "{successes} successes out of {n} trials");
+    assert!(level > 0.0 && level < 1.0, "bad confidence level {level}");
+    if n == 0 {
+        return None;
+    }
+    let k = successes as f64;
+    let nf = n as f64;
+    let z = norm_quantile(0.5 + level / 2.0);
+    let z2 = z * z;
+    let center = (k + z2 / 2.0) / (nf + z2);
+    // The radicand k(n−k)/n + z²/4 is ≥ z²/4 > 0: never NaN.
+    let half = z * (k * (nf - k) / nf + z2 / 4.0).sqrt() / (nf + z2);
+    Some(ConfidenceInterval {
+        mean: center,
+        half_width: half,
+        level,
+        n,
+    })
+}
+
 /// Empirical quantile with linear interpolation (type-7, the numpy default).
 /// The input slice is sorted in place.
 ///
@@ -384,6 +450,56 @@ mod tests {
         // wider level => wider interval
         let ci99 = w.confidence_interval(0.99);
         assert!(ci99.half_width > ci.half_width);
+    }
+
+    #[test]
+    fn at_risk_surviving_excludes_early_censoring() {
+        // failure at 5, censored at 10
+        let events = [(5.0, false), (10.0, true)];
+        assert_eq!(at_risk_surviving(&events, 2.0), (2, 2));
+        assert_eq!(at_risk_surviving(&events, 7.0), (1, 2));
+        // the run censored at 10 carries no information about t = 20
+        assert_eq!(at_risk_surviving(&events, 20.0), (0, 1));
+        // and if everything was censored before t, nothing is at risk
+        assert_eq!(at_risk_surviving(&[(1.0, true)], 2.0), (0, 0));
+    }
+
+    #[test]
+    fn proportion_ci_zero_variance_is_finite() {
+        // t = 0 survival: every replication alive — a naive Wald interval
+        // produces a zero-width (or, with fp rounding into sqrt of a
+        // negative, NaN) interval here; Wilson gives the exact one-sided
+        // bounds with no NaN anywhere.
+        let z = 1.959_963_984_540_054_f64;
+        let ci = proportion_ci(200, 200, 0.95).unwrap();
+        assert!(!ci.mean.is_nan() && !ci.half_width.is_nan());
+        assert!((ci.hi() - 1.0).abs() < 1e-12, "hi = {}", ci.hi());
+        assert!((ci.lo() - 200.0 / (200.0 + z * z)).abs() < 1e-9);
+        assert!(ci.contains(1.0));
+
+        let none_survive = proportion_ci(0, 50, 0.95).unwrap();
+        assert!(none_survive.lo().abs() < 1e-12);
+        assert!((none_survive.hi() - z * z / (50.0 + z * z)).abs() < 1e-9);
+        assert!(none_survive.contains(0.0));
+    }
+
+    #[test]
+    fn proportion_ci_none_when_nothing_at_risk() {
+        assert!(proportion_ci(0, 0, 0.95).is_none());
+    }
+
+    #[test]
+    fn proportion_ci_matches_wilson_formula() {
+        let z = 1.959_963_984_540_054_f64;
+        let ci = proportion_ci(30, 100, 0.95).unwrap();
+        let center = (30.0 + z * z / 2.0) / (100.0 + z * z);
+        let half = z * (30.0_f64 * 70.0 / 100.0 + z * z / 4.0).sqrt() / (100.0 + z * z);
+        assert!((ci.mean - center).abs() < 1e-12);
+        assert!((ci.half_width - half).abs() < 1e-12);
+        assert_eq!(ci.n, 100);
+        // interval brackets the raw proportion and stays inside [0, 1]
+        assert!(ci.lo() < 0.3 && 0.3 < ci.hi());
+        assert!(ci.lo() >= 0.0 && ci.hi() <= 1.0);
     }
 
     #[test]

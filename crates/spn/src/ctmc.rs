@@ -458,24 +458,45 @@ impl Ctmc {
             return pi0;
         }
         let (q, p) = self.uniformized();
-        let weights = PoissonWeights::compute(q * t, opts.epsilon);
-        let n = self.state_count();
-        let mut v = pi0;
-        let mut next = vec![0.0; n];
-        let mut result = vec![0.0; n];
-        for k in 0..=weights.right {
-            let w = weights.weight(k);
-            if w > 0.0 {
-                for (r, &vi) in result.iter_mut().zip(&v) {
-                    *r += w * vi;
-                }
-            }
-            if k < weights.right {
-                p.vecmat_into(&v, &mut next);
-                std::mem::swap(&mut v, &mut next);
-            }
+        propagate(&p, q, pi0, t, opts.epsilon)
+    }
+
+    /// Survival function `S(t) = P[no absorption by t]` on an ascending
+    /// mission-time grid.
+    ///
+    /// One uniformization sweep serves the whole grid: the distribution is
+    /// propagated segment-by-segment (`t_{k-1} → t_k`), so the total Poisson
+    /// depth is proportional to `q·t_max` rather than `q·Σ t_k` — on a
+    /// typical mission grid this is several-fold cheaper than independent
+    /// `transient_distribution` calls per point.
+    ///
+    /// # Panics
+    /// Panics if any time is negative/non-finite or the grid is not
+    /// non-decreasing.
+    pub fn survival_curve(&self, times: &[f64], opts: &TransientOptions) -> Vec<f64> {
+        let mut prev = 0.0_f64;
+        for &t in times {
+            assert!(t.is_finite() && t >= 0.0, "bad mission time {t}");
+            assert!(t >= prev, "mission grid must be non-decreasing at {t}");
+            prev = t;
         }
-        result
+        let (q, p) = self.uniformized();
+        let mut pi = self.initial_dense();
+        let mut now = 0.0_f64;
+        let mut out = Vec::with_capacity(times.len());
+        for &t in times {
+            if t > now {
+                pi = propagate(&p, q, pi, t - now, opts.epsilon);
+                now = t;
+            }
+            let absorbed: f64 = pi
+                .iter()
+                .zip(&self.absorbing)
+                .filter_map(|(&x, &a)| a.then_some(x))
+                .sum();
+            out.push((1.0 - absorbed).clamp(0.0, 1.0));
+        }
+        out
     }
 
     /// Expected occupancy vector `∫₀ᵗ π(u) du` (expected time spent in each
@@ -544,6 +565,29 @@ impl Ctmc {
         }
         Ok(pi)
     }
+}
+
+/// Advance a distribution by `dt` under the uniformized DTMC `p` with
+/// uniformization constant `q`: `v · e^{Q·dt}` via Jensen's method.
+fn propagate(p: &Csr, q: f64, v: Vec<f64>, dt: f64, epsilon: f64) -> Vec<f64> {
+    let n = v.len();
+    let weights = PoissonWeights::compute(q * dt, epsilon);
+    let mut v = v;
+    let mut next = vec![0.0; n];
+    let mut result = vec![0.0; n];
+    for k in 0..=weights.right {
+        let w = weights.weight(k);
+        if w > 0.0 {
+            for (r, &vi) in result.iter_mut().zip(&v) {
+                *r += w * vi;
+            }
+        }
+        if k < weights.right {
+            p.vecmat_into(&v, &mut next);
+            std::mem::swap(&mut v, &mut next);
+        }
+    }
+    result
 }
 
 /// Iterative Tarjan strongly-connected components. Components are emitted
@@ -753,6 +797,70 @@ mod tests {
             .map(|(_, &o)| o)
             .sum();
         assert!((mttsf_integral - a.mtta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn survival_curve_matches_closed_form_exponential() {
+        // up --λ--> absorbed; S(t) = e^{-λt}
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 2.0).input(up, 1));
+        });
+        let times = [0.0, 0.1, 0.5, 1.0, 1.0, 3.0];
+        let s = c.survival_curve(&times, &TransientOptions::default());
+        for (&t, &st) in times.iter().zip(&s) {
+            let exact = (-2.0 * t).exp();
+            assert!((st - exact).abs() < 1e-8, "t={t}: {st} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn survival_curve_agrees_with_transient_distribution() {
+        // Segment-wise propagation must match independent solves per point.
+        let c = build(|b| {
+            let up = b.add_place("up", 4);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| 0.7 * m.tokens(up) as f64).input(up, 1),
+            );
+        });
+        let opts = TransientOptions::default();
+        let times = [0.3, 0.9, 2.0, 5.5];
+        let s = c.survival_curve(&times, &opts);
+        for (&t, &st) in times.iter().zip(&s) {
+            let pi = c.transient_distribution(t, &opts);
+            let direct: f64 = pi
+                .iter()
+                .zip(c.absorbing())
+                .filter_map(|(&x, &a)| (!a).then_some(x))
+                .sum();
+            assert!((st - direct).abs() < 1e-8, "t={t}: {st} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn survival_starts_at_one_and_decreases() {
+        let c = build(|b| {
+            let up = b.add_place("up", 3);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
+            );
+        });
+        let times: Vec<f64> = (0..20).map(|i| i as f64 * 0.4).collect();
+        let s = c.survival_curve(&times, &TransientOptions::default());
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "not monotone: {s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn survival_curve_rejects_unsorted_grid() {
+        let c = build(|b| {
+            let up = b.add_place("up", 1);
+            b.add_transition(TransitionDef::timed_const("fail", 1.0).input(up, 1));
+        });
+        c.survival_curve(&[1.0, 0.5], &TransientOptions::default());
     }
 
     #[test]

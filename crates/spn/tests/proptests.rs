@@ -255,3 +255,74 @@ fn simulation_confirms_analytic_mtta_on_branching_net() {
         .sum();
     assert!(leak_p > 0.0 && leak_p < 1.0);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The uniformization survival curve of a random small absorbing SPN is
+    // a proper survival function: S(0) = 1, monotone non-increasing, and
+    // its integral over a long horizon is the absorption-solver MTTSF
+    // (the paper's `MTTSF = ∫ S(t) dt` identity, checked numerically).
+    #[test]
+    fn survival_curve_is_proper_and_integrates_to_mtta(
+        n in 1u32..10,
+        die in 0.05f64..5.0,
+        leak in 0.01f64..2.0,
+    ) {
+        let net = two_rate_net(n, die, leak);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let c = Ctmc::from_graph(&g).unwrap();
+        let a = c.mean_time_to_absorption().unwrap();
+
+        // long horizon: far past the mean; the slowest stage has rate
+        // ≥ min(die, leak), so 30×MTTA leaves negligible tail mass
+        let horizon = a.mtta * 30.0;
+        let points = 240usize;
+        let times: Vec<f64> = (0..=points)
+            .map(|i| horizon * i as f64 / points as f64)
+            .collect();
+        let s = c.survival_curve(&times, &TransientOptions::default());
+
+        prop_assert!((s[0] - 1.0).abs() < 1e-10, "S(0) = {}", s[0]);
+        for w in s.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "survival increased: {} -> {}", w[0], w[1]);
+        }
+        for &v in &s {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        // trapezoid ∫₀^horizon S(t) dt ≈ MTTA
+        let h = horizon / points as f64;
+        let integral: f64 = h
+            * (s.iter().sum::<f64>() - 0.5 * (s[0] + s[points]));
+        let rel = (integral - a.mtta).abs() / a.mtta;
+        prop_assert!(rel < 0.02, "∫S = {} vs MTTA {} (rel {:.4})", integral, a.mtta, rel);
+    }
+
+    // Segment-wise propagation over an irregular grid matches independent
+    // per-point transient solves.
+    #[test]
+    fn survival_curve_matches_per_point_transients(
+        n in 1u32..8,
+        die in 0.1f64..4.0,
+        leak in 0.02f64..1.5,
+        t1 in 0.01f64..2.0,
+        t2 in 2.0f64..10.0,
+    ) {
+        let net = two_rate_net(n, die, leak);
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let c = Ctmc::from_graph(&g).unwrap();
+        let opts = TransientOptions::default();
+        let times = [0.0, t1, t2];
+        let s = c.survival_curve(&times, &opts);
+        for (&t, &st) in times.iter().zip(&s) {
+            let pi = c.transient_distribution(t, &opts);
+            let direct: f64 = pi
+                .iter()
+                .zip(c.absorbing())
+                .filter_map(|(&x, &a)| (!a).then_some(x))
+                .sum();
+            prop_assert!((st - direct).abs() < 1e-7, "t={}: {} vs {}", t, st, direct);
+        }
+    }
+}

@@ -120,3 +120,110 @@ fn occupancy_integral_reproduces_mttsf_definition() {
         analytic.mtta
     );
 }
+
+// ---------------------------------------------------------------------------
+// Mission-survivability cross-validation (engine-level)
+// ---------------------------------------------------------------------------
+
+use engine::{
+    backend_for, cross_validate_dir, BackendKind, CrossValOptions, RunBudget, Runner, ScenarioSpec,
+};
+use std::path::PathBuf;
+
+/// The committed acceptance check: on the paper's §5 default system, the
+/// exact `P[survive t]` from uniformization lies inside the 95% confidence
+/// intervals of both the SPN token-game simulation and the protocol DES on
+/// a 5-point mission grid. Seeds are fixed and the vendored RNG is
+/// deterministic, so this is a regression pin, not a flaky statistical
+/// test.
+#[test]
+fn exact_survival_inside_stochastic_cis_on_paper_default_mission_grid() {
+    // Scale the grid to the model's own MTTSF so the points land in the
+    // mission-relevant band (hours-to-days; S ≈ 0.97…0.99+) whatever the
+    // calibration constants are. Uniformization cost grows with q·t_max
+    // and the simulators with replications × horizon, so the grid stays
+    // shallow to keep debug-mode tier-1 runs fast.
+    let probe = Runner::new()
+        .run(&ScenarioSpec::paper_default(BackendKind::Exact))
+        .unwrap();
+    let m = probe.mttsf.value;
+    let times: Vec<f64> = [0.006, 0.012, 0.018, 0.024, 0.03]
+        .iter()
+        .map(|f| f * m)
+        .collect();
+
+    let mut base = ScenarioSpec::paper_default(BackendKind::Exact).with_mission_times(&times);
+    base.name = "paper-default-mission".into();
+    // Censor right past the last grid point: later behaviour is irrelevant
+    // to the mission question and this keeps replications cheap.
+    base.stochastic.max_time = times[4] * 1.01;
+    base.stochastic.replications = 60;
+    base.stochastic.confidence = 0.95;
+    let exact = Runner::new().run(&base).unwrap();
+    let exact_curve = exact.survival.as_ref().unwrap();
+    assert_eq!(exact_curve.len(), 5);
+
+    for kind in [BackendKind::SpnSim, BackendKind::Des] {
+        let mut spec = base.clone();
+        spec.backend = kind;
+        let report = backend_for(kind).run(&spec, &RunBudget::default()).unwrap();
+        let curve = report.survival.as_ref().unwrap();
+        for ((t, e), (_, s)) in exact_curve.iter().zip(curve) {
+            let (lo, hi) = s.ci.expect("stochastic survival carries a CI");
+            assert!(
+                lo <= e.value && e.value <= hi,
+                "{kind:?} at t={t:.3e}: exact {:.4} outside 95% CI [{lo:.4}, {hi:.4}]",
+                e.value
+            );
+        }
+    }
+}
+
+/// The committed fixture specs must pass the full cross-validation harness
+/// (the same check CI runs through the `runner` binary, here at reduced
+/// replications so the suite stays fast).
+#[test]
+fn crossval_harness_agrees_on_committed_fixture_specs() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/specs");
+    let opts = CrossValOptions {
+        budget: RunBudget {
+            max_replications: Some(150),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = cross_validate_dir(&dir, &opts).unwrap();
+    assert_eq!(report.specs.len(), 3);
+    assert!(
+        report.agrees(),
+        "cross-backend disagreement: {}",
+        report.to_json()
+    );
+    // mission-grid specs must actually compare survival points
+    let mission = report
+        .specs
+        .iter()
+        .find(|s| s.name == "hot-mission")
+        .expect("hot-mission fixture present");
+    for c in &mission.comparisons {
+        assert!(
+            c.checks.iter().any(|ch| ch.metric.starts_with("survival@")),
+            "{:?} compared no survival points",
+            c.backend
+        );
+    }
+    // the long-horizon spec must compare MTTSF itself
+    let longrun = report
+        .specs
+        .iter()
+        .find(|s| s.name == "hot-longrun")
+        .expect("hot-longrun fixture present");
+    for c in &longrun.comparisons {
+        assert!(
+            c.checks.iter().any(|ch| ch.metric == "mttsf"),
+            "{:?} skipped MTTSF: {:?}",
+            c.backend,
+            c.skipped
+        );
+    }
+}

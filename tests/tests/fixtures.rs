@@ -1,0 +1,215 @@
+//! Golden-fixture tests for the engine's on-disk JSON formats.
+//!
+//! `fixtures/specs/` holds scenario specs (consumed by the `runner`
+//! cross-validation binary and the harness tests); `fixtures/reports/`
+//! holds run reports, including the all-censored null-encoding edge case
+//! for the `survival` field. Both are committed in canonical encoding, so
+//! parse → re-encode must reproduce every file byte-for-byte.
+//!
+//! Regenerate after an intentional format change with:
+//! `cargo test -p integration-tests regenerate_fixtures -- --ignored`
+
+use engine::{BackendKind, Estimate, RunReport, ScenarioSpec};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn json_files(sub: &str) -> Vec<PathBuf> {
+    let dir = fixtures_dir().join(sub);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures in {}", dir.display());
+    files
+}
+
+/// The committed scenario specs, as built by the regeneration test.
+fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    // Accelerated 12-node system: fails within ~1e5 s, so stochastic
+    // backends finish quickly even at full replication counts.
+    let hot = {
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.system.node_count = 12;
+        spec.system.vote_participants = 3;
+        spec.system.attacker.base_rate = 1.0 / 600.0;
+        spec.system.detection = spec.system.detection.with_interval(120.0);
+        spec.stochastic.replications = 400;
+        spec
+    };
+
+    // The hot system's exact MTTSF is ≈5.0e3 s; this grid spans the
+    // decay region (S ≈ 1 … ≈0.15) rather than the dead tail.
+    let mut mission = hot.clone();
+    mission.name = "hot-mission".into();
+    mission.mission_times = vec![0.0, 1.0e3, 3.0e3, 6.0e3, 1.0e4];
+    mission.stochastic.max_time = 1.1e4;
+
+    let mut longrun = hot.clone();
+    longrun.name = "hot-longrun".into();
+    longrun.stochastic.max_time = 5.0e6;
+
+    let mut collusion = mission.clone();
+    collusion.name = "collusion-none-mission".into();
+    collusion.system.collusion = ids::voting::CollusionModel::None;
+    collusion.system = collusion
+        .system
+        .with_detection_shape(ids::functions::RateShape::Polynomial);
+
+    vec![
+        ("hot-mission.json", mission),
+        ("hot-longrun.json", longrun),
+        ("collusion-none-mission.json", collusion),
+    ]
+}
+
+/// The committed run reports: one exact-shaped (cost components + exact
+/// survival), one stochastic-shaped exercising the all-censored /
+/// non-finite null-encoding path of the `survival` and `mttsf` fields.
+fn fixture_reports() -> Vec<(&'static str, RunReport)> {
+    let exact = RunReport {
+        scenario: "fixture/exact".into(),
+        backend: BackendKind::Exact,
+        mttsf: Estimate::exact(86_400.0),
+        c_total: Estimate::exact(2_048.5),
+        cost_components: Some(gcsids::cost::CostBreakdown {
+            group_comm: 1000.0,
+            status: 500.25,
+            rekey: 300.0,
+            ids: 150.0,
+            beacon: 73.25,
+            partition_merge: 25.0,
+        }),
+        failure: engine::FailureSplit {
+            p_c1: 0.625,
+            p_c2: 0.375,
+            p_other: 0.0,
+        },
+        state_count: Some(1234),
+        edge_count: Some(5678),
+        replications: None,
+        censored: None,
+        survival: Some(vec![
+            (0.0, Estimate::exact(1.0)),
+            (43_200.0, Estimate::exact(0.625)),
+            (86_400.0, Estimate::exact(0.375)),
+        ]),
+        wall_seconds: 0.125,
+    };
+
+    let all_censored = RunReport {
+        scenario: "fixture/des-all-censored".into(),
+        backend: BackendKind::Des,
+        // every replication censored: MTTSF not estimable → null
+        mttsf: Estimate {
+            value: f64::NAN,
+            ci: None,
+        },
+        c_total: Estimate {
+            value: 1_900.0,
+            ci: Some((1_800.0, 2_000.0)),
+        },
+        cost_components: None,
+        failure: engine::FailureSplit::default(),
+        state_count: None,
+        edge_count: None,
+        replications: Some(8),
+        censored: Some(8),
+        survival: Some(vec![
+            // t = 0: zero-variance proportion — value 1.0 with finite
+            // Wilson bounds, never NaN
+            (0.0, Estimate::proportion(8, 8, 0.95)),
+            // beyond the horizon: nothing at risk → null value, no interval
+            (1.0e6, Estimate::proportion(0, 0, 0.95)),
+        ]),
+        wall_seconds: 0.5,
+    };
+
+    vec![
+        ("exact.json", exact),
+        ("des-all-censored.json", all_censored),
+    ]
+}
+
+/// Writes the canonical fixture files. Run explicitly after intentional
+/// format changes; the golden tests below pin the committed bytes.
+#[test]
+#[ignore = "fixture regeneration tool, not a check"]
+fn regenerate_fixtures() {
+    let specs = fixtures_dir().join("specs");
+    let reports = fixtures_dir().join("reports");
+    fs::create_dir_all(&specs).unwrap();
+    fs::create_dir_all(&reports).unwrap();
+    for (name, spec) in fixture_specs() {
+        fs::write(specs.join(name), spec.to_json() + "\n").unwrap();
+    }
+    for (name, report) in fixture_reports() {
+        fs::write(reports.join(name), report.to_json() + "\n").unwrap();
+    }
+}
+
+#[test]
+fn spec_fixtures_roundtrip_byte_for_byte() {
+    for path in json_files("specs") {
+        let text = fs::read_to_string(&path).unwrap();
+        let spec = ScenarioSpec::from_json(text.trim_end())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            spec.to_json(),
+            text.trim_end(),
+            "{} is not canonical",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn spec_fixtures_match_generator() {
+    // the committed files are exactly what the regeneration tool writes —
+    // catches drift between the generator and the repository
+    for (name, spec) in fixture_specs() {
+        let path = fixtures_dir().join("specs").join(name);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run regenerate_fixtures)", path.display()));
+        assert_eq!(text.trim_end(), spec.to_json(), "{name} drifted");
+    }
+}
+
+#[test]
+fn report_fixtures_roundtrip_byte_for_byte() {
+    for path in json_files("reports") {
+        let text = fs::read_to_string(&path).unwrap();
+        let report = RunReport::from_json(text.trim_end())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            report.to_json(),
+            text.trim_end(),
+            "{} is not canonical",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn all_censored_report_fixture_exercises_null_encoding() {
+    let path = fixtures_dir().join("reports").join("des-all-censored.json");
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"mttsf\":{\"value\":null}"));
+    assert!(text.contains("\"value\":null"));
+    let report = RunReport::from_json(text.trim_end()).unwrap();
+    assert!(report.mttsf.value.is_nan());
+    let survival = report.survival.as_ref().unwrap();
+    // zero-variance t = 0 point: finite Wilson bounds, no NaN
+    assert_eq!(survival[0].1.value, 1.0);
+    let (lo, hi) = survival[0].1.ci.unwrap();
+    assert!(!lo.is_nan() && (hi - 1.0).abs() < 1e-12 && lo < 1.0);
+    // beyond-horizon point: NaN marker, no interval
+    assert!(survival[1].1.value.is_nan());
+    assert_eq!(survival[1].1.ci, None);
+}
