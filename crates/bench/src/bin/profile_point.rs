@@ -1,7 +1,10 @@
 //! Profiling aid: per-stage timings of one exact evaluation (rate
 //! re-evaluation, per-state cost rewards, CTMC assembly, absorption solve)
-//! at increasing system sizes. Used to attribute sweep time between the
-//! explore / re-weight / solve stages when tuning the engine.
+//! at increasing system sizes, plus a head-to-head of the legacy per-point
+//! sweep path (graph clone → CSR rebuild → solve) against the rebuild-free
+//! template path (in-place re-weight → value-only refresh → solve). Used to
+//! attribute sweep time between the explore / re-weight / solve stages when
+//! tuning the engine; before/after numbers live in `results/profile_point.md`.
 //!
 //! Run with: `cargo run --release -p bench-harness --bin profile_point`
 
@@ -17,7 +20,9 @@ fn main() {
         let mut cfg = SystemConfig::paper_default();
         cfg.node_count = n;
         let model = build_model(&cfg);
+        let t0 = Instant::now();
         let template = ExactTemplate::new(&cfg).unwrap();
+        let t_template = t0.elapsed();
         let graph = template.graph();
 
         let t0 = Instant::now();
@@ -42,6 +47,32 @@ fn main() {
         let a = ctmc.mean_time_to_absorption().unwrap();
         let t_solve = t0.elapsed();
 
+        // Head-to-head on a rate-only variant (a different detection
+        // interval — one point of a fig2 sweep).
+        let hot = cfg.with_tids(60.0);
+        let hot_model = build_model(&hot);
+
+        // Legacy per-point path: clone + re-weight the whole graph, rebuild
+        // the CSR from triplets, solve.
+        let t0 = Instant::now();
+        let legacy = {
+            let g = graph.reweighted(&hot_model.net).unwrap();
+            Ctmc::from_graph(&g)
+                .unwrap()
+                .mean_time_to_absorption()
+                .unwrap()
+        };
+        let t_legacy_point = t0.elapsed();
+
+        // Rebuild-free path: pooled scratch, in-place re-weight, value-only
+        // refresh, solve. First call warms the scratch pool; time the
+        // steady-state second call.
+        template.evaluate(&hot).unwrap();
+        let t0 = Instant::now();
+        let e = template.evaluate(&hot).unwrap();
+        let t_template_point = t0.elapsed();
+        assert!((legacy.mtta - e.mttsf_seconds).abs() <= 1e-9 * legacy.mtta);
+
         // Transient cost scales with q·t_max: time the mission-survival
         // sweep at a day-scale horizon (the regime the crossval harness
         // and fig_survival run in).
@@ -51,7 +82,9 @@ fn main() {
         let s = ctmc.survival_curve(&grid, &spn::ctmc::TransientOptions::default());
         let t_survival = t0.elapsed();
         println!(
-            "N={n}: rates={t_rates:?} cost={t_cost:?} ctmc_build={t_build:?} solve={t_solve:?} \
+            "N={n}: explore+pattern={t_template:?} rates={t_rates:?} cost={t_cost:?} \
+             ctmc_build={t_build:?} solve={t_solve:?} \
+             legacy_point={t_legacy_point:?} template_point={t_template_point:?} \
              survival5pt@0.05mtta={t_survival:?} (mtta={:.3e}, S(end)={:.4}, acc={acc:.1})",
             a.mtta, s[4]
         );

@@ -9,10 +9,12 @@
 use crate::config::SystemConfig;
 use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
 use crate::model::{build_model, population, GcsIdsModel};
-use spn::ctmc::{Ctmc, TransientOptions};
+use spn::ctmc::{Ctmc, CtmcTemplate, TransientOptions};
 use spn::error::SpnError;
 use spn::reach::{explore, ExploreOptions, ReachabilityGraph};
 use spn::reward::{ImpulseReward, RateReward};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Evaluation output for one configuration.
 #[derive(Debug, Clone)]
@@ -51,16 +53,49 @@ pub fn evaluate(cfg: &SystemConfig) -> Result<Evaluation, SpnError> {
 /// (`node_count`, `max_groups`); every other knob — detection interval,
 /// attacker intensity, rate shapes, vote participants, host-IDS error
 /// probabilities, traffic constants — only changes transition *rates* or
-/// reward values. A template explores the reachability graph once and then
-/// evaluates any structurally compatible configuration by re-weighting the
-/// cached graph ([`ReachabilityGraph::reweight_in_place`]), skipping the
-/// dominant exploration cost. Evaluation takes `&self`, so one template can
-/// drive a rayon-parallel sweep.
+/// reward values. A template explores the reachability graph once, builds
+/// the CTMC sparsity pattern once ([`CtmcTemplate`]), and then evaluates
+/// any structurally compatible configuration **rebuild-free**: a pooled
+/// scratch graph is re-armed from the pristine exploration
+/// ([`ReachabilityGraph::copy_rates_from`]), re-weighted in place
+/// ([`ReachabilityGraph::reweight_in_place`]), and the cached CTMC's value
+/// arrays are rewritten in place ([`CtmcTemplate::refresh`]) — no graph
+/// clone and no matrix construction per evaluation. Evaluation takes
+/// `&self`, so one template can drive a rayon-parallel sweep; each worker
+/// checks a scratch set out of the interior pool (one set per concurrent
+/// worker ever exists, all sharing the single CSR pattern).
 pub struct ExactTemplate {
+    /// The pristine explored graph; never mutated after construction.
     graph: ReachabilityGraph,
+    /// Shared CSR patterns + slot maps, built once.
+    ctmc: CtmcTemplate,
+    /// Pool of reusable (working graph, working CTMC) pairs.
+    scratch: Mutex<Vec<Scratch>>,
     opts: ExploreOptions,
     node_count: u32,
     max_groups: u32,
+    explorations: AtomicUsize,
+    pattern_builds: AtomicUsize,
+}
+
+/// One worker's mutable state: a re-weightable graph copy plus a CTMC laid
+/// out on the template's shared pattern.
+struct Scratch {
+    graph: ReachabilityGraph,
+    ctmc: Ctmc,
+}
+
+/// Lifetime work counters of an [`ExactTemplate`] — the acceptance check
+/// for explore-once-solve-many sweeps: a rate-only sweep of any size must
+/// leave both counters at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// State-space explorations performed (1 at construction; +1 per
+    /// structural-fallback evaluation).
+    pub explorations: usize,
+    /// CTMC sparsity-pattern builds performed (1 at construction; +1 per
+    /// structural-fallback evaluation).
+    pub pattern_builds: usize,
 }
 
 impl ExactTemplate {
@@ -80,12 +115,26 @@ impl ExactTemplate {
         cfg.validate().map_err(SpnError::InvalidModel)?;
         let model = build_model(cfg);
         let graph = explore(&model.net, opts)?;
+        let ctmc = CtmcTemplate::new(&graph)?;
         Ok(Self {
             graph,
+            ctmc,
+            scratch: Mutex::new(Vec::new()),
             opts: *opts,
             node_count: cfg.node_count,
             max_groups: cfg.max_groups,
+            explorations: AtomicUsize::new(1),
+            pattern_builds: AtomicUsize::new(1),
         })
+    }
+
+    /// Work counters: how many explorations and CSR pattern builds this
+    /// template has performed so far.
+    pub fn stats(&self) -> TemplateStats {
+        TemplateStats {
+            explorations: self.explorations.load(Ordering::Relaxed),
+            pattern_builds: self.pattern_builds.load(Ordering::Relaxed),
+        }
     }
 
     /// True when `cfg` shares this template's state space.
@@ -132,14 +181,39 @@ impl ExactTemplate {
             return self.evaluate_fresh(cfg, mission_times);
         }
         let model = build_model(cfg);
-        match self.graph.reweighted(&model.net) {
-            Ok(graph) => evaluate_graph(&model, &graph, mission_times),
+        let mut scratch = self.take_scratch()?;
+        let result = (|| {
+            // Always re-arm from the pristine exploration: re-weighting
+            // starts from the explored rate mass, so a zeroed transition at
+            // one grid point cannot poison the next point's split.
+            scratch.graph.copy_rates_from(&self.graph);
+            scratch.graph.reweight_in_place(&model.net)?;
+            self.ctmc.refresh(&scratch.graph, &mut scratch.ctmc)?;
+            evaluate_with_ctmc(&model, &scratch.graph, &scratch.ctmc, mission_times)
+        })();
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        match result {
             // Structural mismatch despite matching keys — e.g. a rate that
             // was zero at template-build time pruned states that this
             // configuration can reach. Fall back to a fresh exploration.
             Err(SpnError::InvalidModel(_)) => self.evaluate_fresh(cfg, mission_times),
-            Err(e) => Err(e),
+            other => other,
         }
+    }
+
+    /// Check a scratch set out of the pool, creating one (on the shared
+    /// pattern — no pattern build) when all are in use.
+    fn take_scratch(&self) -> Result<Scratch, SpnError> {
+        if let Some(s) = self.scratch.lock().expect("scratch pool poisoned").pop() {
+            return Ok(s);
+        }
+        Ok(Scratch {
+            graph: self.graph.clone(),
+            ctmc: self.ctmc.instantiate(&self.graph)?,
+        })
     }
 
     /// Fresh exploration under the template's own limits, so a
@@ -149,25 +223,26 @@ impl ExactTemplate {
         cfg: &SystemConfig,
         mission_times: &[f64],
     ) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
+        self.explorations.fetch_add(1, Ordering::Relaxed);
+        self.pattern_builds.fetch_add(1, Ordering::Relaxed);
         let model = build_model(cfg);
         let graph = explore(&model.net, &self.opts)?;
         evaluate_graph(&model, &graph, mission_times)
     }
 }
 
-/// Steady metrics plus the optional exact survival curve on one graph.
-fn evaluate_graph(
+/// Steady metrics plus the optional exact survival curve on one graph,
+/// sharing a single CTMC build between the absorption and transient solves.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn evaluate_graph(
     model: &GcsIdsModel,
     graph: &ReachabilityGraph,
     mission_times: &[f64],
 ) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
-    let e = evaluate_prebuilt(model, graph)?;
-    let s = if mission_times.is_empty() {
-        None
-    } else {
-        Some(survival_exact(graph, mission_times)?)
-    };
-    Ok((e, s))
+    let ctmc = Ctmc::from_graph(graph)?;
+    evaluate_with_ctmc(model, graph, &ctmc, mission_times)
 }
 
 /// Exact mission survival `P[no security failure by t]` for each horizon in
@@ -221,9 +296,22 @@ pub fn evaluate_prebuilt(
     model: &GcsIdsModel,
     graph: &ReachabilityGraph,
 ) -> Result<Evaluation, SpnError> {
+    let ctmc = Ctmc::from_graph(graph)?;
+    evaluate_with_ctmc(model, graph, &ctmc, &[]).map(|(e, _)| e)
+}
+
+/// The shared evaluation core: steady metrics (plus the optional survival
+/// curve) on a CTMC that is already built — freshly via [`Ctmc::from_graph`]
+/// on the one-shot paths, or refreshed in place on the rebuild-free
+/// template path. `ctmc` must be the chain of `graph`'s current rates.
+fn evaluate_with_ctmc(
+    model: &GcsIdsModel,
+    graph: &ReachabilityGraph,
+    ctmc: &Ctmc,
+    mission_times: &[f64],
+) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
     let cfg = &model.config;
     let places = model.places;
-    let ctmc = Ctmc::from_graph(graph)?;
     let absorption = ctmc.mean_time_to_absorption()?;
 
     // --- cost rewards -----------------------------------------------------
@@ -279,7 +367,7 @@ pub fn evaluate_prebuilt(
         }
     }
 
-    Ok(Evaluation {
+    let evaluation = Evaluation {
         mttsf_seconds: mttsf,
         c_total_hop_bits_per_sec: components.total(),
         cost_components: components,
@@ -287,7 +375,13 @@ pub fn evaluate_prebuilt(
         p_failure_c2: p_c2,
         state_count: graph.state_count(),
         edge_count: graph.edge_count(),
-    })
+    };
+    let survival = if mission_times.is_empty() {
+        None
+    } else {
+        Some(ctmc.survival_curve(mission_times, &TransientOptions::default()))
+    };
+    Ok((evaluation, survival))
 }
 
 /// A RateReward adapter for the total cost (exposed for reuse by the
@@ -433,6 +527,10 @@ mod tests {
         assert!(via_template.state_count > template.state_count());
         assert_eq!(via_template.state_count, direct.state_count);
         assert!((via_template.mttsf_seconds - direct.mttsf_seconds).abs() < 1e-9);
+        // the fallback is counted: one exploration at build, one more for
+        // the structural mismatch
+        assert_eq!(template.stats().explorations, 2);
+        assert_eq!(template.stats().pattern_builds, 2);
     }
 
     #[test]

@@ -235,6 +235,32 @@ mod tests {
     }
 
     #[test]
+    fn full_sweep_explores_and_builds_pattern_exactly_once() {
+        // The acceptance check for the rebuild-free solve path: a
+        // fig2-sized rate-only product (m × TIDS, plus a survival grid)
+        // performs exactly one state-space exploration and one CSR pattern
+        // build in total — every point re-weights and refreshes in place.
+        let cfg = small();
+        let template = ExactTemplate::new(&cfg).unwrap();
+        for &m in &[3u32, 5, 7, 9] {
+            let series = sweep_tids_with_template(
+                &template,
+                &cfg.with_vote_participants(m),
+                &GRID,
+                format!("m={m}"),
+            )
+            .unwrap();
+            assert_eq!(series.points.len(), GRID.len());
+        }
+        template
+            .evaluate_with_survival(&cfg, &[0.0, 1.0e4])
+            .unwrap();
+        let stats = template.stats();
+        assert_eq!(stats.explorations, 1, "sweep must not re-explore");
+        assert_eq!(stats.pattern_builds, 1, "sweep must not rebuild the CSR");
+    }
+
+    #[test]
     fn empty_series_has_no_optimum() {
         let s = SweepSeries {
             label: "empty".into(),

@@ -144,15 +144,8 @@ impl Backend for ExactBackend {
         };
         let model = build_model(&spec.system);
         let graph = spn::reach::explore(&model.net, &opts)?;
-        let e = gcsids::metrics::evaluate_prebuilt(&model, &graph)?;
-        let survival = if spec.mission_times.is_empty() {
-            None
-        } else {
-            Some(gcsids::metrics::survival_exact(
-                &graph,
-                &spec.mission_times,
-            )?)
-        };
+        // One CTMC build serves both the absorption and the survival solve.
+        let (e, survival) = gcsids::metrics::evaluate_graph(&model, &graph, &spec.mission_times)?;
         Ok(Self::report_from_evaluation(
             spec,
             &e,

@@ -122,13 +122,18 @@ impl MetricCheck {
 
     fn to_value(&self) -> Value {
         let num = crate::report::num;
-        let (ci_lo, ci_hi) = self.estimate.ci.unwrap_or((f64::NAN, f64::NAN));
+        // An absent interval encodes as explicit nulls — never a NaN pair
+        // that could leak into downstream comparisons.
+        let (ci_lo, ci_hi) = match self.estimate.ci {
+            Some((lo, hi)) => (num(lo), num(hi)),
+            None => (Value::Null, Value::Null),
+        };
         Value::obj([
             ("metric", Value::Str(self.metric.clone())),
             ("exact", num(self.exact)),
             ("estimate", num(self.estimate.value)),
-            ("ci_lo", num(ci_lo)),
-            ("ci_hi", num(ci_hi)),
+            ("ci_lo", ci_lo),
+            ("ci_hi", ci_hi),
             ("delta", num(self.delta)),
             ("discrepancy", num(self.discrepancy)),
             ("inside_ci", Value::Bool(self.inside_ci)),
@@ -179,9 +184,16 @@ impl CrossValReport {
         self.specs.iter().all(|s| s.agrees)
     }
 
-    /// The comparable check with the largest discrepancy across the whole
-    /// run, as `(scenario, backend, check)` — the first thing to look at
-    /// when a sweep disagrees.
+    /// The check with the largest discrepancy across the whole run, as
+    /// `(scenario, backend, check)` — the first thing to look at when a
+    /// sweep disagrees.
+    ///
+    /// A `NaN` discrepancy (a non-finite exact value or estimate slipping
+    /// through to a comparison) ranks **strictly worst**: it signals a
+    /// broken comparison, which matters more than any finite gap, and it
+    /// must never hide a real offender by sorting as "equal". `total_cmp`
+    /// gives exactly that order (`discrepancy` comes from `abs()`, so a
+    /// NaN here is always positive and sorts above `+inf`).
     pub fn worst_offender(&self) -> Option<(&str, BackendKind, &MetricCheck)> {
         self.specs
             .iter()
@@ -192,12 +204,7 @@ impl CrossValReport {
                         .map(move |ch| (s.name.as_str(), c.backend, ch))
                 })
             })
-            .filter(|(_, _, ch)| ch.discrepancy.is_finite())
-            .max_by(|a, b| {
-                a.2.discrepancy
-                    .partial_cmp(&b.2.discrepancy)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.2.discrepancy.total_cmp(&b.2.discrepancy))
     }
 
     /// Machine-readable JSON for logs and CI artifacts.
@@ -237,11 +244,14 @@ impl CrossValReport {
         let worst = self
             .worst_offender()
             .map_or(Value::Null, |(name, kind, ch)| {
+                // A NaN discrepancy encodes as null; name it explicitly so
+                // the report stays unambiguous (and valid JSON).
                 Value::obj([
                     ("scenario", Value::Str(name.into())),
                     ("backend", Value::Str(kind.name().into())),
                     ("metric", Value::Str(ch.metric.clone())),
-                    ("discrepancy", Value::Num(ch.discrepancy)),
+                    ("discrepancy", crate::report::num(ch.discrepancy)),
+                    ("not_a_number", Value::Bool(ch.discrepancy.is_nan())),
                 ])
             });
         Value::obj([
@@ -261,12 +271,23 @@ fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> Backe
     // MTTSF and the time-averaged cost are only unbiased when nothing was
     // censored: a censored mean is conditional on failing within the
     // horizon, systematically off the exact until-absorption quantities.
+    // An estimate without a confidence interval (a single uncensored
+    // replication) is likewise skipped-and-reported, not checked: with no
+    // interval the containment test is meaningless and the raw one-sample
+    // discrepancy would fail sound runs (or, before this guard, degrade
+    // into NaN-bound comparisons).
     if stoch.censored.unwrap_or(0) > 0 {
         skipped.push("mttsf (censored replications bias the mean)".into());
         skipped.push("c_total (censored replications bias the rate)".into());
     } else if !stoch.mttsf.value.is_finite() {
         skipped.push("mttsf (not estimable)".into());
         skipped.push("c_total (not estimable)".into());
+    } else if stoch.mttsf.ci.is_none() || stoch.c_total.ci.is_none() {
+        skipped
+            .push("mttsf (no confidence interval: fewer than two uncensored replications)".into());
+        skipped.push(
+            "c_total (no confidence interval: fewer than two uncensored replications)".into(),
+        );
     } else {
         checks.push(MetricCheck::new(
             "mttsf".into(),
@@ -287,17 +308,19 @@ fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> Backe
     match (&exact.survival, &stoch.survival) {
         (Some(exact_points), Some(stoch_points)) => {
             for ((t, e), (_, s)) in exact_points.iter().zip(stoch_points) {
-                if s.value.is_finite() {
+                if !s.value.is_finite() {
+                    skipped.push(format!(
+                        "survival@{t} (not estimable: censoring before this horizon)"
+                    ));
+                } else if s.ci.is_none() {
+                    skipped.push(format!("survival@{t} (no confidence interval)"));
+                } else {
                     checks.push(MetricCheck::new(
                         format!("survival@{t}"),
                         e.value,
                         *s,
                         opts.survival_abs_tol,
                         false,
-                    ));
-                } else {
-                    skipped.push(format!(
-                        "survival@{t} (not estimable: censoring before this horizon)"
                     ));
                 }
             }
@@ -500,6 +523,144 @@ mod tests {
         assert!(v.field("worst_offender").is_ok());
         let worst = report.worst_offender();
         assert!(worst.is_some());
+    }
+
+    fn exact_stub() -> RunReport {
+        RunReport {
+            scenario: "stub".into(),
+            backend: BackendKind::Exact,
+            mttsf: Estimate::exact(100.0),
+            c_total: Estimate::exact(5.0),
+            cost_components: None,
+            failure: Default::default(),
+            state_count: Some(3),
+            edge_count: Some(4),
+            replications: None,
+            censored: None,
+            survival: None,
+            wall_seconds: 0.0,
+        }
+    }
+
+    fn check_with_discrepancy(metric: &str, discrepancy: f64) -> MetricCheck {
+        MetricCheck {
+            metric: metric.into(),
+            exact: 1.0,
+            estimate: Estimate {
+                value: 1.0 + discrepancy,
+                ci: Some((0.9, 1.1)),
+            },
+            delta: discrepancy,
+            discrepancy,
+            inside_ci: false,
+            agrees: false,
+        }
+    }
+
+    /// Regression: a NaN discrepancy must rank strictly worst — under the
+    /// old `partial_cmp(..).unwrap_or(Equal)` ordering it sorted as equal
+    /// and could hide the real worst pair (or vanish entirely behind an
+    /// `is_finite` filter).
+    #[test]
+    fn nan_discrepancy_ranks_strictly_worst_and_is_named() {
+        let mut report = CrossValReport::default();
+        report.specs.push(SpecCrossValidation {
+            name: "nan-spec".into(),
+            exact: exact_stub(),
+            comparisons: vec![BackendComparison {
+                backend: BackendKind::Des,
+                report: exact_stub(),
+                checks: vec![
+                    check_with_discrepancy("mttsf", 0.7),
+                    check_with_discrepancy("survival@5", f64::NAN),
+                    check_with_discrepancy("c_total", 0.2),
+                ],
+                skipped: Vec::new(),
+                agrees: false,
+            }],
+            agrees: false,
+        });
+        let (_, _, worst) = report.worst_offender().unwrap();
+        assert_eq!(worst.metric, "survival@5");
+        assert!(worst.discrepancy.is_nan());
+        // the JSON stays parseable and names the NaN explicitly
+        let v = crate::json::Value::parse(&report.to_json()).unwrap();
+        let w = v.field("worst_offender").unwrap();
+        assert_eq!(w.field("metric").unwrap().as_str().unwrap(), "survival@5");
+        assert!(matches!(w.field("discrepancy").unwrap(), Value::Null));
+        assert_eq!(
+            w.field("not_a_number").unwrap(),
+            &Value::Bool(true),
+            "NaN must be named, not silently nulled"
+        );
+        // with only finite checks the flag is false and ordering is by size
+        report.specs[0].comparisons[0].checks.remove(1);
+        let (_, _, worst) = report.worst_offender().unwrap();
+        assert_eq!(worst.metric, "mttsf");
+    }
+
+    /// Regression: an estimate without a confidence interval (a single
+    /// uncensored replication) must be skipped-and-reported like censored
+    /// metrics, not silently checked against a meaningless interval.
+    #[test]
+    fn ci_less_metrics_are_skipped_and_reported() {
+        let exact = exact_stub();
+        let mut stoch = exact_stub();
+        stoch.backend = BackendKind::Des;
+        stoch.mttsf = Estimate {
+            value: 90.0,
+            ci: None,
+        };
+        stoch.c_total = Estimate {
+            value: 5.0,
+            ci: None,
+        };
+        stoch.replications = Some(1);
+        stoch.censored = Some(0);
+        let out = compare(&exact, stoch, &CrossValOptions::default());
+        assert!(out.checks.is_empty());
+        assert!(
+            out.skipped
+                .iter()
+                .any(|m| m.starts_with("mttsf") && m.contains("no confidence interval")),
+            "{:?}",
+            out.skipped
+        );
+        assert!(out
+            .skipped
+            .iter()
+            .any(|m| m.starts_with("c_total") && m.contains("no confidence interval")));
+        // an all-skipped comparison is a non-validation, not a pass
+        assert!(!out.agrees);
+
+        // CI-less survival points skip too (value finite, interval absent)
+        let mut stoch = exact_stub();
+        stoch.backend = BackendKind::Des;
+        stoch.mttsf = Estimate {
+            value: 90.0,
+            ci: Some((80.0, 110.0)),
+        };
+        stoch.c_total = Estimate {
+            value: 5.0,
+            ci: Some((4.0, 6.0)),
+        };
+        stoch.replications = Some(2);
+        stoch.censored = Some(0);
+        stoch.survival = Some(vec![(
+            3.0,
+            Estimate {
+                value: 0.5,
+                ci: None,
+            },
+        )]);
+        let mut exact = exact_stub();
+        exact.survival = Some(vec![(3.0, Estimate::exact(0.5))]);
+        let out = compare(&exact, stoch, &CrossValOptions::default());
+        assert!(out
+            .skipped
+            .iter()
+            .any(|m| m.starts_with("survival@3") && m.contains("no confidence interval")));
+        assert!(out.checks.iter().all(|c| !c.metric.starts_with("survival")));
     }
 
     #[test]

@@ -4,6 +4,85 @@
 //! sparse (≤ 7 transitions per state in the paper's model), so all solvers
 //! run on this representation. Construction goes through a triplet buffer
 //! ([`Triplets`]) that sorts and merges duplicates once.
+//!
+//! The sparsity *structure* ([`CsrPattern`]: row pointers + column indices)
+//! is split from the value array and shared behind an [`Arc`]: re-weighted
+//! solves that keep the pattern fixed (the explore-once-solve-many sweeps)
+//! build the structure once and thereafter only rewrite [`Csr::values_mut`]
+//! in place — cloning a [`Csr`] never copies the pattern.
+
+use std::sync::Arc;
+
+/// The immutable sparsity structure of a [`Csr`]: everything except the
+/// values. Shared (via [`Arc`]) between all value arrays laid out on the
+/// same pattern.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CsrPattern {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+}
+
+impl CsrPattern {
+    /// Build a pattern from raw CSR structure.
+    ///
+    /// # Panics
+    /// Panics if `row_ptr` is not a valid monotone pointer array of length
+    /// `rows + 1` ending at `col_idx.len()`, or any column is out of range.
+    pub fn new(rows: usize, cols: usize, row_ptr: Vec<u32>, col_idx: Vec<u32>) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
+        assert_eq!(
+            row_ptr[rows] as usize,
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        assert!(
+            col_idx.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Half-open range of value-array slots belonging to row `r`.
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_range(r)]
+    }
+
+    /// Column index of a flat value-array slot.
+    pub fn col(&self, entry: usize) -> usize {
+        self.col_idx[entry] as usize
+    }
+}
 
 /// Triplet (COO) accumulation buffer for building a [`Csr`].
 #[derive(Debug, Clone, Default)]
@@ -69,22 +148,17 @@ impl Triplets {
         }
         let (col_idx, values) = merged.into_iter().map(|(_, c, v)| (c, v)).unzip();
         Csr {
-            rows: self.rows,
-            cols: self.cols,
-            row_ptr,
-            col_idx,
+            pattern: Arc::new(CsrPattern::new(self.rows, self.cols, row_ptr, col_idx)),
             values,
         }
     }
 }
 
-/// Compressed sparse row matrix with `f64` values.
+/// Compressed sparse row matrix with `f64` values: a shared [`CsrPattern`]
+/// plus this matrix's own value array.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Csr {
-    rows: usize,
-    cols: usize,
-    row_ptr: Vec<u32>,
-    col_idx: Vec<u32>,
+    pattern: Arc<CsrPattern>,
     values: Vec<f64>,
 }
 
@@ -92,12 +166,34 @@ impl Csr {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
-            rows,
-            cols,
-            row_ptr: vec![0; rows + 1],
-            col_idx: Vec::new(),
+            pattern: Arc::new(CsrPattern::new(rows, cols, vec![0; rows + 1], Vec::new())),
             values: Vec::new(),
         }
+    }
+
+    /// Matrix laid out on an existing (shared) pattern.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the pattern's entry count.
+    pub fn from_pattern(pattern: Arc<CsrPattern>, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), pattern.nnz(), "value array length mismatch");
+        Self { pattern, values }
+    }
+
+    /// The sparsity structure (shareable across value arrays).
+    pub fn pattern(&self) -> &Arc<CsrPattern> {
+        &self.pattern
+    }
+
+    /// The stored values, in pattern (row-major, column-sorted) order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable stored values — the in-place update hook for re-weighted
+    /// solves that keep the pattern fixed.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Identity matrix of size `n`.
@@ -111,26 +207,25 @@ impl Csr {
 
     /// Row count.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.pattern.rows
     }
 
     /// Column count.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.pattern.cols
     }
 
-    /// Number of stored non-zeros.
+    /// Number of stored entries (explicit zeros included).
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
 
     /// Iterate `(col, value)` pairs of row `r`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        let lo = self.row_ptr[r] as usize;
-        let hi = self.row_ptr[r + 1] as usize;
-        self.col_idx[lo..hi]
+        let range = self.pattern.row_range(r);
+        self.pattern.col_idx[range.clone()]
             .iter()
-            .zip(&self.values[lo..hi])
+            .zip(&self.values[range])
             .map(|(&c, &v)| (c as usize, v))
     }
 
@@ -144,16 +239,16 @@ impl Csr {
     /// # Panics
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.rows];
+        let mut y = vec![0.0; self.rows()];
         self.matvec_into(x, &mut y);
         y
     }
 
     /// `y = A x` into a caller-provided buffer.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
-        for r in 0..self.rows {
+        assert_eq!(x.len(), self.cols(), "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows(), "matvec output dimension mismatch");
+        for r in 0..self.rows() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
@@ -164,10 +259,10 @@ impl Csr {
 
     /// `y = xᵀ A` (row vector times matrix) into a caller buffer.
     pub fn vecmat_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.rows, "vecmat dimension mismatch");
-        assert_eq!(y.len(), self.cols, "vecmat output dimension mismatch");
+        assert_eq!(x.len(), self.rows(), "vecmat dimension mismatch");
+        assert_eq!(y.len(), self.cols(), "vecmat output dimension mismatch");
         y.fill(0.0);
-        for r in 0..self.rows {
+        for r in 0..self.rows() {
             let xr = x[r];
             if xr == 0.0 {
                 continue;
@@ -180,8 +275,8 @@ impl Csr {
 
     /// Transposed copy.
     pub fn transpose(&self) -> Csr {
-        let mut t = Triplets::new(self.cols, self.rows);
-        for r in 0..self.rows {
+        let mut t = Triplets::new(self.cols(), self.rows());
+        for r in 0..self.rows() {
             for (c, v) in self.row(r) {
                 t.push(c, r, v);
             }
@@ -191,7 +286,7 @@ impl Csr {
 
     /// Row sums.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
+        (0..self.rows())
             .map(|r| self.row(r).map(|(_, v)| v).sum())
             .collect()
     }
@@ -199,8 +294,8 @@ impl Csr {
     /// Dense copy (rows × cols) — test/debug helper, avoid for large
     /// matrices.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
-        let mut d = vec![vec![0.0; self.cols]; self.rows];
-        for r in 0..self.rows {
+        let mut d = vec![vec![0.0; self.cols()]; self.rows()];
+        for r in 0..self.rows() {
             for (c, v) in self.row(r) {
                 d[r][c] = v;
             }

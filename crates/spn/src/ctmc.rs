@@ -20,12 +20,15 @@ use crate::error::SpnError;
 use crate::reach::ReachabilityGraph;
 use numerics::foxglynn::PoissonWeights;
 use numerics::linsolve::IterConfig;
-use numerics::sparse::{Csr, Triplets};
+use numerics::sparse::{Csr, CsrPattern, Triplets};
+use std::sync::Arc;
 
 /// A CTMC extracted from a reachability graph.
 #[derive(Debug, Clone)]
 pub struct Ctmc {
-    /// Off-diagonal rate matrix (row = source state).
+    /// Off-diagonal rate matrix (row = source state). May carry explicit
+    /// zero entries when instantiated from a [`CtmcTemplate`] (the pattern
+    /// is kept stable across re-weighted rate families).
     rates: Csr,
     /// Total exit rate per state.
     exit: Vec<f64>,
@@ -33,6 +36,13 @@ pub struct Ctmc {
     initial: Vec<(u32, f64)>,
     /// Absorbing flags.
     absorbing: Vec<bool>,
+    /// Transposed rate matrix, pre-built by [`CtmcTemplate`] so repeated
+    /// solves skip the per-solve transpose construction. `None` on the
+    /// one-shot [`Ctmc::from_graph`] path.
+    transposed: Option<Csr>,
+    /// Uniformization constant and DTMC, pre-built by [`CtmcTemplate`].
+    /// `None` on the one-shot path (built on demand per transient solve).
+    uniformized: Option<(f64, Csr)>,
 }
 
 /// Options for uniformization-based transient analysis.
@@ -93,22 +103,20 @@ impl AbsorptionAnalysis {
 impl Ctmc {
     /// Build the CTMC from a reachability graph.
     ///
+    /// A state whose edges all carry zero rate has no outflow: it is
+    /// absorbing in effect, whatever its graph flag says. Leaving such a
+    /// state unflagged would make the absorption system singular ("cannot
+    /// reach absorption") and let uniformization report its stuck mass as
+    /// surviving forever, so these states are promoted to absorbing here —
+    /// the same semantics [`ReachabilityGraph::reweight_in_place`] applies
+    /// when a re-weight silences a state's last live edge.
+    ///
     /// # Errors
     /// Returns [`SpnError::InvalidModel`] for an empty graph or an initial
     /// distribution that does not sum to 1.
     pub fn from_graph(graph: &ReachabilityGraph) -> Result<Self, SpnError> {
+        validate_graph(graph)?;
         let n = graph.state_count();
-        if n == 0 {
-            return Err(SpnError::InvalidModel(
-                "reachability graph has no states".into(),
-            ));
-        }
-        let mass: f64 = graph.initial_distribution.iter().map(|&(_, p)| p).sum();
-        if (mass - 1.0).abs() > 1e-9 {
-            return Err(SpnError::InvalidModel(format!(
-                "initial distribution sums to {mass}, expected 1"
-            )));
-        }
         let mut t = Triplets::new(n, n);
         let mut exit = vec![0.0; n];
         for (s, elist) in graph.edges.iter().enumerate() {
@@ -122,11 +130,17 @@ impl Ctmc {
                 }
             }
         }
+        let mut absorbing = graph.absorbing.clone();
+        for (flag, &x) in absorbing.iter_mut().zip(&exit) {
+            *flag = *flag || x == 0.0;
+        }
         Ok(Self {
             rates: t.build(),
             exit,
             initial: graph.initial_distribution.clone(),
-            absorbing: graph.absorbing.clone(),
+            absorbing,
+            transposed: None,
+            uniformized: None,
         })
     }
 
@@ -169,8 +183,10 @@ impl Ctmc {
             seen[s] = true;
         }
         while let Some(s) = stack.pop() {
-            for (j, _) in self.rates.row(s) {
-                if !seen[j] {
+            // Explicit zeros in a template-instantiated pattern carry no
+            // probability flow — skip them, they are structure only.
+            for (j, rate) in self.rates.row(s) {
+                if rate > 0.0 && !seen[j] {
                     seen[j] = true;
                     stack.push(j);
                 }
@@ -182,15 +198,22 @@ impl Ctmc {
     /// States that can reach an absorbing state.
     fn can_reach_absorbing(&self) -> Vec<bool> {
         let n = self.state_count();
-        let transposed = self.rates.transpose();
+        let built;
+        let transposed = match &self.transposed {
+            Some(t) => t,
+            None => {
+                built = self.rates.transpose();
+                &built
+            }
+        };
         let mut can = vec![false; n];
         let mut stack: Vec<usize> = (0..n).filter(|&i| self.absorbing[i]).collect();
         for &s in &stack {
             can[s] = true;
         }
         while let Some(s) = stack.pop() {
-            for (j, _) in transposed.row(s) {
-                if !can[j] {
+            for (j, rate) in transposed.row(s) {
+                if rate > 0.0 && !can[j] {
                     can[j] = true;
                     stack.push(j);
                 }
@@ -432,11 +455,22 @@ impl Ctmc {
         Ok(sigma)
     }
 
-    /// Uniformization constant and DTMC for transient analysis.
-    fn uniformized(&self) -> (f64, Csr) {
+    /// Uniformization constant and DTMC for transient analysis: the cached
+    /// template copy when present, otherwise freshly built.
+    fn uniformized(&self) -> (f64, std::borrow::Cow<'_, Csr>) {
+        match &self.uniformized {
+            Some((q, p)) => (*q, std::borrow::Cow::Borrowed(p)),
+            None => {
+                let (q, p) = self.build_uniformized();
+                (q, std::borrow::Cow::Owned(p))
+            }
+        }
+    }
+
+    /// Build the uniformized DTMC from the current rates.
+    fn build_uniformized(&self) -> (f64, Csr) {
         let n = self.state_count();
-        let qmax = self.exit.iter().copied().fold(0.0_f64, f64::max);
-        let q = (qmax * 1.02).max(1e-12);
+        let q = uniformization_q(&self.exit);
         let mut t = Triplets::new(n, n);
         for s in 0..n {
             for (j, rate) in self.rates.row(s) {
@@ -565,6 +599,297 @@ impl Ctmc {
         }
         Ok(pi)
     }
+}
+
+/// Rebuild-free CTMC instantiation over one reachability-graph structure.
+///
+/// The CSR sparsity patterns of the rate matrix, its transpose, and the
+/// uniformized DTMC are built **once** from the graph; every structurally
+/// identical re-weighting of that graph (rate-only parameter variations —
+/// the explore-once-solve-many sweeps) then only rewrites the value arrays
+/// and the exit-rate vector in place via [`CtmcTemplate::refresh`]. Edges
+/// whose rate drops to zero stay in the pattern as explicit zeros, so the
+/// structure is stable across whole rate families and per-point evaluation
+/// performs no graph or matrix allocation at all.
+///
+/// Numerically the refreshed CTMC is **bit-for-bit identical** to a fresh
+/// [`Ctmc::from_graph`] build of the same re-weighted graph: values are
+/// accumulated in the same order, and the explicit zeros only contribute
+/// `+0.0` terms to the (non-negative) solver arithmetic.
+#[derive(Debug)]
+pub struct CtmcTemplate {
+    n: usize,
+    /// Rate-matrix pattern (explicit zeros kept for vanished edges).
+    pattern: Arc<CsrPattern>,
+    /// Value slot of each graph edge, flattened state-major in edge order.
+    /// Parallel edges to one target share a slot (their rates sum).
+    slots: Vec<u32>,
+    /// Per-state offsets into `slots` (length `n + 1`) for structure checks.
+    edge_offsets: Vec<u32>,
+    /// Transposed pattern plus the slot permutation forward → transpose.
+    t_pattern: Arc<CsrPattern>,
+    t_perm: Vec<u32>,
+    /// Uniformized-DTMC pattern (forward plus diagonal), the slot
+    /// permutation forward → uniformized, and the diagonal slot per state.
+    u_pattern: Arc<CsrPattern>,
+    u_perm: Vec<u32>,
+    diag_slots: Vec<u32>,
+    initial: Vec<(u32, f64)>,
+}
+
+impl CtmcTemplate {
+    /// Build the three sparsity patterns from a graph's structure.
+    ///
+    /// # Errors
+    /// Returns [`SpnError::InvalidModel`] for an empty graph, an initial
+    /// distribution that does not sum to 1, or a self-targeting edge (the
+    /// reachability exploration never produces one).
+    pub fn new(graph: &ReachabilityGraph) -> Result<Self, SpnError> {
+        validate_graph(graph)?;
+        let n = graph.state_count();
+
+        // Forward pattern. Graph edges per state are sorted by (target,
+        // transition), so equal targets are adjacent; dedup them into one
+        // slot each. Sort defensively anyway: hand-assembled graphs are
+        // legal inputs.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0u32);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut slots: Vec<u32> = Vec::new();
+        let mut edge_offsets = Vec::with_capacity(n + 1);
+        edge_offsets.push(0u32);
+        let mut scratch: Vec<(u32, usize)> = Vec::new();
+        for (s, elist) in graph.edges.iter().enumerate() {
+            scratch.clear();
+            for (k, e) in elist.iter().enumerate() {
+                if e.target as usize == s {
+                    return Err(SpnError::InvalidModel(format!(
+                        "state {s} has a self-targeting edge; the CTMC \
+                         template requires self-loops to be dropped"
+                    )));
+                }
+                scratch.push((e.target, k));
+            }
+            scratch.sort_by_key(|&(t, _)| t);
+            let row_start = row_ptr[s] as usize;
+            let mut edge_slots = vec![0u32; elist.len()];
+            for &(target, k) in &scratch {
+                if col_idx.len() == row_start || *col_idx.last().unwrap() != target {
+                    col_idx.push(target);
+                }
+                edge_slots[k] = (col_idx.len() - 1) as u32;
+            }
+            slots.extend_from_slice(&edge_slots);
+            edge_offsets.push(slots.len() as u32);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let nnz = col_idx.len();
+
+        // Transpose pattern + forward → transpose slot permutation.
+        let mut t_row_ptr = vec![0u32; n + 1];
+        for &c in &col_idx {
+            t_row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            t_row_ptr[i + 1] += t_row_ptr[i];
+        }
+        let mut t_next = t_row_ptr.clone();
+        let mut t_col = vec![0u32; nnz];
+        let mut t_perm = vec![0u32; nnz];
+        for r in 0..n {
+            for slot in row_ptr[r] as usize..row_ptr[r + 1] as usize {
+                let c = col_idx[slot] as usize;
+                let pos = t_next[c];
+                t_next[c] += 1;
+                t_col[pos as usize] = r as u32;
+                t_perm[slot] = pos;
+            }
+        }
+
+        // Uniformized pattern: forward rows with the diagonal spliced in at
+        // its sorted position (self-edges were rejected above, so the
+        // diagonal is never already present).
+        let mut u_row_ptr = Vec::with_capacity(n + 1);
+        u_row_ptr.push(0u32);
+        let mut u_col = Vec::with_capacity(nnz + n);
+        let mut u_perm = vec![0u32; nnz];
+        let mut diag_slots = vec![0u32; n];
+        for s in 0..n {
+            let mut placed_diag = false;
+            for slot in row_ptr[s] as usize..row_ptr[s + 1] as usize {
+                let c = col_idx[slot];
+                if !placed_diag && c as usize > s {
+                    diag_slots[s] = u_col.len() as u32;
+                    u_col.push(s as u32);
+                    placed_diag = true;
+                }
+                u_perm[slot] = u_col.len() as u32;
+                u_col.push(c);
+            }
+            if !placed_diag {
+                diag_slots[s] = u_col.len() as u32;
+                u_col.push(s as u32);
+            }
+            u_row_ptr.push(u_col.len() as u32);
+        }
+
+        Ok(Self {
+            n,
+            pattern: Arc::new(CsrPattern::new(n, n, row_ptr, col_idx)),
+            slots,
+            edge_offsets,
+            t_pattern: Arc::new(CsrPattern::new(n, n, t_row_ptr, t_col)),
+            t_perm,
+            u_pattern: Arc::new(CsrPattern::new(n, n, u_row_ptr, u_col)),
+            u_perm,
+            diag_slots,
+            initial: graph.initial_distribution.clone(),
+        })
+    }
+
+    /// Number of states in the templated structure.
+    pub fn state_count(&self) -> usize {
+        self.n
+    }
+
+    /// Allocate a CTMC on this template's shared patterns and fill it from
+    /// `graph`'s current rates. This is the only allocating step; reuse the
+    /// returned chain across re-weightings via [`CtmcTemplate::refresh`].
+    ///
+    /// # Errors
+    /// Same conditions as [`CtmcTemplate::refresh`].
+    pub fn instantiate(&self, graph: &ReachabilityGraph) -> Result<Ctmc, SpnError> {
+        let mut ctmc = Ctmc {
+            rates: Csr::from_pattern(self.pattern.clone(), vec![0.0; self.pattern.nnz()]),
+            exit: vec![0.0; self.n],
+            initial: self.initial.clone(),
+            absorbing: vec![false; self.n],
+            transposed: Some(Csr::from_pattern(
+                self.t_pattern.clone(),
+                vec![0.0; self.t_pattern.nnz()],
+            )),
+            uniformized: Some((
+                0.0,
+                Csr::from_pattern(self.u_pattern.clone(), vec![0.0; self.u_pattern.nnz()]),
+            )),
+        };
+        self.refresh(graph, &mut ctmc)?;
+        Ok(ctmc)
+    }
+
+    /// Rewrite `ctmc`'s value arrays, exit rates, and absorbing flags in
+    /// place from `graph`'s current (re-weighted) rates. No allocation.
+    ///
+    /// Zero-exit states are promoted to absorbing exactly as in
+    /// [`Ctmc::from_graph`] (see there for why).
+    ///
+    /// # Errors
+    /// Returns [`SpnError::InvalidModel`] when `graph`'s structure differs
+    /// from the templated one (state count, per-state edge counts, or edge
+    /// targets), or when `ctmc` was not instantiated from this template.
+    pub fn refresh(&self, graph: &ReachabilityGraph, ctmc: &mut Ctmc) -> Result<(), SpnError> {
+        if graph.state_count() != self.n {
+            return Err(SpnError::InvalidModel(format!(
+                "template has {} states, graph has {}; re-explore instead",
+                self.n,
+                graph.state_count()
+            )));
+        }
+        if !Arc::ptr_eq(ctmc.rates.pattern(), &self.pattern) {
+            return Err(SpnError::InvalidModel(
+                "refresh target was not instantiated from this template".into(),
+            ));
+        }
+        let Ctmc {
+            rates,
+            exit,
+            absorbing,
+            transposed,
+            uniformized,
+            ..
+        } = ctmc;
+        let (Some(transposed), Some((q_cached, uni))) = (transposed, uniformized) else {
+            return Err(SpnError::InvalidModel(
+                "refresh target lost its cached matrices".into(),
+            ));
+        };
+
+        // Forward values + exit rates, accumulated in graph-edge order —
+        // the same order Ctmc::from_graph sums shared slots in.
+        let values = rates.values_mut();
+        values.fill(0.0);
+        let mut k = 0usize;
+        for (s, elist) in graph.edges.iter().enumerate() {
+            if elist.len() != (self.edge_offsets[s + 1] - self.edge_offsets[s]) as usize {
+                return Err(SpnError::InvalidModel(format!(
+                    "state {s}: edge count changed; the variation is \
+                     structural — re-explore"
+                )));
+            }
+            let mut exit_s = 0.0;
+            for e in elist {
+                let slot = self.slots[k] as usize;
+                if self.pattern.col(slot) != e.target as usize {
+                    return Err(SpnError::InvalidModel(format!(
+                        "state {s}: edge target changed; the variation is \
+                         structural — re-explore"
+                    )));
+                }
+                if e.rate > 0.0 {
+                    values[slot] += e.rate;
+                    exit_s += e.rate;
+                }
+                k += 1;
+            }
+            exit[s] = exit_s;
+            absorbing[s] = graph.absorbing[s] || exit_s == 0.0;
+        }
+
+        // Transposed values: a pure permutation of the forward slots.
+        let values = rates.values();
+        let t_values = transposed.values_mut();
+        for (slot, &v) in values.iter().enumerate() {
+            t_values[self.t_perm[slot] as usize] = v;
+        }
+
+        // Uniformized DTMC, on the same q as Ctmc::build_uniformized.
+        let q = uniformization_q(exit);
+        let u_values = uni.values_mut();
+        for (slot, &v) in values.iter().enumerate() {
+            u_values[self.u_perm[slot] as usize] = v / q;
+        }
+        for s in 0..self.n {
+            u_values[self.diag_slots[s] as usize] = 1.0 - exit[s] / q;
+        }
+        *q_cached = q;
+        Ok(())
+    }
+}
+
+/// Shared input validation for [`Ctmc::from_graph`] and
+/// [`CtmcTemplate::new`]: both constructors must accept exactly the same
+/// graphs.
+fn validate_graph(graph: &ReachabilityGraph) -> Result<(), SpnError> {
+    if graph.state_count() == 0 {
+        return Err(SpnError::InvalidModel(
+            "reachability graph has no states".into(),
+        ));
+    }
+    let mass: f64 = graph.initial_distribution.iter().map(|&(_, p)| p).sum();
+    if (mass - 1.0).abs() > 1e-9 {
+        return Err(SpnError::InvalidModel(format!(
+            "initial distribution sums to {mass}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+/// Uniformization constant for a vector of exit rates — one definition so
+/// the template-refreshed DTMC and [`Ctmc::build_uniformized`] can never
+/// drift apart.
+fn uniformization_q(exit: &[f64]) -> f64 {
+    let qmax = exit.iter().copied().fold(0.0_f64, f64::max);
+    (qmax * 1.02).max(1e-12)
 }
 
 /// Advance a distribution by `dt` under the uniformized DTMC `p` with
@@ -923,6 +1248,129 @@ mod tests {
         assert!((acc - 2.0).abs() < 1e-9, "{acc}");
         let avg = a.time_averaged_reward(&reward);
         assert!((avg - acc / a.mtta).abs() < 1e-12);
+    }
+
+    /// Regression: a transient state whose edges were all zeroed (without
+    /// the graph's absorbing flag being recomputed) must not silently
+    /// corrupt the solves. `from_graph` promotes zero-exit states to
+    /// absorbing, so absorption stays solvable and uniformization counts
+    /// the stuck mass as absorbed instead of "surviving" forever.
+    #[test]
+    fn vanishing_exit_state_is_treated_as_absorbing() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 2);
+        b.add_transition(TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1));
+        let net = b.build().unwrap();
+        let mut g = explore(&net, &ExploreOptions::default()).unwrap();
+        // Zero state 1's edges by hand, leaving its absorbing flag stale.
+        for e in &mut g.edges[1] {
+            e.rate = 0.0;
+        }
+        assert!(!g.absorbing[1], "flag is deliberately stale");
+        let c = Ctmc::from_graph(&g).unwrap();
+        assert!(c.absorbing()[1], "zero-exit state must be promoted");
+        // Absorption now ends in state 1: MTTA is the first stage alone.
+        let a = c.mean_time_to_absorption().unwrap();
+        assert!((a.mtta - 0.5).abs() < 1e-12, "{}", a.mtta);
+        assert!((a.absorption_probability[1] - 1.0).abs() < 1e-12);
+        // And survival decays to zero instead of plateauing at "alive".
+        let s = c.survival_curve(&[0.0, 50.0], &TransientOptions::default());
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!(s[1] < 1e-6, "stuck mass reported as surviving: {}", s[1]);
+    }
+
+    #[test]
+    fn template_instantiate_matches_from_graph() {
+        let mut b = SpnBuilder::new();
+        let up = b.add_place("up", 4);
+        b.add_transition(
+            TransitionDef::timed("die", move |m| 0.7 * m.tokens(up) as f64).input(up, 1),
+        );
+        b.add_transition(
+            TransitionDef::timed("die2", move |m| 0.2 * m.tokens(up) as f64).input(up, 2),
+        );
+        let net = b.build().unwrap();
+        let g = explore(&net, &ExploreOptions::default()).unwrap();
+        let template = CtmcTemplate::new(&g).unwrap();
+        assert_eq!(template.state_count(), g.state_count());
+        let t = template.instantiate(&g).unwrap();
+        let f = Ctmc::from_graph(&g).unwrap();
+        let a_t = t.mean_time_to_absorption().unwrap();
+        let a_f = f.mean_time_to_absorption().unwrap();
+        assert_eq!(a_t.mtta.to_bits(), a_f.mtta.to_bits());
+        let times = [0.0, 1.0, 5.0];
+        let opts = TransientOptions::default();
+        let s_t = t.survival_curve(&times, &opts);
+        let s_f = f.survival_curve(&times, &opts);
+        for (x, y) in s_t.iter().zip(&s_f) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn template_refresh_rejects_structural_mismatch() {
+        let chain = |n: u32| {
+            let mut b = SpnBuilder::new();
+            let up = b.add_place("up", n);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| m.tokens(up) as f64).input(up, 1),
+            );
+            let net = b.build().unwrap();
+            explore(&net, &ExploreOptions::default()).unwrap()
+        };
+        let g3 = chain(3);
+        let g5 = chain(5);
+        let template = CtmcTemplate::new(&g3).unwrap();
+        let mut ctmc = template.instantiate(&g3).unwrap();
+        assert!(matches!(
+            template.refresh(&g5, &mut ctmc),
+            Err(SpnError::InvalidModel(_))
+        ));
+        // A CTMC not laid out on this template's pattern is refused too.
+        let mut foreign = Ctmc::from_graph(&g3).unwrap();
+        assert!(matches!(
+            template.refresh(&g3, &mut foreign),
+            Err(SpnError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn template_keeps_zero_rate_edges_as_explicit_zeros() {
+        // Re-weight a two-transition chain so one transition vanishes: the
+        // pattern keeps the dead edges, the refreshed values zero them, and
+        // the solve matches a fresh build of the same re-weighted graph.
+        let build = |die: f64, leak: f64| {
+            let mut b = SpnBuilder::new();
+            let up = b.add_place("up", 2);
+            let bad = b.add_place("bad", 0);
+            b.add_transition(
+                TransitionDef::timed("die", move |m| die * m.tokens(up) as f64).input(up, 1),
+            );
+            b.add_transition(
+                TransitionDef::timed("leak", move |m| leak * m.tokens(up) as f64)
+                    .input(up, 1)
+                    .output(bad, 1),
+            );
+            b.absorbing_when(move |m| m.tokens(bad) >= 1 || m.tokens(up) == 0);
+            b.build().unwrap()
+        };
+        let pristine = explore(&build(1.0, 0.5), &ExploreOptions::default()).unwrap();
+        let template = CtmcTemplate::new(&pristine).unwrap();
+        let mut ctmc = template.instantiate(&pristine).unwrap();
+        let nnz_before = ctmc_nnz(&ctmc);
+
+        let mut working = pristine.clone();
+        working.reweight_in_place(&build(1.0, 0.0)).unwrap();
+        template.refresh(&working, &mut ctmc).unwrap();
+        assert_eq!(ctmc_nnz(&ctmc), nnz_before, "pattern must be stable");
+        let fresh = Ctmc::from_graph(&working).unwrap();
+        let a_t = ctmc.mean_time_to_absorption().unwrap();
+        let a_f = fresh.mean_time_to_absorption().unwrap();
+        assert_eq!(a_t.mtta.to_bits(), a_f.mtta.to_bits());
+    }
+
+    fn ctmc_nnz(c: &Ctmc) -> usize {
+        (0..c.state_count()).map(|s| c.rates.row(s).count()).sum()
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub struct Edge {
 }
 
 /// The tangible reachability graph / CTMC skeleton of a net.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
     /// Tangible markings, index = state id; state 0 is the initial marking
     /// (or its tangible resolution).
@@ -175,6 +175,29 @@ impl ReachabilityGraph {
                 || self.edges[i].iter().all(|e| e.rate <= 0.0);
         }
         Ok(())
+    }
+
+    /// Reset this graph's rate-bearing parts (edge rates, self-loop rates,
+    /// absorbing flags) from a structurally identical `pristine` graph,
+    /// reusing every allocation. This is the scratch-reset step of a
+    /// rebuild-free sweep: a working copy is re-armed from the explored
+    /// graph before each [`ReachabilityGraph::reweight_in_place`], so rate
+    /// families that zero a transition at one grid point can still revive
+    /// it at the next (re-weighting always starts from the explored mass,
+    /// never from an already-zeroed one).
+    ///
+    /// # Panics
+    /// Panics if the state counts differ (the graphs are not copies of one
+    /// structure).
+    pub fn copy_rates_from(&mut self, pristine: &ReachabilityGraph) {
+        assert_eq!(
+            self.state_count(),
+            pristine.state_count(),
+            "copy_rates_from requires structurally identical graphs"
+        );
+        self.edges.clone_from(&pristine.edges);
+        self.self_loop_rates.clone_from(&pristine.self_loop_rates);
+        self.absorbing.clone_from(&pristine.absorbing);
     }
 
     /// Copy of this graph re-weighted from `net`'s current rate functions;

@@ -4,7 +4,7 @@
 //! structural invariants must hold on every explored graph.
 
 use proptest::prelude::*;
-use spn::ctmc::{Ctmc, TransientOptions};
+use spn::ctmc::{Ctmc, CtmcTemplate, TransientOptions};
 use spn::model::{SpnBuilder, TransitionDef};
 use spn::reach::{explore, ExploreOptions};
 use spn::reward::RewardSet;
@@ -189,6 +189,54 @@ proptest! {
             for (&(t_re, r_re), &(t_fresh, r_fresh)) in sl_re.iter().zip(sl_fresh) {
                 prop_assert_eq!(t_re, t_fresh);
                 prop_assert!((r_re - r_fresh).abs() < 1e-10 * (1.0 + r_fresh.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn template_refreshed_solves_are_bitwise_equal_to_fresh_builds(
+        n in 1u32..10,
+        die0 in 0.05f64..5.0,
+        leak0 in 0.01f64..2.0,
+        family in proptest::collection::vec((0.05f64..5.0, 0.01f64..2.0), 1..4),
+    ) {
+        // One exploration, one pattern build; every member of a random
+        // rate family is solved twice — once on the in-place-refreshed
+        // template CTMC, once on a fresh Ctmc::from_graph build — and the
+        // two must agree BIT FOR BIT: the template accumulates values in
+        // from_graph's order, and its explicit zero entries only add +0.0
+        // terms to non-negative sums.
+        let pristine = explore(&two_rate_net(n, die0, leak0), &ExploreOptions::default()).unwrap();
+        let template = CtmcTemplate::new(&pristine).unwrap();
+        let mut working = pristine.clone();
+        let mut ctmc = template.instantiate(&pristine).unwrap();
+        let opts = TransientOptions::default();
+        for (die, leak) in family {
+            let net = two_rate_net(n, die, leak);
+            working.copy_rates_from(&pristine);
+            working.reweight_in_place(&net).unwrap();
+            template.refresh(&working, &mut ctmc).unwrap();
+            let fresh = Ctmc::from_graph(&working).unwrap();
+
+            let a_t = ctmc.mean_time_to_absorption().unwrap();
+            let a_f = fresh.mean_time_to_absorption().unwrap();
+            prop_assert_eq!(a_t.mtta.to_bits(), a_f.mtta.to_bits());
+            for (x, y) in a_t.sojourn.iter().zip(&a_f.sojourn) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a_t
+                .absorption_probability
+                .iter()
+                .zip(&a_f.absorption_probability)
+            {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+
+            let times = [0.0, 0.3 * a_f.mtta, a_f.mtta, 4.0 * a_f.mtta];
+            let s_t = ctmc.survival_curve(&times, &opts);
+            let s_f = fresh.survival_curve(&times, &opts);
+            for (x, y) in s_t.iter().zip(&s_f) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }
