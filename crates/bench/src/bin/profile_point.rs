@@ -2,18 +2,67 @@
 //! re-evaluation, per-state cost rewards, CTMC assembly, absorption solve)
 //! at increasing system sizes, plus a head-to-head of the legacy per-point
 //! sweep path (graph clone → CSR rebuild → solve) against the rebuild-free
-//! template path (in-place re-weight → value-only refresh → solve). Used to
-//! attribute sweep time between the explore / re-weight / solve stages when
-//! tuning the engine; before/after numbers live in `results/profile_point.md`.
+//! template path (in-place re-weight → value-only refresh → solve), plus
+//! replication throughput (reps/sec) of the three stochastic backends
+//! through the shared replication engine, fixed vs adaptive sampling. Used
+//! to attribute sweep time between the explore / re-weight / solve stages
+//! when tuning the engine; before/after numbers live in
+//! `results/profile_point.md`.
 //!
 //! Run with: `cargo run --release -p bench-harness --bin profile_point`
 
+use engine::{backend_for, BackendKind, RunBudget, SamplingPlan, ScenarioSpec};
 use gcsids::config::SystemConfig;
 use gcsids::cost::cost_breakdown;
 use gcsids::metrics::ExactTemplate;
 use gcsids::model::{build_model, population};
 use spn::ctmc::Ctmc;
 use std::time::Instant;
+
+/// Replication throughput per stochastic backend on the accelerated
+/// 12-node system (the crossval fixtures' regime): a fixed 200-replication
+/// plan against an adaptive plan targeting a 15% relative MTTSF CI
+/// half-width.
+fn replication_throughput() {
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+    spec.name = "profile/replication".into();
+    spec.system.node_count = 12;
+    spec.system.vote_participants = 3;
+    spec.system.attacker.base_rate = 1.0 / 600.0;
+    spec.system.detection = spec.system.detection.with_interval(120.0);
+    spec.stochastic.max_time = 5.0e6;
+    spec.mobility.dt = 2.0;
+    let budget = RunBudget::default();
+    for kind in [
+        BackendKind::SpnSim,
+        BackendKind::Des,
+        BackendKind::MobilityDes,
+    ] {
+        spec.backend = kind;
+        spec.stochastic.sampling = SamplingPlan::Fixed(200);
+        let fixed = backend_for(kind).run(&spec, &budget).unwrap();
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.15,
+            min: 50,
+            max: 400,
+            batch: 50,
+        };
+        let adaptive = backend_for(kind).run(&spec, &budget).unwrap();
+        let rate = |r: &engine::RunReport| r.replications.unwrap() as f64 / r.wall_seconds;
+        println!(
+            "throughput {:<12} fixed: {} reps in {:.3}s ({:.1} reps/s) | \
+             adaptive(15%): {} reps in {:.3}s ({:.1} reps/s, target_met={})",
+            kind.name(),
+            fixed.replications.unwrap(),
+            fixed.wall_seconds,
+            rate(&fixed),
+            adaptive.replications.unwrap(),
+            adaptive.wall_seconds,
+            rate(&adaptive),
+            adaptive.target_met.unwrap(),
+        );
+    }
+}
 
 fn main() {
     for n in [50u32, 100] {
@@ -89,4 +138,5 @@ fn main() {
             a.mtta, s[4]
         );
     }
+    replication_throughput();
 }

@@ -23,12 +23,11 @@ use ids::adaptive::AdaptiveController;
 use ids::host::HostIds;
 use ids::voting::{run_vote_with_collusion, VotingConfig};
 use numerics::dist::sample_exponential;
-use numerics::rng::child_seed;
-use numerics::stats::Welford;
+use numerics::replicate::{run_plan, OutcomeSink, Replicate, SamplingPlan};
+use numerics::stats::{SurvivalAccumulator, Welford};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// How a replication ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +92,7 @@ pub struct DesOutcome {
 pub struct DesStats {
     /// Time-to-failure statistics over non-censored replications.
     pub mttsf: Welford,
-    /// Cost-rate statistics over all replications.
+    /// Cost-rate statistics over all replications of positive duration.
     pub cost_rate: Welford,
     /// C1 failures.
     pub c1_failures: u64,
@@ -101,8 +100,13 @@ pub struct DesStats {
     pub c2_failures: u64,
     /// Attrition endings.
     pub attritions: u64,
-    /// Censored replications.
+    /// Censored replications (including the zero-duration ones below).
     pub censored: u64,
+    /// Replications of zero duration, counted as censored-at-zero. Their
+    /// `mean_cost_rate` of `0.0` is an artifact of an empty observation
+    /// window, not a measurement, so they are excluded from `cost_rate`
+    /// and reported here instead of silently dragging the mean down.
+    pub zero_duration: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -440,41 +444,120 @@ pub fn run_des(cfg: &DesConfig, seed: u64) -> DesOutcome {
     }
 }
 
-/// Run `n` replications in parallel with derived seeds.
-pub fn run_des_replications(cfg: &DesConfig, n: u64, master_seed: u64) -> DesStats {
-    let outcomes: Vec<DesOutcome> = (0..n)
-        .into_par_iter()
-        .map(|i| run_des(cfg, child_seed(master_seed, i)))
-        .collect();
-    let mut mttsf = Welford::new();
-    let mut cost_rate = Welford::new();
-    let (mut c1, mut c2, mut attrition, mut censored) = (0u64, 0u64, 0u64, 0u64);
-    for o in &outcomes {
-        cost_rate.push(o.mean_cost_rate);
-        match o.cause {
-            FailureCause::DataLeak => {
-                c1 += 1;
-                mttsf.push(o.time);
-            }
-            FailureCause::ByzantineCapture => {
-                c2 += 1;
-                mttsf.push(o.time);
-            }
-            FailureCause::Attrition => {
-                attrition += 1;
-                mttsf.push(o.time);
-            }
-            FailureCause::Censored => censored += 1,
+impl Replicate for DesConfig {
+    type Outcome = DesOutcome;
+
+    fn run_one(&self, seed: u64) -> DesOutcome {
+        run_des(self, seed)
+    }
+}
+
+/// Streaming [`DesOutcome`] aggregation for the shared replication engine
+/// (no outcome `Vec`; see [`DesStats`] for the zero-duration rule).
+#[derive(Clone)]
+struct DesSink {
+    stats: DesStats,
+    confidence: f64,
+}
+
+impl DesSink {
+    fn new(confidence: f64) -> Self {
+        Self {
+            stats: DesStats {
+                mttsf: Welford::new(),
+                cost_rate: Welford::new(),
+                c1_failures: 0,
+                c2_failures: 0,
+                attritions: 0,
+                censored: 0,
+                zero_duration: 0,
+            },
+            confidence,
         }
     }
-    DesStats {
-        mttsf,
-        cost_rate,
-        c1_failures: c1,
-        c2_failures: c2,
-        attritions: attrition,
-        censored,
+}
+
+impl OutcomeSink<DesOutcome> for DesSink {
+    fn record(&mut self, o: DesOutcome) {
+        let s = &mut self.stats;
+        if o.time <= 0.0 {
+            // Censored-at-zero: nothing was observed, so there is no cost
+            // rate (the outcome's 0.0 is a placeholder) and no failure time.
+            s.zero_duration += 1;
+            s.censored += 1;
+            return;
+        }
+        s.cost_rate.push(o.mean_cost_rate);
+        match o.cause {
+            FailureCause::DataLeak => {
+                s.c1_failures += 1;
+                s.mttsf.push(o.time);
+            }
+            FailureCause::ByzantineCapture => {
+                s.c2_failures += 1;
+                s.mttsf.push(o.time);
+            }
+            FailureCause::Attrition => {
+                s.attritions += 1;
+                s.mttsf.push(o.time);
+            }
+            FailureCause::Censored => s.censored += 1,
+        }
     }
+
+    fn merge(&mut self, other: Self) {
+        let (s, o) = (&mut self.stats, other.stats);
+        s.mttsf.merge(&o.mttsf);
+        s.cost_rate.merge(&o.cost_rate);
+        s.c1_failures += o.c1_failures;
+        s.c2_failures += o.c2_failures;
+        s.attritions += o.attritions;
+        s.censored += o.censored;
+        s.zero_duration += o.zero_duration;
+    }
+
+    fn precision(&self) -> Option<f64> {
+        self.stats.mttsf.relative_precision(self.confidence)
+    }
+}
+
+/// [`DesStats`] plus the adaptive-sampling verdict of [`run_des_sampled`].
+#[derive(Debug, Clone)]
+pub struct SampledDesStats {
+    /// Aggregate statistics over the replications actually run.
+    pub stats: DesStats,
+    /// Replications actually run (an adaptive plan chooses this at
+    /// runtime).
+    pub replications: u64,
+    /// Whether the adaptive precision target was met (`None` for fixed
+    /// plans, `Some(false)` when the budget ran out first).
+    pub target_met: Option<bool>,
+}
+
+/// Run a [`SamplingPlan`] through the shared replication engine. Adaptive
+/// plans stop once the relative half-width of the `confidence`-level MTTSF
+/// CI meets the plan's target (or the budget runs out).
+///
+/// # Panics
+/// Panics on an invalid plan (see [`SamplingPlan::validate`]).
+pub fn run_des_sampled(
+    cfg: &DesConfig,
+    plan: &SamplingPlan,
+    master_seed: u64,
+    confidence: f64,
+) -> SampledDesStats {
+    let done = run_plan(cfg, plan, master_seed, || DesSink::new(confidence));
+    SampledDesStats {
+        stats: done.sink.stats,
+        replications: done.replications,
+        target_met: done.target_met,
+    }
+}
+
+/// Run `n` replications in parallel with derived seeds (a fixed
+/// [`SamplingPlan`] through the shared replication engine).
+pub fn run_des_replications(cfg: &DesConfig, n: u64, master_seed: u64) -> DesStats {
+    run_des_sampled(cfg, &SamplingPlan::Fixed(n), master_seed, 0.95).stats
 }
 
 #[cfg(test)]
@@ -580,6 +663,48 @@ mod tests {
         let o = run_des(&cfg, 11);
         assert!(o.time > 0.0);
     }
+
+    #[test]
+    fn zero_duration_replications_are_censored_at_zero_not_averaged() {
+        // A zero-length horizon observes nothing: every replication ends at
+        // t = 0 with the placeholder cost rate 0.0. Averaging those zeros
+        // used to silently drag the cost mean down; they must be counted
+        // as censored-at-zero and excluded instead.
+        let mut cfg = DesConfig::new(hot_system(12));
+        cfg.max_time = 0.0;
+        let stats = run_des_replications(&cfg, 6, 3);
+        assert_eq!(stats.zero_duration, 6);
+        assert_eq!(stats.censored, 6);
+        assert_eq!(stats.cost_rate.count(), 0, "no cost observation exists");
+        assert_eq!(stats.mttsf.count(), 0);
+        // and a normal run reports none
+        let cfg = DesConfig::new(hot_system(12));
+        let stats = run_des_replications(&cfg, 6, 3);
+        assert_eq!(stats.zero_duration, 0);
+        assert_eq!(stats.cost_rate.count(), 6);
+    }
+
+    #[test]
+    fn adaptive_sampling_meets_mttsf_target_and_matches_fixed_prefix() {
+        let cfg = DesConfig::new(hot_system(12));
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.35,
+            min: 16,
+            max: 400,
+            batch: 16,
+        };
+        let out = run_des_sampled(&cfg, &plan, 7, 0.95);
+        assert!(out.replications <= 400);
+        if out.target_met == Some(true) {
+            let ci = out.stats.mttsf.confidence_interval(0.95);
+            assert!(ci.half_width / ci.mean.abs() <= 0.35, "{ci:?}");
+        }
+        // the adaptive run is bit-identical to the fixed plan of the same size
+        let fixed = run_des_replications(&cfg, out.replications, 7);
+        assert_eq!(fixed.mttsf, out.stats.mttsf);
+        assert_eq!(fixed.cost_rate, out.stats.cost_rate);
+        assert_eq!(fixed.c1_failures, out.stats.c1_failures);
+    }
 }
 
 /// Empirical survival function from replication outcomes: for each horizon
@@ -619,24 +744,47 @@ pub fn survival_curve(outcomes: &[DesOutcome], horizons: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Streaming single-horizon survival sink for
+/// [`mission_success_probability`].
+#[derive(Clone)]
+struct MissionSink(SurvivalAccumulator);
+
+impl OutcomeSink<DesOutcome> for MissionSink {
+    fn record(&mut self, o: DesOutcome) {
+        self.0.push(o.time, o.cause == FailureCause::Censored);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.merge(&other.0);
+    }
+
+    fn precision(&self) -> Option<f64> {
+        None // fixed-count runs only; no adaptive stopping metric
+    }
+}
+
 /// Probability of completing a mission of the given duration without a
-/// security failure, estimated from `n` fresh replications.
+/// security failure, estimated from `n` fresh replications (streamed
+/// through the shared replication engine).
 pub fn mission_success_probability(
     cfg: &DesConfig,
     mission_time: f64,
     n: u64,
     master_seed: u64,
 ) -> f64 {
-    let outcomes: Vec<DesOutcome> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut c = cfg.clone();
-            // censor right after the mission: later behaviour is irrelevant
-            c.max_time = c.max_time.min(mission_time * 1.001);
-            run_des(&c, child_seed(master_seed, i))
-        })
-        .collect();
-    survival_curve(&outcomes, &[mission_time])[0]
+    let mut c = cfg.clone();
+    // censor right after the mission: later behaviour is irrelevant
+    c.max_time = c.max_time.min(mission_time * 1.001);
+    let done = run_plan(&c, &SamplingPlan::Fixed(n), master_seed, || {
+        MissionSink(SurvivalAccumulator::new(&[mission_time]))
+    });
+    let acc = done.sink.0;
+    let (surviving, at_risk) = acc.counts(0);
+    if !acc.estimable(0) || at_risk == 0 {
+        f64::NAN
+    } else {
+        surviving as f64 / at_risk as f64
+    }
 }
 
 #[cfg(test)]

@@ -22,12 +22,11 @@ use crate::cost::gdh_rekey_hop_bits;
 use crate::des::FailureCause;
 use ids::voting::{run_vote_with_collusion, VotingConfig};
 use manet::{ConnectivityGraph, MobilityConfig, RandomWaypoint};
-use numerics::rng::child_seed;
+use numerics::replicate::{run_plan, OutcomeSink, Replicate, SamplingPlan};
 use numerics::stats::Welford;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Parameters of the mobility-coupled simulation.
 #[derive(Debug, Clone)]
@@ -306,42 +305,94 @@ pub struct MobilityDesStats {
     pub censored: u64,
 }
 
-/// Run `n` replications in parallel.
+impl Replicate for MobilityDesConfig {
+    type Outcome = MobilityDesOutcome;
+
+    fn run_one(&self, seed: u64) -> MobilityDesOutcome {
+        run_mobility_des(self, seed)
+    }
+}
+
+/// Streaming [`MobilityDesOutcome`] aggregation for the shared replication
+/// engine (no outcome `Vec`).
+#[derive(Clone)]
+struct MobilitySink {
+    stats: MobilityDesStats,
+    confidence: f64,
+}
+
+impl MobilitySink {
+    fn new(confidence: f64) -> Self {
+        Self {
+            stats: MobilityDesStats {
+                mttsf: Welford::new(),
+                partition_rate: Welford::new(),
+                c1_failures: 0,
+                c2_failures: 0,
+                censored: 0,
+            },
+            confidence,
+        }
+    }
+}
+
+impl OutcomeSink<MobilityDesOutcome> for MobilitySink {
+    fn record(&mut self, o: MobilityDesOutcome) {
+        let s = &mut self.stats;
+        if o.time > 0.0 {
+            s.partition_rate.push(o.partitions as f64 / o.time);
+        }
+        match o.cause {
+            FailureCause::DataLeak => {
+                s.c1_failures += 1;
+                s.mttsf.push(o.time);
+            }
+            FailureCause::ByzantineCapture | FailureCause::Attrition => {
+                s.c2_failures += 1;
+                s.mttsf.push(o.time);
+            }
+            FailureCause::Censored => s.censored += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        let (s, o) = (&mut self.stats, other.stats);
+        s.mttsf.merge(&o.mttsf);
+        s.partition_rate.merge(&o.partition_rate);
+        s.c1_failures += o.c1_failures;
+        s.c2_failures += o.c2_failures;
+        s.censored += o.censored;
+    }
+
+    fn precision(&self) -> Option<f64> {
+        self.stats.mttsf.relative_precision(self.confidence)
+    }
+}
+
+/// Run a [`SamplingPlan`] through the shared replication engine (adaptive
+/// plans stop on the MTTSF CI's relative half-width at `confidence`).
+/// Returns the stats plus the adaptive verdict (`None` for fixed plans).
+///
+/// # Panics
+/// Panics on an invalid plan (see [`SamplingPlan::validate`]).
+pub fn run_mobility_des_sampled(
+    cfg: &MobilityDesConfig,
+    plan: &SamplingPlan,
+    master_seed: u64,
+    confidence: f64,
+) -> (MobilityDesStats, Option<bool>) {
+    let done = run_plan(cfg, plan, master_seed, || MobilitySink::new(confidence));
+    (done.sink.stats, done.target_met)
+}
+
+/// Run `n` replications in parallel (a fixed [`SamplingPlan`] through the
+/// shared replication engine).
 pub fn run_mobility_des_replications(
     cfg: &MobilityDesConfig,
     n: u64,
     master_seed: u64,
 ) -> MobilityDesStats {
-    let outcomes: Vec<MobilityDesOutcome> = (0..n)
-        .into_par_iter()
-        .map(|i| run_mobility_des(cfg, child_seed(master_seed, i)))
-        .collect();
-    let mut mttsf = Welford::new();
-    let mut partition_rate = Welford::new();
-    let (mut c1, mut c2, mut censored) = (0, 0, 0);
-    for o in &outcomes {
-        if o.time > 0.0 {
-            partition_rate.push(o.partitions as f64 / o.time);
-        }
-        match o.cause {
-            FailureCause::DataLeak => {
-                c1 += 1;
-                mttsf.push(o.time);
-            }
-            FailureCause::ByzantineCapture | FailureCause::Attrition => {
-                c2 += 1;
-                mttsf.push(o.time);
-            }
-            FailureCause::Censored => censored += 1,
-        }
-    }
-    MobilityDesStats {
-        mttsf,
-        partition_rate,
-        c1_failures: c1,
-        c2_failures: c2,
-        censored,
-    }
+    run_mobility_des_sampled(cfg, &SamplingPlan::Fixed(n), master_seed, 0.95).0
 }
 
 #[cfg(test)]

@@ -48,8 +48,13 @@ pub mod sweep;
 
 pub use config::SystemConfig;
 pub use cost::CostBreakdown;
-pub use des::{mission_success_probability, survival_curve, DesConfig, DesOutcome, FailureCause};
-pub use des_mobility::{run_mobility_des, MobilityDesConfig, MobilityDesOutcome};
+pub use des::{
+    mission_success_probability, run_des_sampled, survival_curve, DesConfig, DesOutcome,
+    FailureCause, SampledDesStats,
+};
+pub use des_mobility::{
+    run_mobility_des, run_mobility_des_sampled, MobilityDesConfig, MobilityDesOutcome,
+};
 pub use metrics::{evaluate, Evaluation};
 pub use pareto::{design_space, pareto_front, DesignPoint};
 pub use sweep::{optimal_tids_for_mttsf, sweep_tids, SweepPoint, SweepSeries};

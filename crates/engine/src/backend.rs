@@ -8,15 +8,15 @@
 //! uniformly instead of hand-rolling one orchestration per evaluator.
 
 use crate::error::EngineError;
-use crate::report::{survival_estimates, Estimate, FailureSplit, RunReport};
-use crate::spec::{BackendKind, ScenarioSpec};
+use crate::report::{survival_estimates_streaming, Estimate, FailureSplit, RunReport};
+use crate::spec::{BackendKind, SamplingPlan, ScenarioSpec};
 use gcsids::des::{run_des, DesConfig, FailureCause};
 use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
 use gcsids::metrics::{eviction_impulses, total_cost_reward, ExactTemplate};
-use gcsids::model::build_model;
-use numerics::rng::child_seed;
-use numerics::stats::Welford;
-use rayon::prelude::*;
+use gcsids::model::{build_model, Places};
+use numerics::replicate::{run_plan, Completed, OutcomeSink, Replicate};
+use numerics::stats::{SurvivalAccumulator, Welford};
+use spn::error::SpnError;
 use spn::reach::ExploreOptions;
 use spn::reward::RewardSet;
 use spn::sim::{SimOptions, Simulator};
@@ -27,8 +27,8 @@ use std::time::Instant;
 pub struct RunBudget {
     /// Cap on tangible states explored by the exact backend.
     pub max_states: usize,
-    /// Optional cap on stochastic replication counts (overrides the spec
-    /// when smaller).
+    /// Optional cap on stochastic replication budgets (clamps a fixed
+    /// plan's count and an adaptive plan's `min`/`max` when smaller).
     pub max_replications: Option<u64>,
 }
 
@@ -42,9 +42,9 @@ impl Default for RunBudget {
 }
 
 impl RunBudget {
-    fn replications(&self, spec: &ScenarioSpec) -> u64 {
-        let n = spec.stochastic.replications;
-        self.max_replications.map_or(n, |cap| n.min(cap))
+    fn plan(&self, spec: &ScenarioSpec) -> SamplingPlan {
+        let plan = spec.stochastic.sampling;
+        self.max_replications.map_or(plan, |cap| plan.capped(cap))
     }
 }
 
@@ -116,6 +116,8 @@ impl ExactBackend {
             edge_count: Some(e.edge_count),
             replications: None,
             censored: None,
+            zero_duration: None,
+            target_met: None,
             survival: survival.map(|s| {
                 spec.mission_times
                     .iter()
@@ -155,21 +157,37 @@ impl Backend for ExactBackend {
     }
 }
 
-/// Accumulates per-replication outcomes into the common report fields.
-struct StochasticAggregate {
+/// The per-replication summary every stochastic backend reduces to before
+/// aggregation.
+struct Rep {
+    time: f64,
+    cost_rate: f64,
+    cause: FailureCause,
+}
+
+/// Streaming aggregation of stochastic replications into the common
+/// report fields — one sink shared by the SPN-sim, DES, and mobility-DES
+/// backends via the `numerics::replicate` engine. No outcome or event
+/// `Vec` is ever materialized: Welford moments for MTTSF and cost, a
+/// [`SurvivalAccumulator`] for the mission grid, and plain counters for
+/// the failure split.
+#[derive(Clone)]
+struct StochasticSink {
     mttsf: Welford,
     cost_rate: Welford,
     c1: u64,
     c2: u64,
     other: u64,
     censored: u64,
-    /// Per-replication `(end time, censored)` — the right-censored failure
-    /// times behind the Kaplan–Meier-style survival estimates.
-    events: Vec<(f64, bool)>,
+    zero_duration: u64,
+    survival: SurvivalAccumulator,
+    confidence: f64,
+    /// First per-replication error in index order (aborts the run).
+    error: Option<SpnError>,
 }
 
-impl StochasticAggregate {
-    fn new() -> Self {
+impl StochasticSink {
+    fn new(spec: &ScenarioSpec) -> Self {
         Self {
             mttsf: Welford::new(),
             cost_rate: Welford::new(),
@@ -177,33 +195,21 @@ impl StochasticAggregate {
             c2: 0,
             other: 0,
             censored: 0,
-            events: Vec::new(),
+            zero_duration: 0,
+            survival: SurvivalAccumulator::new(&spec.mission_times),
+            confidence: spec.stochastic.confidence,
+            error: None,
         }
     }
 
-    /// Record one ended replication. `cause = None` means censored.
-    fn record(&mut self, time: f64, cost_rate: f64, cause: Option<FailureCause>) {
-        self.cost_rate.push(cost_rate);
-        let censored = matches!(cause, Some(FailureCause::Censored) | None);
-        self.events.push((time, censored));
-        match cause {
-            Some(FailureCause::DataLeak) => {
-                self.c1 += 1;
-                self.mttsf.push(time);
-            }
-            Some(FailureCause::ByzantineCapture) => {
-                self.c2 += 1;
-                self.mttsf.push(time);
-            }
-            Some(FailureCause::Attrition) => {
-                self.other += 1;
-                self.mttsf.push(time);
-            }
-            Some(FailureCause::Censored) | None => self.censored += 1,
-        }
-    }
-
-    fn into_report(self, spec: &ScenarioSpec, kind: BackendKind, wall: f64) -> RunReport {
+    fn into_report(
+        self,
+        spec: &ScenarioSpec,
+        kind: BackendKind,
+        replications: u64,
+        target_met: Option<bool>,
+        wall: f64,
+    ) -> RunReport {
         let ended = (self.c1 + self.c2 + self.other) as f64;
         let failure = if ended > 0.0 {
             FailureSplit {
@@ -214,36 +220,165 @@ impl StochasticAggregate {
         } else {
             FailureSplit::default()
         };
-        let confidence = spec.stochastic.confidence;
         let survival = if spec.mission_times.is_empty() {
             None
         } else {
-            Some(survival_estimates(
-                &self.events,
-                &spec.mission_times,
-                confidence,
+            Some(survival_estimates_streaming(
+                &self.survival,
+                self.confidence,
             ))
         };
         RunReport {
             scenario: spec.name.clone(),
             backend: kind,
-            mttsf: Estimate::from_welford(&self.mttsf, confidence),
-            c_total: Estimate::from_welford(&self.cost_rate, confidence),
+            mttsf: Estimate::from_welford(&self.mttsf, self.confidence),
+            c_total: Estimate::from_welford(&self.cost_rate, self.confidence),
             cost_components: None,
             failure,
             state_count: None,
             edge_count: None,
-            replications: Some(self.c1 + self.c2 + self.other + self.censored),
+            replications: Some(replications),
             censored: Some(self.censored),
+            zero_duration: Some(self.zero_duration),
+            target_met,
             survival,
             wall_seconds: wall,
         }
     }
 }
 
+impl OutcomeSink<Result<Rep, SpnError>> for StochasticSink {
+    fn record(&mut self, outcome: Result<Rep, SpnError>) {
+        let rep = match outcome {
+            Ok(rep) => rep,
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                return;
+            }
+        };
+        self.survival
+            .push(rep.time, rep.cause == FailureCause::Censored);
+        if rep.time <= 0.0 {
+            // Censored-at-zero: nothing was observed, so the outcome's 0.0
+            // cost rate is a placeholder, not a measurement (see
+            // `gcsids::des::DesStats::zero_duration`).
+            self.zero_duration += 1;
+            self.censored += 1;
+            return;
+        }
+        self.cost_rate.push(rep.cost_rate);
+        match rep.cause {
+            FailureCause::DataLeak => {
+                self.c1 += 1;
+                self.mttsf.push(rep.time);
+            }
+            FailureCause::ByzantineCapture => {
+                self.c2 += 1;
+                self.mttsf.push(rep.time);
+            }
+            FailureCause::Attrition => {
+                self.other += 1;
+                self.mttsf.push(rep.time);
+            }
+            FailureCause::Censored => self.censored += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.mttsf.merge(&other.mttsf);
+        self.cost_rate.merge(&other.cost_rate);
+        self.c1 += other.c1;
+        self.c2 += other.c2;
+        self.other += other.other;
+        self.censored += other.censored;
+        self.zero_duration += other.zero_duration;
+        self.survival.merge(&other.survival);
+        // self covers the earlier index range, so its error stays first
+        if self.error.is_none() {
+            self.error = other.error;
+        }
+    }
+
+    fn precision(&self) -> Option<f64> {
+        if self.error.is_some() {
+            // fatal replication error: stop spawning batches immediately
+            return Some(0.0);
+        }
+        self.mttsf.relative_precision(self.confidence)
+    }
+}
+
+/// Run a stochastic task under the spec's sampling plan (capped by the
+/// budget) and convert the sink into the common report, surfacing the
+/// first per-replication error as an engine failure.
+fn run_stochastic<R>(
+    task: &R,
+    spec: &ScenarioSpec,
+    budget: &RunBudget,
+    kind: BackendKind,
+    t0: Instant,
+) -> Result<RunReport, EngineError>
+where
+    R: Replicate<Outcome = Result<Rep, SpnError>>,
+{
+    let plan = budget.plan(spec);
+    // The spec's own plan already validated, but a budget cap can
+    // degenerate it (max_replications = Some(0) clamps a fixed count to
+    // zero) — surface that as an error instead of panicking in run_plan.
+    plan.validate().map_err(EngineError::InvalidSpec)?;
+    let done: Completed<StochasticSink> =
+        run_plan(task, &plan, spec.stochastic.master_seed, || {
+            StochasticSink::new(spec)
+        });
+    if let Some(e) = done.sink.error {
+        return Err(EngineError::Solver(e));
+    }
+    Ok(done.sink.into_report(
+        spec,
+        kind,
+        done.replications,
+        done.target_met,
+        t0.elapsed().as_secs_f64(),
+    ))
+}
+
 /// Monte-Carlo token-game simulation of the Figure-1 SPN, with the same
 /// cost rewards as the exact evaluator.
 pub struct SpnSimBackend;
+
+/// One SPN-sim replication reduced to the common summary.
+struct SpnSimTask<'a> {
+    sim: Simulator<'a>,
+    places: Places,
+}
+
+impl Replicate for SpnSimTask<'_> {
+    type Outcome = Result<Rep, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        let o = self.sim.run_one(seed)?;
+        let hop_bits: f64 = o.accumulated.iter().sum();
+        let cost_rate = if o.time > 0.0 { hop_bits / o.time } else { 0.0 };
+        let cause = if !o.absorbed {
+            FailureCause::Censored
+        } else if o.final_marking.tokens(self.places.gf) > 0 {
+            FailureCause::DataLeak
+        } else if o.final_marking.tokens(self.places.tm) + o.final_marking.tokens(self.places.ucm)
+            == 0
+        {
+            FailureCause::Attrition
+        } else {
+            FailureCause::ByzantineCapture
+        };
+        Ok(Rep {
+            time: o.time,
+            cost_rate,
+            cause,
+        })
+    }
+}
 
 impl Backend for SpnSimBackend {
     fn kind(&self) -> BackendKind {
@@ -262,36 +397,33 @@ impl Backend for SpnSimBackend {
             max_time: spec.stochastic.max_time,
             ..Default::default()
         };
-        let sim = Simulator::new(&model.net, &rewards, opts);
-        let n = budget.replications(spec);
-        let seed = spec.stochastic.master_seed;
-        let outcomes: Result<Vec<spn::sim::SimOutcome>, spn::error::SpnError> = (0..n)
-            .into_par_iter()
-            .map(|i| sim.run_one(child_seed(seed, i)))
-            .collect();
-        let mut agg = StochasticAggregate::new();
-        let places = model.places;
-        for o in outcomes? {
-            let hop_bits: f64 = o.accumulated.iter().sum();
-            let rate = if o.time > 0.0 { hop_bits / o.time } else { 0.0 };
-            let cause = if !o.absorbed {
-                None
-            } else if o.final_marking.tokens(places.gf) > 0 {
-                Some(FailureCause::DataLeak)
-            } else if o.final_marking.tokens(places.tm) + o.final_marking.tokens(places.ucm) == 0 {
-                Some(FailureCause::Attrition)
-            } else {
-                Some(FailureCause::ByzantineCapture)
-            };
-            agg.record(o.time, rate, cause);
-        }
-        Ok(agg.into_report(spec, BackendKind::SpnSim, t0.elapsed().as_secs_f64()))
+        let task = SpnSimTask {
+            sim: Simulator::new(&model.net, &rewards, opts),
+            places: model.places,
+        };
+        run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0)
     }
 }
 
 /// Protocol-level discrete-event simulation (actual votes, actual rekeys,
 /// calibrated birth–death group dynamics).
 pub struct DesBackend;
+
+/// One protocol-DES replication reduced to the common summary.
+struct DesTask(DesConfig);
+
+impl Replicate for DesTask {
+    type Outcome = Result<Rep, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        let o = run_des(&self.0, seed);
+        Ok(Rep {
+            time: o.time,
+            cost_rate: o.mean_cost_rate,
+            cause: o.cause,
+        })
+    }
+}
 
 impl Backend for DesBackend {
     fn kind(&self) -> BackendKind {
@@ -303,23 +435,34 @@ impl Backend for DesBackend {
         let t0 = Instant::now();
         let mut cfg = DesConfig::new(spec.system.clone());
         cfg.max_time = spec.stochastic.max_time;
-        let n = budget.replications(spec);
-        let seed = spec.stochastic.master_seed;
-        let outcomes: Vec<gcsids::des::DesOutcome> = (0..n)
-            .into_par_iter()
-            .map(|i| run_des(&cfg, child_seed(seed, i)))
-            .collect();
-        let mut agg = StochasticAggregate::new();
-        for o in outcomes {
-            agg.record(o.time, o.mean_cost_rate, Some(o.cause));
-        }
-        Ok(agg.into_report(spec, BackendKind::Des, t0.elapsed().as_secs_f64()))
+        run_stochastic(&DesTask(cfg), spec, budget, BackendKind::Des, t0)
     }
 }
 
 /// Mobility-integrated DES: groups are live connected components of a
 /// random-waypoint network.
 pub struct MobilityDesBackend;
+
+/// One mobility-DES replication reduced to the common summary.
+struct MobilityTask(MobilityDesConfig);
+
+impl Replicate for MobilityTask {
+    type Outcome = Result<Rep, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        let o = run_mobility_des(&self.0, seed);
+        let cost_rate = if o.time > 0.0 {
+            o.hop_bits / o.time
+        } else {
+            0.0
+        };
+        Ok(Rep {
+            time: o.time,
+            cost_rate,
+            cause: o.cause,
+        })
+    }
+}
 
 impl Backend for MobilityDesBackend {
     fn kind(&self) -> BackendKind {
@@ -333,22 +476,13 @@ impl Backend for MobilityDesBackend {
         cfg.radio_range = spec.mobility.radio_range;
         cfg.dt = spec.mobility.dt;
         cfg.max_time = spec.stochastic.max_time;
-        let n = budget.replications(spec);
-        let seed = spec.stochastic.master_seed;
-        let outcomes: Vec<gcsids::des_mobility::MobilityDesOutcome> = (0..n)
-            .into_par_iter()
-            .map(|i| run_mobility_des(&cfg, child_seed(seed, i)))
-            .collect();
-        let mut agg = StochasticAggregate::new();
-        for o in outcomes {
-            let rate = if o.time > 0.0 {
-                o.hop_bits / o.time
-            } else {
-                0.0
-            };
-            agg.record(o.time, rate, Some(o.cause));
-        }
-        Ok(agg.into_report(spec, BackendKind::MobilityDes, t0.elapsed().as_secs_f64()))
+        run_stochastic(
+            &MobilityTask(cfg),
+            spec,
+            budget,
+            BackendKind::MobilityDes,
+            t0,
+        )
     }
 }
 
@@ -367,7 +501,7 @@ mod tests {
         let mut spec = ScenarioSpec::paper_default(backend);
         spec.name = format!("hot/{}", backend.name());
         spec.system = sys;
-        spec.stochastic.replications = 40;
+        spec.stochastic.sampling = SamplingPlan::Fixed(40);
         spec.stochastic.max_time = 200_000.0;
         spec.mobility.dt = 2.0;
         spec
@@ -448,7 +582,7 @@ mod tests {
         // failure-biased or empty estimate — the spec must not validate
         let mut spec = hot_spec(BackendKind::Des);
         spec.stochastic.max_time = 1.0;
-        spec.stochastic.replications = 5;
+        spec.stochastic.sampling = SamplingPlan::Fixed(5);
         spec.mission_times = vec![0.5, 10.0];
         let out = backend_for(BackendKind::Des).run(&spec, &RunBudget::default());
         assert!(matches!(out, Err(EngineError::InvalidSpec(_))));
@@ -472,7 +606,7 @@ mod tests {
         // MTTSF must be NaN ("not estimable"), never 0.0.
         let mut spec = hot_spec(BackendKind::Des);
         spec.stochastic.max_time = 1.0;
-        spec.stochastic.replications = 5;
+        spec.stochastic.sampling = SamplingPlan::Fixed(5);
         let report = backend_for(BackendKind::Des)
             .run(&spec, &RunBudget::default())
             .unwrap();
@@ -484,6 +618,94 @@ mod tests {
         );
         // and the JSON encoding stays parseable (NaN → null)
         assert!(crate::json::Value::parse(&report.to_json()).is_ok());
+    }
+
+    #[test]
+    fn adaptive_spec_reports_replications_used_and_verdict() {
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.5, // loose: met quickly on the hot system
+            min: 20,
+            max: 200,
+            batch: 20,
+        };
+        let report = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        let n = report.replications.expect("stochastic run");
+        assert!((20..=200).contains(&n), "used {n}");
+        let met = report.target_met.expect("adaptive run carries a verdict");
+        if met {
+            let (lo, hi) = report.mttsf.ci.unwrap();
+            let half = (hi - lo) / 2.0;
+            assert!(
+                half / report.mttsf.value.abs() <= 0.5,
+                "claimed target met: half {half} vs mean {}",
+                report.mttsf.value
+            );
+        } else {
+            assert_eq!(n, 200, "unmet target must exhaust the budget");
+        }
+        // bit-identical to the fixed plan of the same size (the adaptive
+        // executor is a pure prefix of the fixed one)
+        let mut fixed = spec.clone();
+        fixed.stochastic.sampling = SamplingPlan::Fixed(n);
+        let fixed_report = backend_for(BackendKind::Des)
+            .run(&fixed, &RunBudget::default())
+            .unwrap();
+        assert_eq!(fixed_report.mttsf, report.mttsf);
+        assert_eq!(fixed_report.c_total, report.c_total);
+        assert_eq!(fixed_report.target_met, None);
+    }
+
+    #[test]
+    fn adaptive_budget_exhaustion_is_reported() {
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-6, // unreachable at this budget
+            min: 10,
+            max: 30,
+            batch: 10,
+        };
+        let report = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        assert_eq!(report.replications, Some(30));
+        assert_eq!(report.target_met, Some(false));
+        // the verdict travels through the JSON round-trip
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.target_met, Some(false));
+        assert_eq!(back.replications, Some(30));
+    }
+
+    #[test]
+    fn replication_budget_caps_adaptive_plans_too() {
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-6,
+            min: 10,
+            max: 500,
+            batch: 50,
+        };
+        let budget = RunBudget {
+            max_replications: Some(25),
+            ..Default::default()
+        };
+        let report = backend_for(BackendKind::Des).run(&spec, &budget).unwrap();
+        assert_eq!(report.replications, Some(25));
+    }
+
+    #[test]
+    fn zero_replication_budget_is_an_error_not_a_panic() {
+        // max_replications is a public field: a zero cap degenerates the
+        // sampling plan and must surface as InvalidSpec, not a panic.
+        let spec = hot_spec(BackendKind::Des);
+        let budget = RunBudget {
+            max_replications: Some(0),
+            ..Default::default()
+        };
+        let out = backend_for(BackendKind::Des).run(&spec, &budget);
+        assert!(matches!(out, Err(EngineError::InvalidSpec(_))), "{out:?}");
     }
 
     #[test]
@@ -520,7 +742,7 @@ mod tests {
             .run(&exact_spec, &RunBudget::default())
             .unwrap();
         let mut sim_spec = hot_spec(BackendKind::SpnSim);
-        sim_spec.stochastic.replications = 3000;
+        sim_spec.stochastic.sampling = SamplingPlan::Fixed(3000);
         sim_spec.stochastic.confidence = 0.99;
         let sim = backend_for(BackendKind::SpnSim)
             .run(&sim_spec, &RunBudget::default())

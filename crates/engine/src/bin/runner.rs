@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! runner --specs <dir> [--out <file>] [--confidence 0.99] [--mttsf-rel-tol 0.2]
-//!        [--survival-abs-tol 0.05] [--max-replications N] [--max-states N]
-//!        [--mobility] [--quiet]
+//!        [--survival-abs-tol 0.05] [--survival-sup-tol X] [--max-replications N]
+//!        [--max-states N] [--mobility] [--quiet]
 //! ```
 //!
 //! Every `*.json` [`engine::ScenarioSpec`] in `--specs` runs on the exact
@@ -28,7 +28,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: runner --specs <dir> [--out <file>] [--confidence <c>] \
-         [--mttsf-rel-tol <x>] [--survival-abs-tol <x>] \
+         [--mttsf-rel-tol <x>] [--survival-abs-tol <x>] [--survival-sup-tol <x>] \
          [--max-replications <n>] [--max-states <n>] [--mobility] [--quiet]"
     );
     std::process::exit(2);
@@ -62,6 +62,14 @@ fn parse_args() -> Args {
                     &value(&mut args, "--survival-abs-tol"),
                     "--survival-abs-tol",
                 )
+            }
+            // The tighter sup_t |ΔS| acceptance bound (reported always,
+            // enforced only when this flag is given).
+            "--survival-sup-tol" => {
+                opts.survival_sup_tol = Some(parse_num(
+                    &value(&mut args, "--survival-sup-tol"),
+                    "--survival-sup-tol",
+                ))
             }
             "--max-replications" => {
                 opts.budget.max_replications = Some(parse_count(

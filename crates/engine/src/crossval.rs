@@ -43,6 +43,14 @@ pub struct CrossValOptions {
     /// this guards against gross regressions — same ballpark, not
     /// statistical identity.
     pub cost_rel_tol: f64,
+    /// Optional tighter acceptance criterion on the survival curve: the
+    /// maximum absolute survival discrepancy over the mission grid,
+    /// `sup_t |S_stochastic(t) − S_exact(t)|`, must stay at or below this
+    /// bound. Unlike the per-point check (which passes whenever the exact
+    /// value sits inside the per-point CI), this bounds the *worst* grid
+    /// point with no statistical slack — `None` (the default) reports the
+    /// sup without enforcing it.
+    pub survival_sup_tol: Option<f64>,
     /// Resource budget applied to every run (cap replications here for
     /// quick CI sweeps).
     pub budget: RunBudget,
@@ -60,6 +68,7 @@ impl Default for CrossValOptions {
             mttsf_rel_tol: 0.20,
             survival_abs_tol: 0.05,
             cost_rel_tol: 1.0,
+            survival_sup_tol: None,
             budget: RunBudget::default(),
             include_mobility: false,
         }
@@ -154,6 +163,11 @@ pub struct BackendComparison {
     /// Metrics that could not be compared (not estimable: censored MTTSF,
     /// grid points past the horizon) — reported, never silently dropped.
     pub skipped: Vec<String>,
+    /// `sup_t |ΔS|`: the largest absolute survival discrepancy over the
+    /// comparable mission-grid points (`None` when no point was
+    /// comparable). Always reported; additionally enforced as a check
+    /// when [`CrossValOptions::survival_sup_tol`] is set.
+    pub survival_sup_delta: Option<f64>,
     /// True when every comparable metric agrees.
     pub agrees: bool,
 }
@@ -228,6 +242,10 @@ impl CrossValReport {
                                 Value::Arr(
                                     c.skipped.iter().map(|m| Value::Str(m.clone())).collect(),
                                 ),
+                            ),
+                            (
+                                "survival_sup_delta",
+                                c.survival_sup_delta.map_or(Value::Null, crate::report::num),
                             ),
                             ("agrees", Value::Bool(c.agrees)),
                         ])
@@ -305,6 +323,7 @@ fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> Backe
         ));
     }
 
+    let mut survival_sup_delta: Option<f64> = None;
     match (&exact.survival, &stoch.survival) {
         (Some(exact_points), Some(stoch_points)) => {
             for ((t, e), (_, s)) in exact_points.iter().zip(stoch_points) {
@@ -315,18 +334,39 @@ fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> Backe
                 } else if s.ci.is_none() {
                     skipped.push(format!("survival@{t} (no confidence interval)"));
                 } else {
-                    checks.push(MetricCheck::new(
+                    let check = MetricCheck::new(
                         format!("survival@{t}"),
                         e.value,
                         *s,
                         opts.survival_abs_tol,
                         false,
-                    ));
+                    );
+                    let sup = survival_sup_delta.get_or_insert(0.0);
+                    *sup = sup.max(check.discrepancy);
+                    checks.push(check);
                 }
             }
         }
         (None, None) => {}
         _ => skipped.push("survival (grid missing on one side)".into()),
+    }
+
+    // The ROADMAP's tighter acceptance criterion: bound the worst grid
+    // point, with no per-point CI slack. The sup itself is always carried
+    // on the comparison; the check only exists when a bound is requested.
+    if let (Some(sup), Some(tol)) = (survival_sup_delta, opts.survival_sup_tol) {
+        checks.push(MetricCheck {
+            metric: "survival_sup_abs_delta".into(),
+            exact: 0.0,
+            estimate: Estimate {
+                value: sup,
+                ci: None,
+            },
+            delta: sup,
+            discrepancy: sup,
+            inside_ci: false,
+            agrees: sup <= tol,
+        });
     }
 
     // An all-skipped comparison validated nothing — that must read as
@@ -337,6 +377,7 @@ fn compare(exact: &RunReport, stoch: RunReport, opts: &CrossValOptions) -> Backe
         report: stoch,
         checks,
         skipped,
+        survival_sup_delta,
         agrees,
     }
 }
@@ -447,6 +488,7 @@ pub fn cross_validate_dir(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::SamplingPlan;
     use gcsids::config::SystemConfig;
 
     /// Small, fast-failing system mirroring the backend tests.
@@ -459,7 +501,7 @@ mod tests {
         let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
         spec.name = "crossval-hot".into();
         spec.system = sys;
-        spec.stochastic.replications = 600;
+        spec.stochastic.sampling = SamplingPlan::Fixed(600);
         spec.stochastic.max_time = 1.0e6;
         spec
     }
@@ -496,7 +538,7 @@ mod tests {
         spec.mission_times = vec![0.0, 2.0e3];
         // horizon far below the typical failure time: replications censor
         spec.stochastic.max_time = 5.0e3;
-        spec.stochastic.replications = 60;
+        spec.stochastic.sampling = SamplingPlan::Fixed(60);
         let out = cross_validate(&spec, &CrossValOptions::default()).unwrap();
         for c in &out.comparisons {
             assert!(
@@ -512,7 +554,7 @@ mod tests {
     #[test]
     fn report_json_names_worst_offender() {
         let mut spec = hot_spec();
-        spec.stochastic.replications = 80;
+        spec.stochastic.sampling = SamplingPlan::Fixed(80);
         let mut report = CrossValReport::default();
         report
             .specs
@@ -537,6 +579,8 @@ mod tests {
             edge_count: Some(4),
             replications: None,
             censored: None,
+            zero_duration: None,
+            target_met: None,
             survival: None,
             wall_seconds: 0.0,
         }
@@ -576,6 +620,7 @@ mod tests {
                     check_with_discrepancy("c_total", 0.2),
                 ],
                 skipped: Vec::new(),
+                survival_sup_delta: None,
                 agrees: false,
             }],
             agrees: false,
@@ -661,6 +706,117 @@ mod tests {
             .iter()
             .any(|m| m.starts_with("survival@3") && m.contains("no confidence interval")));
         assert!(out.checks.iter().all(|c| !c.metric.starts_with("survival")));
+    }
+
+    /// Build a stochastic report whose survival curve deviates from the
+    /// exact stub's by the given per-point deltas.
+    fn reports_with_survival_deltas(deltas: &[f64]) -> (RunReport, RunReport) {
+        let grid: Vec<f64> = (0..deltas.len()).map(|i| i as f64 * 10.0).collect();
+        let mut exact = exact_stub();
+        exact.survival = Some(grid.iter().map(|&t| (t, Estimate::exact(0.5))).collect());
+        let mut stoch = exact_stub();
+        stoch.backend = BackendKind::Des;
+        stoch.mttsf = Estimate {
+            value: 100.0,
+            ci: Some((90.0, 110.0)),
+        };
+        stoch.c_total = Estimate {
+            value: 5.0,
+            ci: Some((4.0, 6.0)),
+        };
+        stoch.replications = Some(50);
+        stoch.censored = Some(0);
+        stoch.survival = Some(
+            grid.iter()
+                .zip(deltas)
+                .map(|(&t, &d)| {
+                    (
+                        t,
+                        Estimate {
+                            value: 0.5 + d,
+                            // a wide interval so every per-point check
+                            // passes via containment — isolating the sup
+                            ci: Some((0.0, 1.0)),
+                        },
+                    )
+                })
+                .collect(),
+        );
+        (exact, stoch)
+    }
+
+    #[test]
+    fn survival_sup_delta_is_always_reported() {
+        let (exact, stoch) = reports_with_survival_deltas(&[0.01, -0.04, 0.02]);
+        let out = compare(&exact, stoch, &CrossValOptions::default());
+        let sup = out.survival_sup_delta.unwrap();
+        assert!((sup - 0.04).abs() < 1e-12, "sup = {sup}");
+        // no tolerance set: reported, not enforced — no sup check exists
+        assert!(out
+            .checks
+            .iter()
+            .all(|c| c.metric != "survival_sup_abs_delta"));
+        assert!(out.agrees, "{:#?}", out.checks);
+        // and the JSON carries it
+        let mut report = CrossValReport::default();
+        report.specs.push(SpecCrossValidation {
+            name: "sup".into(),
+            exact: exact_stub(),
+            comparisons: vec![out],
+            agrees: true,
+        });
+        let v = crate::json::Value::parse(&report.to_json()).unwrap();
+        let comp = &v.field("specs").unwrap().as_arr().unwrap()[0]
+            .field("comparisons")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        let sup = comp.field("survival_sup_delta").unwrap().as_f64().unwrap();
+        assert!((sup - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_sup_tol_enforces_the_tighter_criterion() {
+        // per-point checks pass via CI containment, but the sup bound is
+        // tighter and must flip the verdict
+        let opts = CrossValOptions {
+            survival_sup_tol: Some(0.03),
+            ..Default::default()
+        };
+        let (exact, stoch) = reports_with_survival_deltas(&[0.01, -0.04, 0.02]);
+        let out = compare(&exact, stoch, &opts);
+        let sup_check = out
+            .checks
+            .iter()
+            .find(|c| c.metric == "survival_sup_abs_delta")
+            .expect("tolerance set: the sup check must exist");
+        assert!(!sup_check.agrees);
+        assert!(!out.agrees);
+
+        // within the bound it passes
+        let (exact, stoch) = reports_with_survival_deltas(&[0.01, -0.02, 0.0]);
+        let out = compare(&exact, stoch, &opts);
+        assert!(out.agrees, "{:#?}", out.checks);
+
+        // no comparable survival points → no sup, no sup check
+        let exact = exact_stub();
+        let mut stoch = exact_stub();
+        stoch.backend = BackendKind::Des;
+        stoch.mttsf = Estimate {
+            value: 100.0,
+            ci: Some((90.0, 110.0)),
+        };
+        stoch.c_total = Estimate {
+            value: 5.0,
+            ci: Some((4.0, 6.0)),
+        };
+        stoch.censored = Some(0);
+        let out = compare(&exact, stoch, &opts);
+        assert_eq!(out.survival_sup_delta, None);
+        assert!(out
+            .checks
+            .iter()
+            .all(|c| c.metric != "survival_sup_abs_delta"));
     }
 
     #[test]

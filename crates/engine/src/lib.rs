@@ -6,7 +6,9 @@
 //!
 //! * [`ScenarioSpec`] — a serializable description of *what* to evaluate
 //!   (system, attacker, mobility, detection) and *how* (backend selection,
-//!   replication controls). `to_json` / `from_json` round-trip losslessly.
+//!   replication controls, including an adaptive [`SamplingPlan`] that
+//!   samples until the MTTSF confidence interval meets a relative
+//!   precision target). `to_json` / `from_json` round-trip losslessly.
 //! * [`Backend`] — `fn run(&self, spec, budget) -> Result<RunReport, _>`,
 //!   implemented by all four evaluators ([`backend_for`] picks one by
 //!   [`BackendKind`]).
@@ -56,6 +58,8 @@ pub use crossval::{
     SpecCrossValidation,
 };
 pub use error::EngineError;
-pub use report::{survival_estimates, Estimate, FailureSplit, RunReport};
+pub use report::{
+    survival_estimates, survival_estimates_streaming, Estimate, FailureSplit, RunReport,
+};
 pub use runner::{Runner, ScenarioGrid};
-pub use spec::{BackendKind, MobilityOptions, ScenarioSpec, StochasticOptions};
+pub use spec::{BackendKind, MobilityOptions, SamplingPlan, ScenarioSpec, StochasticOptions};

@@ -4,7 +4,7 @@ use crate::error::EngineError;
 use crate::json::Value;
 use crate::spec::BackendKind;
 use gcsids::cost::CostBreakdown;
-use numerics::stats::{at_risk_surviving, proportion_ci, Welford};
+use numerics::stats::{at_risk_surviving, proportion_ci, SurvivalAccumulator, Welford};
 
 /// A point estimate with an optional confidence interval (exact backends
 /// report the value alone; stochastic backends attach the interval).
@@ -105,6 +105,33 @@ pub fn survival_estimates(
         .collect()
 }
 
+/// The streaming twin of [`survival_estimates`]: the same estimator fed
+/// from a [`SurvivalAccumulator`] maintained incrementally by a
+/// replication sink, so no event list is ever materialized. The grid is
+/// the accumulator's own.
+pub fn survival_estimates_streaming(
+    acc: &SurvivalAccumulator,
+    confidence: f64,
+) -> Vec<(f64, Estimate)> {
+    acc.times()
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            if !acc.estimable(i) {
+                return (
+                    t,
+                    Estimate {
+                        value: f64::NAN,
+                        ci: None,
+                    },
+                );
+            }
+            let (surviving, at_risk) = acc.counts(i);
+            (t, Estimate::proportion(surviving, at_risk, confidence))
+        })
+        .collect()
+}
+
 /// How the observed runs ended, as probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FailureSplit {
@@ -135,10 +162,21 @@ pub struct RunReport {
     pub state_count: Option<usize>,
     /// CTMC edges (exact backend only).
     pub edge_count: Option<usize>,
-    /// Replications run (stochastic backends only).
+    /// Replications actually run (stochastic backends only; an adaptive
+    /// sampling plan chooses this at runtime).
     pub replications: Option<u64>,
     /// Replications censored by the time horizon (stochastic backends only).
     pub censored: Option<u64>,
+    /// Of the censored replications, how many had zero duration
+    /// (censored-at-zero: an empty observation window contributes no cost
+    /// or failure-time sample — see `gcsids::des::DesStats::zero_duration`).
+    /// Stochastic backends only.
+    pub zero_duration: Option<u64>,
+    /// Adaptive-sampling verdict: `Some(true)` when the MTTSF CI met the
+    /// requested relative half-width target, `Some(false)` when the
+    /// replication budget ran out first, `None` for fixed plans and the
+    /// exact backend.
+    pub target_met: Option<bool>,
     /// Mission survival curve `P[no security failure by t]` per grid point
     /// of [`crate::ScenarioSpec::mission_times`] (`None` when the spec has
     /// no grid). Exact on the exact backend; Kaplan–Meier-style estimates
@@ -229,6 +267,14 @@ impl RunReport {
             ("edge_count", opt_num(self.edge_count.map(|x| x as f64))),
             ("replications", opt_num(self.replications.map(|x| x as f64))),
             ("censored", opt_num(self.censored.map(|x| x as f64))),
+            (
+                "zero_duration",
+                opt_num(self.zero_duration.map(|x| x as f64)),
+            ),
+            (
+                "target_met",
+                self.target_met.map_or(Value::Null, Value::Bool),
+            ),
             ("survival", survival),
             ("wall_seconds", Value::Num(self.wall_seconds)),
         ])
@@ -280,6 +326,8 @@ impl RunReport {
             edge_count: opt_u64("edge_count")?.map(|x| x as usize),
             replications: opt_u64("replications")?,
             censored: opt_u64("censored")?,
+            zero_duration: opt_u64("zero_duration")?,
+            target_met: v.opt_field("target_met").map(Value::as_bool).transpose()?,
             survival,
             wall_seconds: v.field("wall_seconds")?.as_f64()?,
         })
@@ -349,6 +397,27 @@ mod tests {
         assert!(gone[0].1.value.is_nan());
     }
 
+    #[test]
+    fn streaming_survival_matches_batch_estimator() {
+        let events = [(5.0, false), (10.0, true), (3.0, false), (10.0, true)];
+        let grid = [0.0, 4.0, 7.0, 20.0];
+        let mut acc = SurvivalAccumulator::new(&grid);
+        for &(t, c) in &events {
+            acc.push(t, c);
+        }
+        let batch = survival_estimates(&events, &grid, 0.95);
+        let streaming = survival_estimates_streaming(&acc, 0.95);
+        assert_eq!(batch.len(), streaming.len());
+        for ((t1, a), (t2, b)) in batch.iter().zip(&streaming) {
+            assert_eq!(t1, t2);
+            assert!(a.value.is_nan() == b.value.is_nan());
+            if !a.value.is_nan() {
+                assert_eq!(a, b);
+            }
+            assert_eq!(a.ci, b.ci);
+        }
+    }
+
     fn sample_report() -> RunReport {
         RunReport {
             scenario: "s".into(),
@@ -375,6 +444,8 @@ mod tests {
             edge_count: Some(20),
             replications: None,
             censored: None,
+            zero_duration: None,
+            target_met: None,
             survival: Some(vec![
                 (0.0, Estimate::exact(1.0)),
                 (50.0, Estimate::exact(0.5)),
@@ -406,6 +477,8 @@ mod tests {
         s.edge_count = None;
         s.replications = Some(40);
         s.censored = Some(3);
+        s.zero_duration = Some(1);
+        s.target_met = Some(true);
         s.survival = Some(vec![
             (0.0, Estimate::proportion(40, 40, 0.95)),
             (9.0, Estimate::proportion(21, 40, 0.95)),

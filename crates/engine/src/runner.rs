@@ -218,6 +218,7 @@ impl ScenarioGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::SamplingPlan;
     use gcsids::config::SystemConfig;
     use ids::functions::RateShape;
 
@@ -296,7 +297,7 @@ mod tests {
         let mut des = exact.clone();
         des.backend = BackendKind::Des;
         des.name = "small/des".into();
-        des.stochastic.replications = 20;
+        des.stochastic.sampling = SamplingPlan::Fixed(20);
         des.stochastic.max_time = 200_000.0;
         let reports = Runner::new()
             .run_batch(&[exact.clone(), des.clone()])

@@ -13,6 +13,7 @@ use crate::json::Value;
 use gcsids::config::{KeyAgreementProtocol, SystemConfig};
 use ids::functions::{AttackerProfile, DetectionProfile, RateShape};
 use ids::voting::CollusionModel;
+pub use numerics::replicate::SamplingPlan;
 
 /// Which evaluator runs the scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,20 +75,23 @@ impl BackendKind {
 /// the exact backend).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StochasticOptions {
-    /// Number of replications.
-    pub replications: u64,
+    /// How many replications: a fixed count, or adaptive (sequential)
+    /// sampling to a relative-precision target on the MTTSF confidence
+    /// interval — see [`SamplingPlan`].
+    pub sampling: SamplingPlan,
     /// Master seed; per-replication seeds derive from it deterministically.
     pub master_seed: u64,
     /// Censoring horizon (s).
     pub max_time: f64,
-    /// Confidence level for reported intervals (e.g. 0.95).
+    /// Confidence level for reported intervals (e.g. 0.95) — also the
+    /// level of the CI that adaptive sampling drives to its target.
     pub confidence: f64,
 }
 
 impl Default for StochasticOptions {
     fn default() -> Self {
         Self {
-            replications: 200,
+            sampling: SamplingPlan::Fixed(200),
             master_seed: 2009,
             max_time: 3.15e7,
             confidence: 0.95,
@@ -161,11 +165,10 @@ impl ScenarioSpec {
     pub fn validate(&self) -> Result<(), EngineError> {
         self.system.validate().map_err(EngineError::InvalidSpec)?;
         if self.backend.is_stochastic() {
-            if self.stochastic.replications == 0 {
-                return Err(EngineError::InvalidSpec(
-                    "replications must be positive".into(),
-                ));
-            }
+            self.stochastic
+                .sampling
+                .validate()
+                .map_err(EngineError::InvalidSpec)?;
             if self.stochastic.max_time.is_nan() || self.stochastic.max_time <= 0.0 {
                 return Err(EngineError::InvalidSpec("max_time must be positive".into()));
             }
@@ -223,10 +226,27 @@ impl ScenarioSpec {
             (
                 "stochastic",
                 Value::obj([
-                    (
-                        "replications",
-                        Value::Num(self.stochastic.replications as f64),
-                    ),
+                    // A fixed plan keeps the original `replications` key so
+                    // pre-adaptive spec files stay canonical byte-for-byte;
+                    // adaptive plans encode a `sampling` object instead.
+                    match self.stochastic.sampling {
+                        SamplingPlan::Fixed(n) => ("replications", Value::Num(n as f64)),
+                        SamplingPlan::Adaptive {
+                            target_rel_halfwidth,
+                            min,
+                            max,
+                            batch,
+                        } => (
+                            "sampling",
+                            Value::obj([
+                                ("mode", Value::Str("adaptive".into())),
+                                ("target_rel_halfwidth", Value::Num(target_rel_halfwidth)),
+                                ("min", Value::Num(min as f64)),
+                                ("max", Value::Num(max as f64)),
+                                ("batch", Value::Num(batch as f64)),
+                            ]),
+                        ),
+                    },
                     (
                         "master_seed",
                         // u64 seeds can exceed f64's 2^53 integer range, so
@@ -266,7 +286,7 @@ impl ScenarioSpec {
             backend: BackendKind::from_name(v.field("backend")?.as_str()?)?,
             system: system_from_value(v.field("system")?)?,
             stochastic: StochasticOptions {
-                replications: st.field("replications")?.as_u64()?,
+                sampling: sampling_from_value(st)?,
                 master_seed: seed_from_value(st.field("master_seed")?)?,
                 max_time: st.field("max_time")?.as_f64()?,
                 confidence: st.field("confidence")?.as_f64()?,
@@ -288,6 +308,34 @@ impl ScenarioSpec {
         };
         spec.validate()?;
         Ok(spec)
+    }
+}
+
+/// Decode the sampling plan of a `stochastic` object: either the legacy
+/// `replications` count (a fixed plan) or a `sampling` object with
+/// `mode: "fixed" | "adaptive"`. Exactly one of the two forms must be
+/// present — both at once would be ambiguous.
+fn sampling_from_value(st: &Value) -> Result<SamplingPlan, EngineError> {
+    match (st.opt_field("sampling"), st.opt_field("replications")) {
+        (Some(_), Some(_)) => Err(EngineError::Json(
+            "`stochastic` carries both `replications` and `sampling` — use one".into(),
+        )),
+        (None, Some(n)) => Ok(SamplingPlan::Fixed(n.as_u64()?)),
+        (None, None) => Err(EngineError::Json(
+            "`stochastic` needs `replications` or `sampling`".into(),
+        )),
+        (Some(s), None) => match s.field("mode")?.as_str()? {
+            "fixed" => Ok(SamplingPlan::Fixed(s.field("n")?.as_u64()?)),
+            "adaptive" => Ok(SamplingPlan::Adaptive {
+                target_rel_halfwidth: s.field("target_rel_halfwidth")?.as_f64()?,
+                min: s.field("min")?.as_u64()?,
+                max: s.field("max")?.as_u64()?,
+                batch: s.field("batch")?.as_u64()?,
+            }),
+            other => Err(EngineError::Json(format!(
+                "unknown sampling mode `{other}`"
+            ))),
+        },
     }
 }
 
@@ -523,7 +571,16 @@ mod tests {
     #[test]
     fn validation_catches_engine_level_errors() {
         let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
-        spec.stochastic.replications = 0;
+        spec.stochastic.sampling = SamplingPlan::Fixed(0);
+        assert!(matches!(spec.validate(), Err(EngineError::InvalidSpec(_))));
+
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.0, // must be positive
+            min: 10,
+            max: 100,
+            batch: 10,
+        };
         assert!(matches!(spec.validate(), Err(EngineError::InvalidSpec(_))));
 
         let mut spec = ScenarioSpec::paper_default(BackendKind::MobilityDes);
@@ -536,8 +593,58 @@ mod tests {
 
         // the exact backend ignores stochastic knobs entirely
         let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
-        spec.stochastic.replications = 0;
+        spec.stochastic.sampling = SamplingPlan::Fixed(0);
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_sampling_roundtrips_and_fixed_keeps_legacy_key() {
+        // fixed plans keep the pre-adaptive `replications` key (canonical
+        // byte-compatibility with committed spec files)
+        let fixed = ScenarioSpec::paper_default(BackendKind::Des);
+        let text = fixed.to_json();
+        assert!(text.contains("\"replications\":200.0"));
+        assert!(!text.contains("\"sampling\""));
+        assert_eq!(ScenarioSpec::from_json(&text).unwrap(), fixed);
+
+        // adaptive plans encode a `sampling` object and round-trip losslessly
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.05,
+            min: 100,
+            max: 10_000,
+            batch: 250,
+        };
+        let text = spec.to_json();
+        assert!(text.contains("\"sampling\":{"));
+        assert!(text.contains("\"mode\":\"adaptive\""));
+        assert!(!text.contains("\"replications\""));
+        assert_eq!(ScenarioSpec::from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn sampling_object_fixed_mode_and_conflicts() {
+        // an explicit fixed-mode sampling object is accepted
+        let spec = ScenarioSpec::paper_default(BackendKind::Des);
+        let text = spec.to_json().replace(
+            "\"replications\":200.0",
+            "\"sampling\":{\"mode\":\"fixed\",\"n\":77}",
+        );
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back.stochastic.sampling, SamplingPlan::Fixed(77));
+
+        // both forms at once is ambiguous and must be rejected
+        let text = spec.to_json().replace(
+            "\"replications\":200.0",
+            "\"replications\":200.0,\"sampling\":{\"mode\":\"fixed\",\"n\":77}",
+        );
+        assert!(ScenarioSpec::from_json(&text).is_err());
+
+        // unknown mode is rejected
+        let text = spec
+            .to_json()
+            .replace("\"replications\":200.0", "\"sampling\":{\"mode\":\"nope\"}");
+        assert!(ScenarioSpec::from_json(&text).is_err());
     }
 
     #[test]

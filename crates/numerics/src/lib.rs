@@ -19,6 +19,10 @@
 //! * [`search`] — grid and golden-section extremum search.
 //! * [`unionfind`] — disjoint-set forest.
 //! * [`rng`] — SplitMix64 seed derivation for deterministic parallel streams.
+//! * [`replicate`] — the shared Monte-Carlo replication engine: a
+//!   [`Replicate`] task, streaming mergeable [`OutcomeSink`]s, and a
+//!   batch-parallel executor driving fixed or adaptive [`SamplingPlan`]s
+//!   with results bit-identical across batch sizes and thread partitions.
 //!
 //! Everything here is deterministic and dependency-light so the higher
 //! layers can be exhaustively property-tested.
@@ -31,6 +35,7 @@
 pub mod dist;
 pub mod foxglynn;
 pub mod linsolve;
+pub mod replicate;
 pub mod rng;
 pub mod search;
 pub mod sparse;
@@ -39,6 +44,7 @@ pub mod stats;
 pub mod unionfind;
 
 pub use dist::{Binomial, Hypergeometric, Poisson};
+pub use replicate::{run_plan, Completed, OutcomeSink, Replicate, SamplingPlan};
 pub use sparse::Csr;
-pub use stats::{ConfidenceInterval, KahanSum, Welford};
+pub use stats::{ConfidenceInterval, KahanSum, SurvivalAccumulator, Welford};
 pub use unionfind::UnionFind;

@@ -148,6 +148,17 @@ impl Welford {
         self.max = self.max.max(o.max);
     }
 
+    /// Relative CI half-width at `level` once at least two observations
+    /// exist (`None` before that) — the replication engine's stopping
+    /// metric, shared by every [`crate::replicate::OutcomeSink`] whose
+    /// primary statistic is a Welford mean.
+    ///
+    /// # Panics
+    /// Panics if `level` is outside (0, 1).
+    pub fn relative_precision(&self, level: f64) -> Option<f64> {
+        (self.n >= 2).then(|| self.confidence_interval(level).relative_half_width())
+    }
+
     /// Two-sided normal-approximation confidence interval at `level`
     /// (e.g. 0.95).
     ///
@@ -269,6 +280,83 @@ pub fn proportion_ci(successes: u64, n: u64, level: f64) -> Option<ConfidenceInt
         level,
         n,
     })
+}
+
+/// Streaming Kaplan–Meier-style survival counts on a fixed horizon grid.
+///
+/// The batch helper [`at_risk_surviving`] needs the full event list; this
+/// accumulator maintains the same numerator/denominator per grid point
+/// incrementally from `(time, censored)` events, so replication engines
+/// can aggregate survival without materializing outcomes. Merging two
+/// accumulators over the same grid is exact (integer counters), which
+/// makes it safe for parallel per-worker sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalAccumulator {
+    times: Vec<f64>,
+    surviving: Vec<u64>,
+    at_risk: Vec<u64>,
+    censored_before: Vec<u64>,
+}
+
+impl SurvivalAccumulator {
+    /// Accumulator over the given horizon grid.
+    pub fn new(times: &[f64]) -> Self {
+        Self {
+            times: times.to_vec(),
+            surviving: vec![0; times.len()],
+            at_risk: vec![0; times.len()],
+            censored_before: vec![0; times.len()],
+        }
+    }
+
+    /// The horizon grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Record one replication ending at `time` (censored = still alive but
+    /// no longer observed).
+    pub fn push(&mut self, time: f64, censored: bool) {
+        for (i, &t) in self.times.iter().enumerate() {
+            if censored && time < t {
+                // Censored before the horizon: carries no information about
+                // surviving to t, but its existence makes the common-horizon
+                // estimator failure-biased there — flag it.
+                self.censored_before[i] += 1;
+                continue;
+            }
+            self.at_risk[i] += 1;
+            if time >= t {
+                self.surviving[i] += 1;
+            }
+        }
+    }
+
+    /// Merge counts accumulated over the same grid (exact).
+    ///
+    /// # Panics
+    /// Panics when the grids differ.
+    pub fn merge(&mut self, other: &SurvivalAccumulator) {
+        assert_eq!(self.times, other.times, "survival grids must match");
+        for i in 0..self.times.len() {
+            self.surviving[i] += other.surviving[i];
+            self.at_risk[i] += other.at_risk[i];
+            self.censored_before[i] += other.censored_before[i];
+        }
+    }
+
+    /// `(surviving, at_risk)` at grid point `i`, matching
+    /// [`at_risk_surviving`] over the same events.
+    pub fn counts(&self, i: usize) -> (u64, u64) {
+        (self.surviving[i], self.at_risk[i])
+    }
+
+    /// True when the estimate at grid point `i` is unbiased under the
+    /// common-censoring-horizon assumption: no replication was censored
+    /// strictly before the horizon.
+    pub fn estimable(&self, i: usize) -> bool {
+        self.censored_before[i] == 0
+    }
 }
 
 /// Empirical quantile with linear interpolation (type-7, the numpy default).
@@ -500,6 +588,47 @@ mod tests {
         // interval brackets the raw proportion and stays inside [0, 1]
         assert!(ci.lo() < 0.3 && 0.3 < ci.hi());
         assert!(ci.lo() >= 0.0 && ci.hi() <= 1.0);
+    }
+
+    #[test]
+    fn survival_accumulator_matches_batch_helper() {
+        let events = [(5.0, false), (10.0, true), (2.0, true), (8.0, false)];
+        let grid = [0.0, 3.0, 7.0, 9.0, 20.0];
+        let mut acc = SurvivalAccumulator::new(&grid);
+        for &(t, c) in &events {
+            acc.push(t, c);
+        }
+        for (i, &t) in grid.iter().enumerate() {
+            assert_eq!(acc.counts(i), at_risk_surviving(&events, t), "t = {t}");
+            let censored_earlier = events.iter().any(|&(time, c)| c && time < t);
+            assert_eq!(acc.estimable(i), !censored_earlier, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn survival_accumulator_merge_is_exact() {
+        let events: Vec<(f64, bool)> = (0..40).map(|i| (i as f64 * 0.7, i % 5 == 0)).collect();
+        let grid = [0.0, 5.0, 15.0, 30.0];
+        let mut whole = SurvivalAccumulator::new(&grid);
+        let mut a = SurvivalAccumulator::new(&grid);
+        let mut b = SurvivalAccumulator::new(&grid);
+        for (i, &(t, c)) in events.iter().enumerate() {
+            whole.push(t, c);
+            if i % 2 == 0 {
+                a.push(t, c);
+            } else {
+                b.push(t, c);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic]
+    fn survival_accumulator_rejects_grid_mismatch() {
+        let mut a = SurvivalAccumulator::new(&[1.0]);
+        a.merge(&SurvivalAccumulator::new(&[2.0]));
     }
 
     #[test]

@@ -102,6 +102,29 @@ proptest! {
     }
 
     #[test]
+    fn welford_merged_halves_equal_sequential_pass(xs in proptest::collection::vec(-1e4f64..1e4, 2..400), split_frac in 0.0f64..=1.0) {
+        // Chan et al. pairwise combination: folding the two halves
+        // separately and merging must reproduce the single sequential
+        // pass (counts and extremes exactly, moments to fp tolerance).
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+        let scale = 1.0 + whole.mean().abs();
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * scale);
+        let vscale = 1.0 + whole.variance().abs();
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-8 * vscale);
+        prop_assert!((a.std_err() - whole.std_err()).abs() < 1e-8 * vscale);
+    }
+
+    #[test]
     fn welford_merge_order_invariant(xs in proptest::collection::vec(-1e3f64..1e3, 2..200), split in 1usize..199) {
         prop_assume!(split < xs.len());
         let mut a = Welford::new();

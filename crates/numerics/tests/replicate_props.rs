@@ -1,0 +1,150 @@
+//! Property tests pinning the replication engine's determinism contract:
+//! `Fixed(n)` results are bit-identical however the index space is
+//! partitioned into adaptive rounds (the "batch size" axis) or folded by
+//! workers (the chunk grid is fixed, so thread partitioning cannot move a
+//! record between sinks), and `Adaptive` plans honor their budget and
+//! their claimed precision.
+
+use numerics::replicate::{run_plan, OutcomeSink, Replicate, SamplingPlan};
+use numerics::rng::SplitMix64;
+use numerics::stats::{SurvivalAccumulator, Welford};
+use proptest::prelude::*;
+
+/// Toy experiment shaped like the simulators' outcomes: a pseudo-random
+/// "failure time" plus a censoring flag.
+struct FakeSim {
+    horizon: f64,
+}
+
+impl Replicate for FakeSim {
+    type Outcome = (f64, bool);
+
+    fn run_one(&self, seed: u64) -> (f64, bool) {
+        let mut rng = SplitMix64::new(seed);
+        // inverse-CDF exponential draw with a heavy-ish spread
+        let t = -(1.0 - rng.next_f64()).ln() * 40.0;
+        if t >= self.horizon {
+            (self.horizon, true)
+        } else {
+            (t, false)
+        }
+    }
+}
+
+/// Mean-time plus survival counts — a miniature of the engine's sink.
+#[derive(Clone, Debug, PartialEq)]
+struct StatSink {
+    time: Welford,
+    survival: SurvivalAccumulator,
+    censored: u64,
+}
+
+impl StatSink {
+    fn new() -> Self {
+        Self {
+            time: Welford::new(),
+            survival: SurvivalAccumulator::new(&[0.0, 20.0, 60.0]),
+            censored: 0,
+        }
+    }
+}
+
+impl OutcomeSink<(f64, bool)> for StatSink {
+    fn record(&mut self, (t, censored): (f64, bool)) {
+        self.survival.push(t, censored);
+        if censored {
+            self.censored += 1;
+        } else {
+            self.time.push(t);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.time.merge(&other.time);
+        self.survival.merge(&other.survival);
+        self.censored += other.censored;
+    }
+
+    fn precision(&self) -> Option<f64> {
+        (self.time.count() >= 2).then(|| self.time.confidence_interval(0.95).relative_half_width())
+    }
+}
+
+proptest! {
+    // Fixed(n) must be bit-identical however the run is partitioned into
+    // rounds: an adaptive plan with an unreachable target and an arbitrary
+    // (min, batch) split walks the same index space in different-sized
+    // rounds and must land on the very same bits.
+    #[test]
+    fn fixed_estimates_bit_identical_across_batch_partitions(
+        seed in 0u64..1_000,
+        n in 1u64..300,
+        min in 1u64..300,
+        batch in 1u64..97,
+    ) {
+        prop_assume!(min <= n);
+        let task = FakeSim { horizon: 120.0 };
+        let fixed = run_plan(&task, &SamplingPlan::Fixed(n), seed, StatSink::new);
+        prop_assert_eq!(fixed.replications, n);
+
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-12, // unreachable: always runs to max
+            min,
+            max: n,
+            batch,
+        };
+        let adaptive = run_plan(&task, &plan, seed, StatSink::new);
+        prop_assert_eq!(adaptive.replications, n);
+        // bit-for-bit: Welford moments, survival counters, censor counts
+        prop_assert_eq!(adaptive.sink, fixed.sink);
+    }
+
+    // Two identical fixed runs agree exactly, and the outcome stream is a
+    // pure function of (master_seed, index): extending n only appends.
+    #[test]
+    fn fixed_prefix_property(seed in 0u64..1_000, n in 2u64..200, extra in 1u64..100) {
+        let task = FakeSim { horizon: 120.0 };
+        let a = run_plan(&task, &SamplingPlan::Fixed(n), seed, StatSink::new);
+        let b = run_plan(&task, &SamplingPlan::Fixed(n), seed, StatSink::new);
+        prop_assert_eq!(&a.sink, &b.sink);
+        let longer = run_plan(&task, &SamplingPlan::Fixed(n + extra), seed, StatSink::new);
+        // counts only grow — the first n outcomes are the same stream
+        prop_assert_eq!(
+            longer.sink.time.count() + longer.sink.censored,
+            n + extra
+        );
+        prop_assert!(longer.sink.censored >= a.sink.censored);
+        prop_assert!(longer.sink.time.count() >= a.sink.time.count());
+    }
+
+    // Adaptive stops at-or-under max, and whenever it claims the target
+    // was met the final precision actually meets it.
+    #[test]
+    fn adaptive_honors_budget_and_claimed_target(
+        seed in 0u64..1_000,
+        target in 0.02f64..0.5,
+        min in 2u64..64,
+        max_extra in 0u64..600,
+        batch in 1u64..64,
+    ) {
+        let task = FakeSim { horizon: 120.0 };
+        let max = min + max_extra;
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: target,
+            min,
+            max,
+            batch,
+        };
+        let done = run_plan(&task, &plan, seed, StatSink::new);
+        prop_assert!(done.replications >= min.min(max));
+        prop_assert!(done.replications <= max, "{} > {}", done.replications, max);
+        match done.target_met {
+            Some(true) => {
+                let p = done.sink.precision().expect("met target implies estimable");
+                prop_assert!(p <= target, "claimed {target}, got {p}");
+            }
+            Some(false) => prop_assert_eq!(done.replications, max),
+            None => prop_assert!(false, "adaptive must carry a verdict"),
+        }
+    }
+}

@@ -11,11 +11,10 @@
 use crate::error::SpnError;
 use crate::model::{Marking, Spn, TransitionId};
 use crate::reward::RewardSet;
-use numerics::rng::child_seed;
+use numerics::replicate::{run_plan, OutcomeSink, Replicate, SamplingPlan};
 use numerics::stats::{ConfidenceInterval, Welford};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Simulation run limits.
@@ -73,6 +72,108 @@ impl ReplicationStats {
     /// Confidence interval on the mean time to absorption.
     pub fn mtta_ci(&self, level: f64) -> ConfidenceInterval {
         self.time_to_absorption.confidence_interval(level)
+    }
+}
+
+/// [`ReplicationStats`] plus the adaptive-sampling verdict of a
+/// [`Simulator::run_sampled`] run.
+#[derive(Debug, Clone)]
+pub struct SampledStats {
+    /// The aggregate statistics (`replications` records the count actually
+    /// run, which an adaptive plan chooses at runtime).
+    pub stats: ReplicationStats,
+    /// Whether the adaptive precision target was met (`None` for fixed
+    /// plans, `Some(false)` when the budget ran out first).
+    pub target_met: Option<bool>,
+}
+
+/// Streaming aggregation of [`SimOutcome`]s for the shared replication
+/// engine: Welford moments only, no outcome `Vec`. The first error (in
+/// replication-index order) is retained and aborts the run's result.
+#[derive(Clone)]
+struct SimSink {
+    tta: Welford,
+    accumulated: Vec<Welford>,
+    censored: u64,
+    replications: u64,
+    confidence: f64,
+    error: Option<SpnError>,
+}
+
+impl SimSink {
+    fn new(reward_count: usize, confidence: f64) -> Self {
+        Self {
+            tta: Welford::new(),
+            accumulated: vec![Welford::new(); reward_count],
+            censored: 0,
+            replications: 0,
+            confidence,
+            error: None,
+        }
+    }
+
+    fn into_result(self) -> Result<ReplicationStats, SpnError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(ReplicationStats {
+                time_to_absorption: self.tta,
+                accumulated: self.accumulated,
+                censored: self.censored,
+                replications: self.replications,
+            }),
+        }
+    }
+}
+
+impl OutcomeSink<Result<SimOutcome, SpnError>> for SimSink {
+    fn record(&mut self, outcome: Result<SimOutcome, SpnError>) {
+        self.replications += 1;
+        match outcome {
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+            Ok(o) => {
+                if o.absorbed {
+                    self.tta.push(o.time);
+                } else {
+                    self.censored += 1;
+                }
+                for (w, &a) in self.accumulated.iter_mut().zip(&o.accumulated) {
+                    w.push(a);
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.tta.merge(&other.tta);
+        for (w, o) in self.accumulated.iter_mut().zip(&other.accumulated) {
+            w.merge(o);
+        }
+        self.censored += other.censored;
+        self.replications += other.replications;
+        // self covers the earlier index range, so its error stays first
+        if self.error.is_none() {
+            self.error = other.error;
+        }
+    }
+
+    fn precision(&self) -> Option<f64> {
+        if self.error.is_some() {
+            // a fatal replication error: stop spawning batches immediately
+            return Some(0.0);
+        }
+        self.tta.relative_precision(self.confidence)
+    }
+}
+
+impl Replicate for Simulator<'_> {
+    type Outcome = Result<SimOutcome, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        Simulator::run_one(self, seed)
     }
 }
 
@@ -213,35 +314,40 @@ impl<'a> Simulator<'a> {
     }
 
     /// Run `n` replications in parallel with deterministic per-replication
-    /// seeds derived from `master_seed`.
+    /// seeds derived from `master_seed` (a fixed [`SamplingPlan`] through
+    /// the shared replication engine).
     ///
     /// # Errors
     /// Returns the first replication error encountered.
     pub fn run_replications(&self, n: u64, master_seed: u64) -> Result<ReplicationStats, SpnError> {
-        let outcomes: Result<Vec<SimOutcome>, SpnError> = (0..n)
-            .into_par_iter()
-            .map(|i| self.run_one(child_seed(master_seed, i)))
-            .collect();
-        let outcomes = outcomes?;
-        let mut tta = Welford::new();
-        let mut accumulated =
-            vec![Welford::new(); self.rewards.rates.len() + self.rewards.impulses.len()];
-        let mut censored = 0;
-        for o in &outcomes {
-            if o.absorbed {
-                tta.push(o.time);
-            } else {
-                censored += 1;
-            }
-            for (w, &a) in accumulated.iter_mut().zip(&o.accumulated) {
-                w.push(a);
-            }
-        }
-        Ok(ReplicationStats {
-            time_to_absorption: tta,
-            accumulated,
-            censored,
-            replications: n,
+        self.run_sampled(&SamplingPlan::Fixed(n), master_seed, 0.95)
+            .map(|s| s.stats)
+    }
+
+    /// Run a [`SamplingPlan`] through the shared replication engine.
+    /// Adaptive plans keep spawning batches until the relative half-width
+    /// of the `confidence`-level CI on the mean time to absorption meets
+    /// the plan's target (or its budget runs out); outcomes stream into
+    /// Welford accumulators, never a `Vec`.
+    ///
+    /// # Errors
+    /// Returns the first replication error (in replication-index order).
+    ///
+    /// # Panics
+    /// Panics on an invalid plan (see [`SamplingPlan::validate`]).
+    pub fn run_sampled(
+        &self,
+        plan: &SamplingPlan,
+        master_seed: u64,
+        confidence: f64,
+    ) -> Result<SampledStats, SpnError> {
+        let rewards = self.rewards.rates.len() + self.rewards.impulses.len();
+        let done = run_plan(self, plan, master_seed, || {
+            SimSink::new(rewards, confidence)
+        });
+        Ok(SampledStats {
+            stats: done.sink.into_result()?,
+            target_met: done.target_met,
         })
     }
 }
@@ -285,6 +391,28 @@ mod tests {
             ci.lo(),
             ci.hi()
         );
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_at_target_precision() {
+        let net = exp_net(1.0);
+        let rewards = RewardSet::new();
+        let sim = Simulator::new(&net, &rewards, SimOptions::default());
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.10,
+            min: 100,
+            max: 50_000,
+            batch: 200,
+        };
+        let out = sim.run_sampled(&plan, 13, 0.95).unwrap();
+        assert_eq!(out.target_met, Some(true));
+        let n = out.stats.replications;
+        assert!(n < 50_000, "should stop early, used {n}");
+        let ci = out.stats.mtta_ci(0.95);
+        assert!(ci.half_width / ci.mean <= 0.10, "{ci:?}");
+        // bit-identical to the fixed plan with the same replication count
+        let fixed = sim.run_replications(n, 13).unwrap();
+        assert_eq!(fixed.time_to_absorption, out.stats.time_to_absorption);
     }
 
     #[test]

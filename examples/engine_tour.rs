@@ -18,7 +18,7 @@ fn main() {
     base.system.node_count = 20;
     base.system.vote_participants = 3;
     base.system.attacker.base_rate = 1.0 / 1800.0; // one compromise / 30 min
-    base.stochastic.replications = 400;
+    base.stochastic.sampling = engine::SamplingPlan::Fixed(400);
     base.stochastic.max_time = 1.0e6;
     base.mobility.dt = 2.0;
 

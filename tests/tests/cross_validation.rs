@@ -157,7 +157,7 @@ fn exact_survival_inside_stochastic_cis_on_paper_default_mission_grid() {
     // Censor right past the last grid point: later behaviour is irrelevant
     // to the mission question and this keeps replications cheap.
     base.stochastic.max_time = times[4] * 1.01;
-    base.stochastic.replications = 60;
+    base.stochastic.sampling = engine::SamplingPlan::Fixed(60);
     base.stochastic.confidence = 0.95;
     let exact = Runner::new().run(&base).unwrap();
     let exact_curve = exact.survival.as_ref().unwrap();
@@ -193,7 +193,7 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
         ..Default::default()
     };
     let report = cross_validate_dir(&dir, &opts).unwrap();
-    assert_eq!(report.specs.len(), 3);
+    assert_eq!(report.specs.len(), 4);
     assert!(
         report.agrees(),
         "cross-backend disagreement: {}",
@@ -226,4 +226,58 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
             c.skipped
         );
     }
+    // the adaptive fixture must have chosen its replication count at
+    // runtime and recorded the verdict in its report
+    let adaptive = report
+        .specs
+        .iter()
+        .find(|s| s.name == "hot-adaptive")
+        .expect("hot-adaptive fixture present");
+    for c in &adaptive.comparisons {
+        assert!(c.report.target_met.is_some(), "{:?}", c.backend);
+        assert!(c.report.replications.unwrap() <= 150, "budget cap applies");
+    }
+}
+
+/// The adaptive-sampling acceptance criterion: a spec with an `Adaptive`
+/// plan yields a report whose MTTSF CI half-width meets the requested
+/// relative target — or that explicitly reports budget exhaustion — with
+/// the replication count actually used recorded in the report JSON.
+#[test]
+fn adaptive_spec_meets_precision_target_or_reports_exhaustion() {
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+    spec.name = "adaptive-acceptance".into();
+    spec.system = hot();
+    spec.system.node_count = 12;
+    spec.stochastic.max_time = 1.0e6;
+    let target = 0.25;
+    spec.stochastic.sampling = engine::SamplingPlan::Adaptive {
+        target_rel_halfwidth: target,
+        min: 20,
+        max: 600,
+        batch: 40,
+    };
+    let report = backend_for(BackendKind::Des)
+        .run(&spec, &RunBudget::default())
+        .unwrap();
+    let n = report.replications.expect("replications-used is recorded");
+    assert!((20..=600).contains(&n));
+    match report.target_met.expect("adaptive verdict is recorded") {
+        true => {
+            let (lo, hi) = report.mttsf.ci.expect("met target implies a CI");
+            let rel_half = (hi - lo) / 2.0 / report.mttsf.value.abs();
+            assert!(
+                rel_half <= target,
+                "claimed target {target} but achieved {rel_half}"
+            );
+        }
+        false => assert_eq!(n, 600, "unmet target must exhaust the budget"),
+    }
+    // and both facts survive the report's JSON round-trip
+    let json = report.to_json();
+    let back = engine::RunReport::from_json(&json).unwrap();
+    assert_eq!(back.replications, Some(n));
+    assert_eq!(back.target_met, report.target_met);
+    assert!(json.contains("\"replications\":"));
+    assert!(json.contains("\"target_met\":"));
 }

@@ -9,7 +9,7 @@
 //! Regenerate after an intentional format change with:
 //! `cargo test -p integration-tests regenerate_fixtures -- --ignored`
 
-use engine::{BackendKind, Estimate, RunReport, ScenarioSpec};
+use engine::{BackendKind, Estimate, RunReport, SamplingPlan, ScenarioSpec};
 use std::fs;
 use std::path::PathBuf;
 
@@ -40,7 +40,7 @@ fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
         spec.system.vote_participants = 3;
         spec.system.attacker.base_rate = 1.0 / 600.0;
         spec.system.detection = spec.system.detection.with_interval(120.0);
-        spec.stochastic.replications = 400;
+        spec.stochastic.sampling = SamplingPlan::Fixed(400);
         spec
     };
 
@@ -55,6 +55,21 @@ fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
     longrun.name = "hot-longrun".into();
     longrun.stochastic.max_time = 5.0e6;
 
+    // Adaptive sampling: replications chosen at runtime to a 10% relative
+    // MTTSF CI half-width (95% level), with a shallow mission grid so the
+    // survival comparison runs too. Exercises the `sampling` spec encoding
+    // end-to-end through the crossval harness.
+    let mut adaptive = hot.clone();
+    adaptive.name = "hot-adaptive".into();
+    adaptive.stochastic.max_time = 5.0e6;
+    adaptive.stochastic.sampling = SamplingPlan::Adaptive {
+        target_rel_halfwidth: 0.10,
+        min: 100,
+        max: 400,
+        batch: 100,
+    };
+    adaptive.mission_times = vec![0.0, 1.0e3, 3.0e3];
+
     let mut collusion = mission.clone();
     collusion.name = "collusion-none-mission".into();
     collusion.system.collusion = ids::voting::CollusionModel::None;
@@ -65,6 +80,7 @@ fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
     vec![
         ("hot-mission.json", mission),
         ("hot-longrun.json", longrun),
+        ("hot-adaptive.json", adaptive),
         ("collusion-none-mission.json", collusion),
     ]
 }
@@ -95,6 +111,8 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         edge_count: Some(5678),
         replications: None,
         censored: None,
+        zero_duration: None,
+        target_met: None,
         survival: Some(vec![
             (0.0, Estimate::exact(1.0)),
             (43_200.0, Estimate::exact(0.625)),
@@ -121,6 +139,8 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         edge_count: None,
         replications: Some(8),
         censored: Some(8),
+        zero_duration: Some(0),
+        target_met: None,
         survival: Some(vec![
             // t = 0: zero-variance proportion — value 1.0 with finite
             // Wilson bounds, never NaN
