@@ -1,70 +1,55 @@
 //! Profiling aid: per-stage timings of one exact evaluation (rate
 //! re-evaluation, per-state cost rewards, CTMC assembly, absorption solve)
-//! at increasing system sizes, plus a head-to-head of the legacy per-point
-//! sweep path (graph clone → CSR rebuild → solve) against the rebuild-free
-//! template path (in-place re-weight → value-only refresh → solve), plus
-//! replication throughput (reps/sec) of the three stochastic backends
-//! through the shared replication engine, fixed vs adaptive sampling. Used
-//! to attribute sweep time between the explore / re-weight / solve stages
-//! when tuning the engine; before/after numbers live in
+//! at increasing system sizes, a head-to-head of the legacy per-point
+//! sweep path against the rebuild-free template path, a lumped-vs-unlumped
+//! head-to-head on clustered deployments (plus the 120-node lumped-only
+//! point the unlumped path cannot reach), and replication throughput
+//! (reps/sec) of the three stochastic backends through the shared
+//! replication engine. Before/after numbers live in
 //! `results/profile_point.md`.
 //!
 //! Run with: `cargo run --release -p bench-harness --bin profile_point`
+//!
+//! Flags:
+//! - `--out PATH`: also write the profile as canonical JSON (the
+//!   machine-readable twin of the text output).
+//! - `--check PATH`: diff this run against a previously written JSON
+//!   snapshot. Structural counts (`states`, `edges`, replication counts)
+//!   must match exactly; any `*_seconds` stage may not regress by more
+//!   than the tolerance (plus a small absolute slack for sub-millisecond
+//!   stages). Exits non-zero on any violation — the CI bench-trajectory
+//!   gate.
+//! - `--tolerance F`: fractional per-stage slowdown allowed by `--check`
+//!   (default 0.25).
 
+use engine::json::Value;
 use engine::{backend_for, BackendKind, RunBudget, SamplingPlan, ScenarioSpec};
-use gcsids::config::SystemConfig;
+use gcsids::clustered::{
+    evaluate_clustered_graph, evaluate_clustered_with_survival, ClusteredPath,
+};
+use gcsids::config::{ClusterTopology, SystemConfig};
 use gcsids::cost::cost_breakdown;
 use gcsids::metrics::ExactTemplate;
-use gcsids::model::{build_model, population};
+use gcsids::model::{build_clustered_model, build_model, population};
 use spn::ctmc::Ctmc;
+use spn::reach::{explore, ExploreOptions};
+use std::process::ExitCode;
 use std::time::Instant;
 
-/// Replication throughput per stochastic backend on the accelerated
-/// 12-node system (the crossval fixtures' regime): a fixed 200-replication
-/// plan against an adaptive plan targeting a 15% relative MTTSF CI
-/// half-width.
-fn replication_throughput() {
-    let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
-    spec.name = "profile/replication".into();
-    spec.system.node_count = 12;
-    spec.system.vote_participants = 3;
-    spec.system.attacker.base_rate = 1.0 / 600.0;
-    spec.system.detection = spec.system.detection.with_interval(120.0);
-    spec.stochastic.max_time = 5.0e6;
-    spec.mobility.dt = 2.0;
-    let budget = RunBudget::default();
-    for kind in [
-        BackendKind::SpnSim,
-        BackendKind::Des,
-        BackendKind::MobilityDes,
-    ] {
-        spec.backend = kind;
-        spec.stochastic.sampling = SamplingPlan::Fixed(200);
-        let fixed = backend_for(kind).run(&spec, &budget).unwrap();
-        spec.stochastic.sampling = SamplingPlan::Adaptive {
-            target_rel_halfwidth: 0.15,
-            min: 50,
-            max: 400,
-            batch: 50,
-        };
-        let adaptive = backend_for(kind).run(&spec, &budget).unwrap();
-        let rate = |r: &engine::RunReport| r.replications.unwrap() as f64 / r.wall_seconds;
-        println!(
-            "throughput {:<12} fixed: {} reps in {:.3}s ({:.1} reps/s) | \
-             adaptive(15%): {} reps in {:.3}s ({:.1} reps/s, target_met={})",
-            kind.name(),
-            fixed.replications.unwrap(),
-            fixed.wall_seconds,
-            rate(&fixed),
-            adaptive.replications.unwrap(),
-            adaptive.wall_seconds,
-            rate(&adaptive),
-            adaptive.target_met.unwrap(),
-        );
-    }
+/// The accelerated 12-node system from the crossval fixtures: fails within
+/// ~1e5 s, so every backend finishes quickly at full replication counts.
+fn hot_system() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.node_count = 12;
+    cfg.vote_participants = 3;
+    cfg.attacker.base_rate = 1.0 / 600.0;
+    cfg.detection = cfg.detection.with_interval(120.0);
+    cfg
 }
 
-fn main() {
+/// Per-stage timings of the exact pipeline at paper-default N.
+fn exact_profile() -> Vec<Value> {
+    let mut points = Vec::new();
     for n in [50u32, 100] {
         let mut cfg = SystemConfig::paper_default();
         cfg.node_count = n;
@@ -137,6 +122,322 @@ fn main() {
              survival5pt@0.05mtta={t_survival:?} (mtta={:.3e}, S(end)={:.4}, acc={acc:.1})",
             a.mtta, s[4]
         );
+        points.push(Value::obj([
+            ("n", Value::Num(f64::from(n))),
+            ("states", Value::Num(graph.state_count() as f64)),
+            ("edges", Value::Num(graph.edge_count() as f64)),
+            (
+                "stages",
+                Value::obj([
+                    (
+                        "explore_pattern_seconds",
+                        Value::Num(t_template.as_secs_f64()),
+                    ),
+                    ("rates_seconds", Value::Num(t_rates.as_secs_f64())),
+                    ("cost_seconds", Value::Num(t_cost.as_secs_f64())),
+                    ("ctmc_build_seconds", Value::Num(t_build.as_secs_f64())),
+                    ("solve_seconds", Value::Num(t_solve.as_secs_f64())),
+                    (
+                        "legacy_point_seconds",
+                        Value::Num(t_legacy_point.as_secs_f64()),
+                    ),
+                    (
+                        "template_point_seconds",
+                        Value::Num(t_template_point.as_secs_f64()),
+                    ),
+                    ("survival_seconds", Value::Num(t_survival.as_secs_f64())),
+                ]),
+            ),
+        ]));
     }
-    replication_throughput();
+    points
+}
+
+/// Symmetry lumping head-to-head on clustered deployments. The unlumped
+/// flat product space grows as d^C, so the head-to-head uses three 5-node
+/// clusters (still explorable unlumped); at the crossval fixture's scale —
+/// ten 12-node clusters, 120 nodes — only the lumped quotient fits and
+/// the unlumped cost is reported as the estimated state count.
+fn clustered_profile() -> Value {
+    let mut cfg = hot_system();
+    cfg.node_count = 5;
+    let opts = ExploreOptions::default();
+
+    let topo3 = ClusterTopology {
+        clusters: 3,
+        failure_threshold: 2,
+    };
+    let t0 = Instant::now();
+    let model = build_clustered_model(&cfg, &topo3);
+    let flat_graph = explore(&model.net, &opts).unwrap();
+    let (unlumped, _) = evaluate_clustered_graph(&model, &flat_graph, &[]).unwrap();
+    let t_unlumped = t0.elapsed();
+
+    let t0 = Instant::now();
+    let lumped3 = evaluate_clustered_with_survival(&cfg, &topo3, &[], &opts).unwrap();
+    let t_lumped3 = t0.elapsed();
+    assert_eq!(lumped3.stats.path, ClusteredPath::FlatLumped);
+    let rel =
+        (lumped3.evaluation.mttsf_seconds - unlumped.mttsf_seconds).abs() / unlumped.mttsf_seconds;
+    assert!(rel < 1e-8, "lumped/unlumped MTTSF disagree: rel={rel:.3e}");
+
+    let topo10 = ClusterTopology {
+        clusters: 10,
+        failure_threshold: 3,
+    };
+    let fixture = hot_system();
+    let t0 = Instant::now();
+    let lumped10 = evaluate_clustered_with_survival(&fixture, &topo10, &[], &opts).unwrap();
+    let t_lumped10 = t0.elapsed();
+
+    println!(
+        "clustered C=3 K=2 (15 nodes): unlumped {} states in {t_unlumped:?} | \
+         lumped {} states in {t_lumped3:?} (reduction {:.1}x, mttsf rel diff {rel:.1e})",
+        unlumped.state_count, lumped3.stats.states, lumped3.stats.reduction,
+    );
+    println!(
+        "clustered C=10 K=3 (120 nodes): lumped {} states in {t_lumped10:?} \
+         (unlumped estimate {:.3e} states, reduction {:.1}x, path {:?})",
+        lumped10.stats.states,
+        lumped10.stats.unlumped_state_estimate,
+        lumped10.stats.reduction,
+        lumped10.stats.path,
+    );
+
+    // Lumped-only scaling points: 50- and 100-node systems of the same
+    // 5-node clusters. Unlumped these are d^10 and d^20 flat product
+    // spaces (d ≈ 48) — far beyond any budget — so only the lumped /
+    // composed exact path produces numbers here.
+    let mut scaling = Vec::new();
+    for (label, clusters, threshold) in [("n50", 10u32, 3u32), ("n100", 20, 5)] {
+        let topo = ClusterTopology {
+            clusters,
+            failure_threshold: threshold,
+        };
+        let t0 = Instant::now();
+        let l = evaluate_clustered_with_survival(&cfg, &topo, &[], &opts).unwrap();
+        let dt = t0.elapsed();
+        println!(
+            "clustered C={clusters} K={threshold} ({} nodes): lumped {} states in {dt:?} \
+             (unlumped estimate {:.3e} states, path {:?})",
+            5 * clusters,
+            l.stats.states,
+            l.stats.unlumped_state_estimate,
+            l.stats.path,
+        );
+        scaling.push((
+            label,
+            Value::obj([
+                ("states", Value::Num(l.stats.states as f64)),
+                ("edges", Value::Num(l.stats.edges as f64)),
+                ("lumped_seconds", Value::Num(dt.as_secs_f64())),
+                ("reduction", Value::Num(l.stats.reduction)),
+                (
+                    "unlumped_state_estimate",
+                    Value::Num(l.stats.unlumped_state_estimate),
+                ),
+                ("mttsf", Value::Num(l.evaluation.mttsf_seconds)),
+            ]),
+        ));
+    }
+
+    let mut entries = vec![
+        (
+            "c3",
+            Value::obj([
+                ("unlumped_states", Value::Num(unlumped.state_count as f64)),
+                ("unlumped_seconds", Value::Num(t_unlumped.as_secs_f64())),
+                ("states", Value::Num(lumped3.stats.states as f64)),
+                ("edges", Value::Num(lumped3.stats.edges as f64)),
+                ("lumped_seconds", Value::Num(t_lumped3.as_secs_f64())),
+                ("reduction", Value::Num(lumped3.stats.reduction)),
+            ]),
+        ),
+        (
+            "c10",
+            Value::obj([
+                ("states", Value::Num(lumped10.stats.states as f64)),
+                ("edges", Value::Num(lumped10.stats.edges as f64)),
+                ("lumped_seconds", Value::Num(t_lumped10.as_secs_f64())),
+                ("reduction", Value::Num(lumped10.stats.reduction)),
+                (
+                    "unlumped_state_estimate",
+                    Value::Num(lumped10.stats.unlumped_state_estimate),
+                ),
+            ]),
+        ),
+    ];
+    entries.extend(scaling);
+    Value::obj(entries)
+}
+
+/// Replication throughput per stochastic backend on the accelerated
+/// 12-node system (the crossval fixtures' regime): a fixed 200-replication
+/// plan against an adaptive plan targeting a 15% relative MTTSF CI
+/// half-width.
+fn replication_throughput() -> Vec<Value> {
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Des);
+    spec.name = "profile/replication".into();
+    spec.system = hot_system();
+    spec.stochastic.max_time = 5.0e6;
+    spec.mobility.dt = 2.0;
+    let budget = RunBudget::default();
+    let mut rows = Vec::new();
+    for kind in [
+        BackendKind::SpnSim,
+        BackendKind::Des,
+        BackendKind::MobilityDes,
+    ] {
+        spec.backend = kind;
+        spec.stochastic.sampling = SamplingPlan::Fixed(200);
+        let fixed = backend_for(kind).run(&spec, &budget).unwrap();
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 0.15,
+            min: 50,
+            max: 400,
+            batch: 50,
+        };
+        let adaptive = backend_for(kind).run(&spec, &budget).unwrap();
+        let rate = |r: &engine::RunReport| r.replications.unwrap() as f64 / r.wall_seconds;
+        println!(
+            "throughput {:<12} fixed: {} reps in {:.3}s ({:.1} reps/s) | \
+             adaptive(15%): {} reps in {:.3}s ({:.1} reps/s, target_met={})",
+            kind.name(),
+            fixed.replications.unwrap(),
+            fixed.wall_seconds,
+            rate(&fixed),
+            adaptive.replications.unwrap(),
+            adaptive.wall_seconds,
+            rate(&adaptive),
+            adaptive.target_met.unwrap(),
+        );
+        rows.push(Value::obj([
+            ("backend", Value::Str(kind.name().to_string())),
+            ("fixed_reps", Value::Num(fixed.replications.unwrap() as f64)),
+            ("fixed_seconds", Value::Num(fixed.wall_seconds)),
+            ("fixed_reps_per_sec", Value::Num(rate(&fixed))),
+            (
+                "adaptive_reps",
+                Value::Num(adaptive.replications.unwrap() as f64),
+            ),
+            ("adaptive_seconds", Value::Num(adaptive.wall_seconds)),
+            ("adaptive_reps_per_sec", Value::Num(rate(&adaptive))),
+        ]));
+    }
+    rows
+}
+
+/// `true` for fields that must match a snapshot exactly: structural counts
+/// are deterministic, so any drift is a behavior change, not noise.
+fn is_exact_key(key: &str) -> bool {
+    matches!(
+        key,
+        "n" | "states"
+            | "edges"
+            | "unlumped_states"
+            | "unlumped_state_estimate"
+            | "reduction"
+            | "fixed_reps"
+            | "adaptive_reps"
+    )
+}
+
+/// Absolute slack added to the timing gate so sub-millisecond stages are
+/// not failed on scheduler jitter alone.
+const TIMING_SLACK_SECONDS: f64 = 0.02;
+
+/// Recursively diff a fresh profile against a snapshot. Timing leaves
+/// (`*_seconds`) may not exceed `snap * (1 + tol) + slack`; exact leaves
+/// must match bit-for-bit; other leaves are informational.
+fn diff(fresh: &Value, snap: &Value, tol: f64, path: &str, failures: &mut Vec<String>) {
+    match (fresh, snap) {
+        (Value::Obj(f), Value::Obj(s)) => {
+            for (key, sv) in s {
+                let sub = format!("{path}/{key}");
+                match f.get(key) {
+                    Some(fv) => diff(fv, sv, tol, &sub, failures),
+                    None => failures.push(format!("{sub}: missing from fresh profile")),
+                }
+            }
+        }
+        (Value::Arr(f), Value::Arr(s)) => {
+            if f.len() != s.len() {
+                failures.push(format!(
+                    "{path}: length {} vs snapshot {}",
+                    f.len(),
+                    s.len()
+                ));
+                return;
+            }
+            for (i, (fv, sv)) in f.iter().zip(s).enumerate() {
+                diff(fv, sv, tol, &format!("{path}[{i}]"), failures);
+            }
+        }
+        (Value::Num(f), Value::Num(s)) => {
+            let key = path.rsplit('/').next().unwrap_or(path);
+            let key = key.split('[').next().unwrap_or(key);
+            if is_exact_key(key) {
+                if f != s {
+                    failures.push(format!("{path}: count {f} != snapshot {s}"));
+                }
+            } else if key.ends_with("_seconds") && *f > s * (1.0 + tol) + TIMING_SLACK_SECONDS {
+                failures.push(format!(
+                    "{path}: {f:.4}s regressed past {s:.4}s (+{:.0}%)",
+                    (f / s - 1.0) * 100.0
+                ));
+            }
+        }
+        _ => {
+            if std::mem::discriminant(fresh) != std::mem::discriminant(snap) {
+                failures.push(format!("{path}: shape changed"));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(value("--out")),
+            "--check" => check_path = Some(value("--check")),
+            "--tolerance" => tolerance = value("--tolerance").parse().expect("--tolerance"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let profile = Value::obj([
+        ("exact", Value::Arr(exact_profile())),
+        ("clustered", clustered_profile()),
+        ("throughput", Value::Arr(replication_throughput())),
+    ]);
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, profile.encode() + "\n").unwrap();
+        println!("profile written to {path}");
+    }
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = Value::parse(text.trim_end()).unwrap();
+        let mut failures = Vec::new();
+        diff(&profile, &snapshot, tolerance, "", &mut failures);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench check FAILED {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench check passed against {path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
 }

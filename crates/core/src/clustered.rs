@@ -1,0 +1,942 @@
+//! Clustered-deployment evaluation: exact MTTSF, survival, and cost for
+//! `C` identical GCS/IDS clusters with a K-of-C system failure criterion.
+//!
+//! Two exact solution paths share one entry point
+//! ([`evaluate_clustered_with_survival`]):
+//!
+//! * **Flat lumped quotient.** Build the flat clustered net
+//!   ([`crate::model::build_clustered_model`]), explore it under the
+//!   member-permutation canonicalizer
+//!   ([`crate::model::clustered_canonicalizer`]), and solve the lumped
+//!   CTMC directly. Cluster permutations are net automorphisms (the blocks
+//!   are structurally identical and share no places), so the quotient is
+//!   strongly lumpable and every metric is exact. The lumped state count is
+//!   the number of *multisets* of single-cluster states —
+//!   `C(d + C − 1, C)` instead of `d^C` — a combinatorial reduction.
+//! * **Hierarchical order-statistic composition.** When even the multiset
+//!   bound exceeds the exploration budget, solve ONE cluster's absorbing
+//!   chain and compose analytically: clusters evolve independently until
+//!   system absorption (each freezes on its own failure), so the system
+//!   survival is the binomial tail
+//!   `S_sys(t) = Σ_{j<K} C(C,j) F(t)^j S(t)^{C−j}`
+//!   over the cluster failure law `F = 1 − S`, the system MTTSF is its
+//!   integral (Simpson quadrature on a horizon where `S_sys < 1e-12`), and
+//!   the failure-cause split is the K-th-order-statistic integral
+//!   `C·C(C−1,K−1) ∫ F^{K−1} S^{C−K} dF_cause`. Cost uses the exact
+//!   per-cluster transient expected rate `ρ(t) = E[rate | alive]`, sampled
+//!   at probe times via uniformization and interpolated onto the
+//!   quadrature grid; only that interpolation is inexact, and it converges
+//!   with the probe count. A parent aggregate SPN (one `fail` transition
+//!   per cluster at rate `1/MTTSF_c`, explored through the same lumping
+//!   pipeline) realises the inter-cluster model whose counts the stats
+//!   report.
+
+use crate::config::{ClusterTopology, SystemConfig};
+use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
+use crate::metrics::{eviction_impulses, Evaluation};
+use crate::model::{
+    build_clustered_model, build_model, cluster_failed, clustered_canonicalizer, population,
+    ClusteredModel, GcsIdsModel,
+};
+use numerics::special::ln_binomial;
+use spn::ctmc::{Ctmc, TransientOptions};
+use spn::error::SpnError;
+use spn::model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef};
+use spn::reach::{explore, ExploreOptions, MarkingCanonicalizer, ReachabilityGraph};
+use spn::reward::{ImpulseReward, RateReward};
+
+/// Which solution path [`evaluate_clustered_with_survival`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteredPath {
+    /// The lumped flat chain fit the exploration budget and was solved
+    /// directly.
+    FlatLumped,
+    /// The single-cluster chain was solved and composed analytically,
+    /// with the parent aggregate chain explored for the inter-cluster
+    /// model.
+    Hierarchical,
+}
+
+/// State-space bookkeeping of a clustered solve: what was actually solved,
+/// and how much lumping saved relative to the unlumped product space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LumpingStats {
+    /// Solution path taken.
+    pub path: ClusteredPath,
+    /// Tangible states actually solved (lumped flat chain, or cluster
+    /// chain + parent aggregate chain on the hierarchical path).
+    pub states: usize,
+    /// CTMC edges actually solved.
+    pub edges: usize,
+    /// Symmetry orbits supplied to exploration.
+    pub orbits: usize,
+    /// Interchangeable member blocks across those orbits.
+    pub orbit_members: usize,
+    /// Upper bound on the unlumped flat product space, `d^C` for `d`
+    /// single-cluster states (`inf` when it overflows f64).
+    pub unlumped_state_estimate: f64,
+    /// `unlumped_state_estimate / states` — the observable reduction
+    /// factor.
+    pub reduction: f64,
+}
+
+/// Result of a clustered evaluation: the standard metric set, the optional
+/// mission survival curve, and the lumping bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ClusteredEvaluation {
+    /// MTTSF, Ĉtotal, failure split, and solved state counts.
+    pub evaluation: Evaluation,
+    /// `P[no system failure by t]` on the requested mission grid.
+    pub survival: Option<Vec<f64>>,
+    /// Path taken and reduction achieved.
+    pub stats: LumpingStats,
+}
+
+/// Number of multisets of size `c` over `d` items, `C(d + c − 1, c)` — the
+/// exact upper bound on the lumped flat state count.
+pub fn multiset_count(d: usize, c: u32) -> f64 {
+    let mut v = 1.0f64;
+    for i in 1..=u64::from(c) {
+        v *= (d as f64 - 1.0 + i as f64) / i as f64;
+        if !v.is_finite() {
+            return f64::INFINITY;
+        }
+    }
+    v
+}
+
+/// Evaluate a clustered deployment with the default exploration budget.
+///
+/// # Errors
+/// Propagates validation, exploration, and solver failures.
+pub fn evaluate_clustered(
+    cfg: &SystemConfig,
+    topo: &ClusterTopology,
+) -> Result<ClusteredEvaluation, SpnError> {
+    evaluate_clustered_with_survival(cfg, topo, &[], &ExploreOptions::default())
+}
+
+/// Evaluate a clustered deployment: exact MTTSF, cost, failure split, and
+/// mission survival for `topo.clusters` copies of `cfg` failing as a
+/// system once `topo.failure_threshold` clusters have failed.
+///
+/// Picks the flat lumped path when the multiset bound fits
+/// `opts.max_states`, the hierarchical composition otherwise. Any
+/// `opts.lumping` supplied by the caller is ignored — the cluster
+/// symmetry is derived from the model itself.
+///
+/// # Errors
+/// Propagates validation, exploration, and solver failures.
+pub fn evaluate_clustered_with_survival(
+    cfg: &SystemConfig,
+    topo: &ClusterTopology,
+    mission_times: &[f64],
+    opts: &ExploreOptions,
+) -> Result<ClusteredEvaluation, SpnError> {
+    cfg.validate().map_err(SpnError::InvalidModel)?;
+    topo.validate().map_err(SpnError::InvalidModel)?;
+
+    // The single-cluster chain is needed by both paths: it sizes the flat
+    // quotient, and the hierarchical path composes from it.
+    let cluster_model = build_model(cfg);
+    let base_opts = ExploreOptions {
+        lumping: None,
+        ..opts.clone()
+    };
+    let cluster_graph = explore(&cluster_model.net, &base_opts)?;
+    let d = cluster_graph.state_count();
+    let unlumped_estimate = (d as f64).powi(topo.clusters as i32);
+    let lumped_estimate = multiset_count(d, topo.clusters);
+
+    if lumped_estimate <= opts.max_states as f64 {
+        // --- flat lumped path ---------------------------------------------
+        let model = build_clustered_model(cfg, topo);
+        let canon = clustered_canonicalizer(&model);
+        let orbits = canon.orbit_count();
+        let orbit_members = canon.member_count();
+        let lumped_opts = ExploreOptions {
+            lumping: Some(canon),
+            ..opts.clone()
+        };
+        let graph = explore(&model.net, &lumped_opts)?;
+        let (evaluation, survival) = evaluate_clustered_graph(&model, &graph, mission_times)?;
+        let states = graph.state_count();
+        let stats = LumpingStats {
+            path: ClusteredPath::FlatLumped,
+            states,
+            edges: graph.edge_count(),
+            orbits,
+            orbit_members,
+            unlumped_state_estimate: unlumped_estimate,
+            reduction: unlumped_estimate / states.max(1) as f64,
+        };
+        return Ok(ClusteredEvaluation {
+            evaluation,
+            survival,
+            stats,
+        });
+    }
+
+    // --- hierarchical path ------------------------------------------------
+    let ctmc = Ctmc::from_graph(&cluster_graph)?;
+    let absorption = ctmc.mean_time_to_absorption()?;
+    let cluster_mttsf = absorption.mtta;
+    if !(cluster_mttsf.is_finite() && cluster_mttsf > 0.0) {
+        return Err(SpnError::InvalidModel(format!(
+            "cluster MTTSF {cluster_mttsf} is not a positive finite time; cannot compose"
+        )));
+    }
+    // Marginal cause split as interpolation fallback for probe times where
+    // no absorbed mass exists yet.
+    let mut marginal_c1 = 0.0;
+    let mut marginal_all = 0.0;
+    for (i, &p) in absorption.absorption_probability.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        marginal_all += p;
+        if cluster_graph.states[i].tokens(cluster_model.places.gf) > 0 {
+            marginal_c1 += p;
+        }
+    }
+    let fallback_phi = if marginal_all > 0.0 {
+        marginal_c1 / marginal_all
+    } else {
+        0.0
+    };
+
+    let (mut evaluation, survival) = hierarchical_compose(
+        &cluster_model,
+        &cluster_graph,
+        &ctmc,
+        cluster_mttsf,
+        fallback_phi,
+        topo,
+        mission_times,
+    )?;
+
+    // The parent inter-cluster model: one aggregate failure transition per
+    // cluster, explored through the same lumping pipeline (K+1 lumped
+    // states against the Σ_{j≤K} C(C,j) unlumped front).
+    let (parent_net, parent_canon) = parent_aggregate_model(cluster_mttsf, topo);
+    let orbits = parent_canon.orbit_count();
+    let orbit_members = parent_canon.member_count();
+    let parent_opts = ExploreOptions {
+        lumping: Some(parent_canon),
+        ..opts.clone()
+    };
+    let parent_graph = explore(&parent_net, &parent_opts)?;
+
+    let states = cluster_graph.state_count() + parent_graph.state_count();
+    let edges = cluster_graph.edge_count() + parent_graph.edge_count();
+    evaluation.state_count = states;
+    evaluation.edge_count = edges;
+    let stats = LumpingStats {
+        path: ClusteredPath::Hierarchical,
+        states,
+        edges,
+        orbits,
+        orbit_members,
+        unlumped_state_estimate: unlumped_estimate,
+        reduction: unlumped_estimate / states.max(1) as f64,
+    };
+    Ok(ClusteredEvaluation {
+        evaluation,
+        survival,
+        stats,
+    })
+}
+
+/// Solve an already-explored flat clustered graph (lumped or not): MTTSF,
+/// cost accrued by non-failed clusters, the exact failure-cause split via
+/// absorbing-flux attribution, and the optional mission survival curve.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn evaluate_clustered_graph(
+    model: &ClusteredModel,
+    graph: &ReachabilityGraph,
+    mission_times: &[f64],
+) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
+    let cfg = &model.config;
+    let ctmc = Ctmc::from_graph(graph)?;
+    let absorption = ctmc.mean_time_to_absorption()?;
+
+    // Rate components: every cluster that has not locally failed accrues
+    // the per-cluster cost of its own population.
+    let rate_components: Vec<CostBreakdown> = graph
+        .states
+        .iter()
+        .map(|m| {
+            let mut acc = CostBreakdown::default();
+            for p in &model.cluster_places {
+                if !cluster_failed(p, m) {
+                    acc = acc.add(&cost_breakdown(cfg, &population(p, m)));
+                }
+            }
+            acc
+        })
+        .collect();
+
+    // Eviction rekeys per cluster (a failed cluster's eviction transitions
+    // are guarded off, so they contribute nothing automatically).
+    let mut impulse_rates = vec![0.0; graph.state_count()];
+    for imp in clustered_eviction_impulses(model)? {
+        for (acc, v) in impulse_rates
+            .iter_mut()
+            .zip(imp.per_state(&model.net, graph))
+        {
+            *acc += v;
+        }
+    }
+
+    let mttsf = absorption.mtta;
+    let mut accumulated = CostBreakdown::default();
+    let mut accumulated_impulse = 0.0;
+    for (i, sojourn) in absorption.sojourn.iter().enumerate() {
+        if *sojourn > 0.0 {
+            accumulated = accumulated.add(&rate_components[i].scale(*sojourn));
+            accumulated_impulse += impulse_rates[i] * sojourn;
+        }
+    }
+    accumulated.rekey += accumulated_impulse;
+    let components = if mttsf > 0.0 {
+        accumulated.scale(1.0 / mttsf)
+    } else {
+        CostBreakdown::default()
+    };
+
+    let (p_c1, p_c2) = absorbing_flux_split(model, graph, &absorption.sojourn);
+
+    let evaluation = Evaluation {
+        mttsf_seconds: mttsf,
+        c_total_hop_bits_per_sec: components.total(),
+        cost_components: components,
+        p_failure_c1: p_c1,
+        p_failure_c2: p_c2,
+        state_count: graph.state_count(),
+        edge_count: graph.edge_count(),
+    };
+    let survival = if mission_times.is_empty() {
+        None
+    } else {
+        Some(ctmc.survival_curve(mission_times, &TransientOptions::default()))
+    };
+    Ok((evaluation, survival))
+}
+
+/// Exact failure-cause split for a flat clustered graph: the probability
+/// flux into absorbing states, attributed by the cluster whose transition
+/// completed the K-th failure. System absorption changes exactly one
+/// cluster from healthy to failed (transitions touch only their own
+/// block), so re-firing each absorbing edge identifies that cluster — and
+/// its `GF` token decides C1 vs C2. This works unchanged on the lumped
+/// quotient, where the representative's edge carries the whole orbit's
+/// flux.
+fn absorbing_flux_split(
+    model: &ClusteredModel,
+    graph: &ReachabilityGraph,
+    sojourn: &[f64],
+) -> (f64, f64) {
+    let mut c1 = 0.0;
+    let mut c2 = 0.0;
+    for (u, edges) in graph.edges.iter().enumerate() {
+        if graph.absorbing[u] || sojourn[u] <= 0.0 {
+            continue;
+        }
+        let mu = &graph.states[u];
+        for e in edges {
+            if !graph.absorbing[e.target as usize] {
+                continue;
+            }
+            // Pre-canonicalization successor: the firing cluster's places
+            // are still in the frame `mu` uses.
+            let fired = model.net.fire(e.transition, mu);
+            let newly_failed = model
+                .cluster_places
+                .iter()
+                .find(|p| cluster_failed(p, &fired) && !cluster_failed(p, mu));
+            if let Some(p) = newly_failed {
+                let mass = sojourn[u] * e.rate;
+                if fired.tokens(p.gf) > 0 {
+                    c1 += mass;
+                } else {
+                    c2 += mass;
+                }
+            }
+        }
+    }
+    let total = c1 + c2;
+    if total > 0.0 {
+        (c1 / total, c2 / total)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Per-cluster eviction-rekey impulse rewards for a flat clustered net
+/// (every cluster's `T_IDS#i` / `T_FA#i` firing charges a GDH rekey of
+/// that cluster's current group size), shared by the exact evaluator and
+/// the SPN-simulation backend. A failed cluster's eviction transitions
+/// are guarded off, so they stop charging automatically.
+///
+/// # Errors
+/// Returns [`SpnError::InvalidModel`] if the net is missing an eviction
+/// transition.
+pub fn clustered_eviction_impulses(model: &ClusteredModel) -> Result<Vec<ImpulseReward>, SpnError> {
+    let mut out = Vec::new();
+    for (i, places) in model.cluster_places.iter().enumerate() {
+        let places = *places;
+        for base in ["T_IDS", "T_FA"] {
+            let name = format!("{base}#{i}");
+            let t = model
+                .net
+                .transition_by_name(&name)
+                .ok_or_else(|| SpnError::InvalidModel(format!("missing transition {name}")))?;
+            let cfg = model.config.clone();
+            out.push(ImpulseReward::new(
+                format!("evict-rekey-{name}"),
+                t,
+                move |m: &Marking| {
+                    let pop = population(&places, m);
+                    gdh_rekey_hop_bits(&cfg, pop.per_group_live())
+                },
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// A total-cost rate reward over a flat clustered net (the SPN-simulation
+/// counterpart of the exact per-state rates): each non-failed cluster
+/// contributes its own population's cost.
+pub fn clustered_total_cost_reward(model: &ClusteredModel) -> RateReward {
+    let cfg = model.config.clone();
+    let blocks = model.cluster_places.clone();
+    RateReward::new("c_total_rate", move |m| {
+        blocks
+            .iter()
+            .filter(|p| !cluster_failed(p, m))
+            .map(|p| cost_breakdown(&cfg, &population(p, m)).total())
+            .sum()
+    })
+}
+
+/// The parent inter-cluster model of the hierarchical path: one place per
+/// cluster (token = cluster up), one aggregate failure transition per
+/// cluster at rate `1/MTTSF_cluster`, absorbing once
+/// `topo.failure_threshold` tokens are gone — plus the single-orbit
+/// canonicalizer that lumps it to `K+1` states.
+pub fn parent_aggregate_model(
+    cluster_mttsf: f64,
+    topo: &ClusterTopology,
+) -> (Spn, MarkingCanonicalizer) {
+    let mut b = SpnBuilder::new();
+    let rate = 1.0 / cluster_mttsf;
+    let places: Vec<PlaceId> = (0..topo.clusters)
+        .map(|i| b.add_place(format!("Up#{i}"), 1))
+        .collect();
+    for (i, &p) in places.iter().enumerate() {
+        b.add_transition(TransitionDef::timed(format!("fail#{i}"), move |_| rate).input(p, 1));
+    }
+    let threshold = topo.failure_threshold;
+    let clusters = topo.clusters;
+    let pl = places.clone();
+    b.absorbing_when(move |m: &Marking| {
+        let alive: u32 = pl.iter().map(|&p| m.tokens(p)).sum();
+        clusters - alive >= threshold
+    });
+    let net = b.build().expect("parent aggregate net is consistent");
+    let orbit: Vec<Vec<PlaceId>> = places.iter().map(|&p| vec![p]).collect();
+    let canon = MarkingCanonicalizer::new(vec![orbit]).expect("singleton blocks are disjoint");
+    (net, canon)
+}
+
+/// `P[fewer than k of c iid clusters have failed]` given per-cluster
+/// survival `s`, in log space so large `c` stays finite.
+fn binomial_tail_survival(s: f64, c: u32, k: u32) -> f64 {
+    let f = (1.0 - s).clamp(0.0, 1.0);
+    let s = s.clamp(0.0, 1.0);
+    let mut total = 0.0;
+    for j in 0..k.min(c + 1) {
+        total += binomial_pmf(c, j, f, s);
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// `C(c, j) f^j s^(c-j)` in log space.
+fn binomial_pmf(c: u32, j: u32, f: f64, s: f64) -> f64 {
+    if j > c {
+        return 0.0;
+    }
+    if f <= 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if s <= 0.0 {
+        return if j == c { 1.0 } else { 0.0 };
+    }
+    (ln_binomial(u64::from(c), u64::from(j)) + f64::from(j) * f.ln() + f64::from(c - j) * s.ln())
+        .exp()
+}
+
+/// Composite Simpson over an odd-length sample vector with spacing `h`.
+fn simpson_scalar(values: &[f64], h: f64) -> f64 {
+    debug_assert!(values.len() >= 3 && values.len() % 2 == 1);
+    let m = values.len() - 1;
+    let mut acc = values[0] + values[m];
+    for (i, v) in values.iter().enumerate().take(m).skip(1) {
+        acc += if i % 2 == 1 { 4.0 * v } else { 2.0 * v };
+    }
+    acc * h / 3.0
+}
+
+/// Composite Simpson over per-component cost breakdowns.
+fn simpson_breakdown(values: &[CostBreakdown], h: f64) -> CostBreakdown {
+    debug_assert!(values.len() >= 3 && values.len() % 2 == 1);
+    let m = values.len() - 1;
+    let mut acc = values[0].add(&values[m]);
+    for (i, v) in values.iter().enumerate().take(m).skip(1) {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc = acc.add(&v.scale(w));
+    }
+    acc.scale(h / 3.0)
+}
+
+/// Piecewise-linear interpolation of probe samples onto an ascending grid
+/// (probe times bracket the grid by construction).
+fn lerp_grid(probe_t: &[f64], probe_v: &[f64], grid: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.len());
+    let mut seg = 0usize;
+    for &t in grid {
+        while seg + 2 < probe_t.len() && probe_t[seg + 1] < t {
+            seg += 1;
+        }
+        let (t0, t1) = (probe_t[seg], probe_t[seg + 1]);
+        let a = if t1 > t0 {
+            ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(probe_v[seg] * (1.0 - a) + probe_v[seg + 1] * a);
+    }
+    out
+}
+
+/// As [`lerp_grid`], componentwise over cost breakdowns.
+fn lerp_grid_breakdown(
+    probe_t: &[f64],
+    probe_v: &[CostBreakdown],
+    grid: &[f64],
+) -> Vec<CostBreakdown> {
+    let mut out = Vec::with_capacity(grid.len());
+    let mut seg = 0usize;
+    for &t in grid {
+        while seg + 2 < probe_t.len() && probe_t[seg + 1] < t {
+            seg += 1;
+        }
+        let (t0, t1) = (probe_t[seg], probe_t[seg + 1]);
+        let a = if t1 > t0 {
+            ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(probe_v[seg].scale(1.0 - a).add(&probe_v[seg + 1].scale(a)));
+    }
+    out
+}
+
+/// The hierarchical order-statistic composition over one solved cluster
+/// chain. Returns the system evaluation (state/edge counts still those of
+/// the cluster chain — the caller adds the parent aggregate) and the
+/// mission survival curve.
+#[allow(clippy::too_many_arguments)]
+fn hierarchical_compose(
+    cluster_model: &GcsIdsModel,
+    cluster_graph: &ReachabilityGraph,
+    ctmc: &Ctmc,
+    cluster_mttsf: f64,
+    fallback_phi: f64,
+    topo: &ClusterTopology,
+    mission_times: &[f64],
+) -> Result<(Evaluation, Option<Vec<f64>>), SpnError> {
+    let c = topo.clusters;
+    let k = topo.failure_threshold;
+    let topts = TransientOptions::default();
+
+    // --- horizon: smallest t_end (geometric steps) with S_sys < 1e-12 ----
+    let sys_surv_at = |t: f64| -> f64 {
+        let s = ctmc.survival_curve(&[t], &topts)[0];
+        binomial_tail_survival(s, c, k)
+    };
+    let mut t_end = 8.0 * cluster_mttsf;
+    let mut steps = 0;
+    while sys_surv_at(t_end) >= 1e-12 && steps < 60 {
+        t_end *= 1.6;
+        steps += 1;
+    }
+    steps = 0;
+    while steps < 60 && sys_surv_at(t_end / 1.6) < 1e-12 {
+        t_end /= 1.6;
+        steps += 1;
+    }
+
+    // --- quadrature grid with exact cluster survival ----------------------
+    // S_sys decays on the scale of the K-th order statistic, which shrinks
+    // as C grows — refine the grid for wide systems.
+    let m_intervals: usize = if c <= 64 { 2048 } else { 8192 };
+    let h = t_end / m_intervals as f64;
+    let grid: Vec<f64> = (0..=m_intervals).map(|i| i as f64 * h).collect();
+    let s_grid = ctmc.survival_curve(&grid, &topts);
+
+    // --- probe distributions: ρ(t) = E[rate | alive], φ(t) = C1 share ----
+    // Quadratically-spaced probes front-load resolution where the cost
+    // rate and the cause mix actually move.
+    let places = cluster_model.places;
+    let cfg = &cluster_model.config;
+    let n = cluster_graph.state_count();
+    let mut state_rates: Vec<CostBreakdown> = (0..n)
+        .map(|i| {
+            if cluster_graph.absorbing[i] {
+                CostBreakdown::default()
+            } else {
+                cost_breakdown(cfg, &population(&places, &cluster_graph.states[i]))
+            }
+        })
+        .collect();
+    let mut impulse_rates = vec![0.0; n];
+    for imp in eviction_impulses(cluster_model)? {
+        for (acc, v) in impulse_rates
+            .iter_mut()
+            .zip(imp.per_state(&cluster_model.net, cluster_graph))
+        {
+            *acc += v;
+        }
+    }
+    for i in 0..n {
+        if !cluster_graph.absorbing[i] {
+            state_rates[i].rekey += impulse_rates[i];
+        }
+    }
+
+    const PROBES: usize = 33;
+    let probe_times: Vec<f64> = (0..PROBES)
+        .map(|p| t_end * (p as f64 / (PROBES - 1) as f64).powi(2))
+        .collect();
+    let mut probe_rho: Vec<CostBreakdown> = Vec::with_capacity(PROBES);
+    let mut probe_phi: Vec<f64> = Vec::with_capacity(PROBES);
+    let mut last_rho = CostBreakdown::default();
+    let mut have_rho = false;
+    let mut last_phi: Option<f64> = None;
+    for &t in &probe_times {
+        let pi = ctmc.transient_distribution(t, &topts);
+        let mut alive_mass = 0.0;
+        let mut rho = CostBreakdown::default();
+        let mut f_c1 = 0.0;
+        let mut f_all = 0.0;
+        for (i, &p) in pi.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            if cluster_graph.absorbing[i] {
+                f_all += p;
+                if cluster_graph.states[i].tokens(places.gf) > 0 {
+                    f_c1 += p;
+                }
+            } else {
+                alive_mass += p;
+                rho = rho.add(&state_rates[i].scale(p));
+            }
+        }
+        if alive_mass > 1e-300 {
+            last_rho = rho.scale(1.0 / alive_mass);
+            have_rho = true;
+        }
+        probe_rho.push(if have_rho {
+            last_rho
+        } else {
+            CostBreakdown::default()
+        });
+        if f_all > 1e-300 {
+            last_phi = Some(f_c1 / f_all);
+        }
+        // Probes before any absorbed mass exists fall back to the marginal
+        // cause mix; they carry near-zero weight in the split integral.
+        probe_phi.push(last_phi.unwrap_or(fallback_phi));
+    }
+
+    let rho_grid = lerp_grid_breakdown(&probe_times, &probe_rho, &grid);
+    let phi_grid = lerp_grid(&probe_times, &probe_phi, &grid);
+
+    // --- compose ----------------------------------------------------------
+    let s_sys: Vec<f64> = s_grid
+        .iter()
+        .map(|&s| binomial_tail_survival(s, c, k))
+        .collect();
+    let mttsf_sys = simpson_scalar(&s_sys, h);
+    if !(mttsf_sys.is_finite() && mttsf_sys > 0.0) {
+        return Err(SpnError::InvalidModel(format!(
+            "composed system MTTSF {mttsf_sys} is not a positive finite time"
+        )));
+    }
+
+    // Cost: each alive cluster accrues ρ(t) while fewer than K of the
+    // OTHER C−1 clusters have failed (its own survival is the S factor).
+    let cost_integrand: Vec<CostBreakdown> = (0..=m_intervals)
+        .map(|i| {
+            let s = s_grid[i];
+            let f = 1.0 - s;
+            let mut b_other = 0.0;
+            for j in 0..k.min(c) {
+                b_other += binomial_pmf(c - 1, j, f, s);
+            }
+            rho_grid[i].scale(f64::from(c) * s * b_other)
+        })
+        .collect();
+    let accumulated = simpson_breakdown(&cost_integrand, h);
+    let components = accumulated.scale(1.0 / mttsf_sys);
+
+    // Failure split: the K-th failure is cluster-cause-weighted by the
+    // order-statistic density C·C(C−1,K−1)·F^{K−1}·S^{C−K}·dF, integrated
+    // against dF on the fine grid and renormalised (the system fails with
+    // probability 1, so the raw integral only misses quadrature dust).
+    let mut c1_raw = 0.0;
+    let mut c2_raw = 0.0;
+    for i in 0..m_intervals {
+        let df = (1.0 - s_grid[i + 1]) - (1.0 - s_grid[i]);
+        if df <= 0.0 {
+            continue;
+        }
+        let w0 = f64::from(c) * binomial_pmf(c - 1, k - 1, 1.0 - s_grid[i], s_grid[i]);
+        let w1 = f64::from(c) * binomial_pmf(c - 1, k - 1, 1.0 - s_grid[i + 1], s_grid[i + 1]);
+        let w = 0.5 * (w0 + w1);
+        let phi = 0.5 * (phi_grid[i] + phi_grid[i + 1]);
+        c1_raw += w * df * phi;
+        c2_raw += w * df * (1.0 - phi);
+    }
+    let split_total = c1_raw + c2_raw;
+    let (p_c1, p_c2) = if split_total > 0.0 {
+        (c1_raw / split_total, c2_raw / split_total)
+    } else {
+        (fallback_phi, 1.0 - fallback_phi)
+    };
+
+    // Mission survival: exact cluster survival at the requested horizons,
+    // composed through the binomial tail — no quadrature involved.
+    let survival = if mission_times.is_empty() {
+        None
+    } else {
+        let s_mission = ctmc.survival_curve(mission_times, &topts);
+        Some(
+            s_mission
+                .iter()
+                .map(|&s| binomial_tail_survival(s, c, k))
+                .collect(),
+        )
+    };
+
+    let evaluation = Evaluation {
+        mttsf_seconds: mttsf_sys,
+        c_total_hop_bits_per_sec: components.total(),
+        cost_components: components,
+        p_failure_c1: p_c1,
+        p_failure_c2: p_c2,
+        state_count: cluster_graph.state_count(),
+        edge_count: cluster_graph.edge_count(),
+    };
+    Ok((evaluation, survival))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+
+    fn tiny_cluster_cfg() -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.node_count = 4;
+        c.vote_participants = 3;
+        c.max_groups = 1;
+        c
+    }
+
+    fn topo(clusters: u32, k: u32) -> ClusterTopology {
+        ClusterTopology {
+            clusters,
+            failure_threshold: k,
+        }
+    }
+
+    #[test]
+    fn multiset_count_matches_small_cases() {
+        assert_eq!(multiset_count(3, 2), 6.0);
+        assert_eq!(multiset_count(2, 3), 4.0);
+        assert_eq!(multiset_count(1, 5), 1.0);
+        assert!(multiset_count(1_000_000, 1000).is_infinite());
+    }
+
+    #[test]
+    fn flat_lumped_matches_unlumped_flat() {
+        let cfg = tiny_cluster_cfg();
+        for k in [1u32, 2u32] {
+            let t = topo(2, k);
+            let lumped =
+                evaluate_clustered_with_survival(&cfg, &t, &[], &ExploreOptions::default())
+                    .unwrap();
+            assert_eq!(lumped.stats.path, ClusteredPath::FlatLumped);
+
+            let model = build_clustered_model(&cfg, &t);
+            let unlumped_graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+            let horizon = lumped.evaluation.mttsf_seconds;
+            let times = [0.25 * horizon, horizon, 2.0 * horizon];
+            let (u_eval, u_surv) =
+                evaluate_clustered_graph(&model, &unlumped_graph, &times).unwrap();
+
+            // States strictly shrink: both clusters share one orbit.
+            assert!(
+                lumped.stats.states < unlumped_graph.state_count(),
+                "lumped {} vs unlumped {}",
+                lumped.stats.states,
+                unlumped_graph.state_count()
+            );
+            assert_eq!(lumped.stats.orbit_members, 2);
+
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            assert!(
+                rel(lumped.evaluation.mttsf_seconds, u_eval.mttsf_seconds) < 1e-9,
+                "k={k}: MTTSF {} vs {}",
+                lumped.evaluation.mttsf_seconds,
+                u_eval.mttsf_seconds
+            );
+            assert!(
+                rel(
+                    lumped.evaluation.c_total_hop_bits_per_sec,
+                    u_eval.c_total_hop_bits_per_sec
+                ) < 1e-9
+            );
+            assert!((lumped.evaluation.p_failure_c1 - u_eval.p_failure_c1).abs() < 1e-9);
+
+            let (l_eval, l_surv) = {
+                let canon = clustered_canonicalizer(&model);
+                let g = explore(
+                    &model.net,
+                    &ExploreOptions {
+                        lumping: Some(canon),
+                        ..ExploreOptions::default()
+                    },
+                )
+                .unwrap();
+                evaluate_clustered_graph(&model, &g, &times).unwrap()
+            };
+            assert!(rel(l_eval.mttsf_seconds, u_eval.mttsf_seconds) < 1e-9);
+            for (a, b) in l_surv.unwrap().iter().zip(u_surv.unwrap().iter()) {
+                assert!((a - b).abs() < 1e-9, "survival {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_agrees_with_flat_lumped() {
+        let cfg = tiny_cluster_cfg();
+        let t = topo(3, 2);
+        let flat =
+            evaluate_clustered_with_survival(&cfg, &t, &[], &ExploreOptions::default()).unwrap();
+        assert_eq!(flat.stats.path, ClusteredPath::FlatLumped);
+        let m = flat.evaluation.mttsf_seconds;
+        let times = [0.25 * m, m, 2.0 * m];
+        let flat =
+            evaluate_clustered_with_survival(&cfg, &t, &times, &ExploreOptions::default()).unwrap();
+
+        let tight = ExploreOptions {
+            max_states: 100,
+            ..ExploreOptions::default()
+        };
+        let hier = evaluate_clustered_with_survival(&cfg, &t, &times, &tight).unwrap();
+        assert_eq!(hier.stats.path, ClusteredPath::Hierarchical);
+        assert!(hier.stats.states < flat.stats.states);
+
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(
+            rel(hier.evaluation.mttsf_seconds, flat.evaluation.mttsf_seconds) < 1e-4,
+            "MTTSF hier {} vs flat {}",
+            hier.evaluation.mttsf_seconds,
+            flat.evaluation.mttsf_seconds
+        );
+        for (a, b) in hier
+            .survival
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(flat.survival.as_ref().unwrap().iter())
+        {
+            assert!((a - b).abs() < 1e-6, "survival hier {a} vs flat {b}");
+        }
+        assert!(
+            rel(
+                hier.evaluation.c_total_hop_bits_per_sec,
+                flat.evaluation.c_total_hop_bits_per_sec
+            ) < 1e-2,
+            "cost hier {} vs flat {}",
+            hier.evaluation.c_total_hop_bits_per_sec,
+            flat.evaluation.c_total_hop_bits_per_sec
+        );
+        assert!(
+            (hier.evaluation.p_failure_c1 - flat.evaluation.p_failure_c1).abs() < 2e-2,
+            "split hier {} vs flat {}",
+            hier.evaluation.p_failure_c1,
+            flat.evaluation.p_failure_c1
+        );
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_flat_model() {
+        let cfg = tiny_cluster_cfg();
+        let clustered = evaluate_clustered(&cfg, &topo(1, 1)).unwrap();
+        let plain = evaluate(&cfg).unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(clustered.evaluation.mttsf_seconds, plain.mttsf_seconds) < 1e-9);
+        assert!(
+            rel(
+                clustered.evaluation.c_total_hop_bits_per_sec,
+                plain.c_total_hop_bits_per_sec
+            ) < 1e-9
+        );
+        assert!((clustered.evaluation.p_failure_c1 - plain.p_failure_c1).abs() < 1e-9);
+        assert_eq!(clustered.evaluation.state_count, plain.state_count);
+    }
+
+    #[test]
+    fn parent_aggregate_lumps_to_threshold_plus_one() {
+        let t = topo(6, 3);
+        let (net, canon) = parent_aggregate_model(1000.0, &t);
+        let lumped = explore(
+            &net,
+            &ExploreOptions {
+                lumping: Some(canon),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(lumped.state_count(), 4); // 0, 1, 2 failed + absorbing
+
+        let unlumped = explore(&net, &ExploreOptions::default()).unwrap();
+        // Σ_{j≤3} C(6,j) = 1 + 6 + 15 + 20
+        assert_eq!(unlumped.state_count(), 42);
+
+        // Exponential order statistics: MTTA = Σ_{j<K} MTTSF_c / (C − j).
+        let mtta = Ctmc::from_graph(&lumped)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta;
+        let expect = 1000.0 * (1.0 / 6.0 + 1.0 / 5.0 + 1.0 / 4.0);
+        assert!((mtta - expect).abs() < 1e-6, "{mtta} vs {expect}");
+    }
+
+    #[test]
+    fn invalid_topology_is_reported() {
+        let cfg = tiny_cluster_cfg();
+        assert!(evaluate_clustered(&cfg, &topo(0, 1)).is_err());
+        assert!(evaluate_clustered(&cfg, &topo(3, 4)).is_err());
+        assert!(evaluate_clustered(&cfg, &topo(3, 0)).is_err());
+    }
+}

@@ -13,6 +13,44 @@ pub enum KeyAgreementProtocol {
     Gdh3,
 }
 
+/// Topology of a clustered deployment: `clusters` structurally identical,
+/// independently operating copies of one [`SystemConfig`] sub-system, with
+/// the overall system declared failed once `failure_threshold` clusters have
+/// individually failed (a K-of-C survivability criterion).
+///
+/// Clusters are indistinguishable — same size, same rates — which is exactly
+/// the member-permutation symmetry the lumped exact backend exploits (see
+/// `gcsids::model::build_clustered_model`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Number of identical clusters (C ≥ 1).
+    pub clusters: u32,
+    /// Clusters whose failure fails the whole system (1 ≤ K ≤ C).
+    pub failure_threshold: u32,
+}
+
+impl ClusterTopology {
+    /// Check structural sanity.
+    ///
+    /// # Errors
+    /// Human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 {
+            return Err("clusters must be positive".into());
+        }
+        if self.clusters > 10_000 {
+            return Err("clusters too large for exact analysis".into());
+        }
+        if self.failure_threshold == 0 || self.failure_threshold > self.clusters {
+            return Err(format!(
+                "failure_threshold {} must lie in 1..={}",
+                self.failure_threshold, self.clusters
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Complete parameterization of the GCS + IDS + attacker model.
 ///
 /// Defaults follow the paper's §5: `N = 100` nodes in a 500 m-radius area,

@@ -11,6 +11,8 @@
 //!   `T_DRQ`, `T_PAR`, `T_MER`, `T_RK`; absorbing conditions C1/C2);
 //! * [`cost`] — the six-component communication-cost model (hop·bits/s);
 //! * [`metrics`] — MTTSF and Ĉtotal evaluation via the CTMC solvers;
+//! * [`clustered`] — symmetry-lumped and hierarchically composed exact
+//!   evaluation of K-of-C clustered deployments (100+-node systems);
 //! * [`sweep`] — TIDS / m / detection-shape parameter sweeps and optimal
 //!   interval identification (Figures 2–5);
 //! * [`pareto`] — design-space enumeration and the MTTSF-vs-cost Pareto
@@ -37,6 +39,7 @@
 //! assert!(eval.c_total_hop_bits_per_sec > 0.0);
 //! ```
 
+pub mod clustered;
 pub mod config;
 pub mod cost;
 pub mod des;
@@ -46,7 +49,11 @@ pub mod model;
 pub mod pareto;
 pub mod sweep;
 
-pub use config::SystemConfig;
+pub use clustered::{
+    evaluate_clustered, evaluate_clustered_with_survival, ClusteredEvaluation, ClusteredPath,
+    LumpingStats,
+};
+pub use config::{ClusterTopology, SystemConfig};
 pub use cost::CostBreakdown;
 pub use des::{
     mission_success_probability, run_des_sampled, survival_curve, DesConfig, DesOutcome,
@@ -56,5 +63,6 @@ pub use des_mobility::{
     run_mobility_des, run_mobility_des_sampled, MobilityDesConfig, MobilityDesOutcome,
 };
 pub use metrics::{evaluate, Evaluation};
+pub use model::{build_clustered_model, clustered_canonicalizer, ClusteredModel};
 pub use pareto::{design_space, pareto_front, DesignPoint};
 pub use sweep::{optimal_tids_for_mttsf, sweep_tids, SweepPoint, SweepSeries};

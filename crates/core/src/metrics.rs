@@ -96,6 +96,12 @@ pub struct TemplateStats {
     /// CTMC sparsity-pattern builds performed (1 at construction; +1 per
     /// structural-fallback evaluation).
     pub pattern_builds: usize,
+    /// Symmetry orbits supplied to exploration (0 when lumping is off).
+    pub orbits: usize,
+    /// Total interchangeable member blocks across those orbits (0 when
+    /// lumping is off; lumping can only shrink the space when some orbit
+    /// has ≥ 2 members).
+    pub orbit_members: usize,
 }
 
 impl ExactTemplate {
@@ -120,7 +126,7 @@ impl ExactTemplate {
             graph,
             ctmc,
             scratch: Mutex::new(Vec::new()),
-            opts: *opts,
+            opts: opts.clone(),
             node_count: cfg.node_count,
             max_groups: cfg.max_groups,
             explorations: AtomicUsize::new(1),
@@ -131,9 +137,15 @@ impl ExactTemplate {
     /// Work counters: how many explorations and CSR pattern builds this
     /// template has performed so far.
     pub fn stats(&self) -> TemplateStats {
+        let (orbits, orbit_members) = match &self.opts.lumping {
+            Some(c) => (c.orbit_count(), c.member_count()),
+            None => (0, 0),
+        };
         TemplateStats {
             explorations: self.explorations.load(Ordering::Relaxed),
             pattern_builds: self.pattern_builds.load(Ordering::Relaxed),
+            orbits,
+            orbit_members,
         }
     }
 
@@ -304,7 +316,7 @@ pub fn evaluate_prebuilt(
 /// curve) on a CTMC that is already built — freshly via [`Ctmc::from_graph`]
 /// on the one-shot paths, or refreshed in place on the rebuild-free
 /// template path. `ctmc` must be the chain of `graph`'s current rates.
-fn evaluate_with_ctmc(
+pub(crate) fn evaluate_with_ctmc(
     model: &GcsIdsModel,
     graph: &ReachabilityGraph,
     ctmc: &Ctmc,

@@ -20,9 +20,11 @@
 //! compromised member) or **C2** `U/(T+U) > 1/3` (Byzantine capture),
 //! checked exactly as `2U > T` in integers.
 
-use crate::config::SystemConfig;
+use crate::config::{ClusterTopology, SystemConfig};
 use ids::voting::{p_false_negative_with_collusion, p_false_positive_with_collusion};
+use numerics::UnionFind;
 use spn::model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef};
+use spn::reach::MarkingCanonicalizer;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -139,20 +141,33 @@ pub fn pfp_for(cfg: &SystemConfig, pop: &Population) -> f64 {
     )
 }
 
-/// Build the SPN for a configuration.
-///
-/// # Panics
-/// Panics if the configuration fails [`SystemConfig::validate`] — call it
-/// first for a recoverable error.
-pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
-    cfg.validate()
-        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-    let mut b = SpnBuilder::new();
-    let tm = b.add_place("Tm", cfg.node_count);
-    let ucm = b.add_place("UCm", 0);
-    let dcm = b.add_place("DCm", 0);
-    let gf = b.add_place("GF", 0);
-    let ng = b.add_place("NG", 1);
+/// The local failure predicate of one sub-system block: C1 (`GF` token),
+/// C2 (Byzantine capture), or total attrition. For the flat model this is
+/// exactly the global absorbing condition; for a clustered net it is one
+/// cluster's own failure.
+pub fn cluster_failed(places: &Places, m: &Marking) -> bool {
+    let t = m.tokens(places.tm);
+    let u = m.tokens(places.ucm);
+    m.tokens(places.gf) > 0 || c2_holds(t, u) || t + u == 0
+}
+
+/// Add one GCS/IDS sub-system (5 places, 7 transitions) to `b`, with
+/// `suffix` appended to every place/transition name (empty for the flat
+/// model). When `freeze_on_local_failure` is set, every transition of the
+/// block is guarded off once [`cluster_failed`] holds on the block's own
+/// places — a failed cluster stops evolving (and accruing cost) while the
+/// rest of a clustered system keeps running.
+fn add_subsystem(
+    b: &mut SpnBuilder,
+    cfg: &SystemConfig,
+    suffix: &str,
+    freeze_on_local_failure: bool,
+) -> Places {
+    let tm = b.add_place(format!("Tm{suffix}"), cfg.node_count);
+    let ucm = b.add_place(format!("UCm{suffix}"), 0);
+    let dcm = b.add_place(format!("DCm{suffix}"), 0);
+    let gf = b.add_place(format!("GF{suffix}"), 0);
+    let ng = b.add_place(format!("NG{suffix}"), 1);
     let places = Places {
         tm,
         ucm,
@@ -161,21 +176,28 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         ng,
     };
 
-    // Global absorbing predicate: C1 or C2 (or total attrition).
-    b.absorbing_when(move |m| {
-        let t = m.tokens(tm);
-        let u = m.tokens(ucm);
-        m.tokens(gf) > 0 || c2_holds(t, u) || t + u == 0
-    });
+    // `Places` is `Copy`, so this tiny predicate can be captured by every
+    // guard below. With `freeze_on_local_failure` unset it never fires and
+    // the guards are skipped entirely, leaving the flat model untouched.
+    let frozen = move |m: &Marking| cluster_failed(&places, m);
+    let guarded = |def: TransitionDef| -> TransitionDef {
+        if freeze_on_local_failure {
+            def.guard(move |m| !frozen(m))
+        } else {
+            def
+        }
+    };
 
     // T_CP: a trusted node is compromised at the attacker rate A(mc).
     {
         let attacker = cfg.attacker;
-        b.add_transition(
-            TransitionDef::timed("T_CP", move |m| attacker.rate(m.tokens(tm), m.tokens(ucm)))
-                .input(tm, 1)
-                .output(ucm, 1),
-        );
+        b.add_transition(guarded(
+            TransitionDef::timed(format!("T_CP{suffix}"), move |m| {
+                attacker.rate(m.tokens(tm), m.tokens(ucm))
+            })
+            .input(tm, 1)
+            .output(ucm, 1),
+        ));
     }
 
     // T_IDS: voting IDS catches an undetected compromised node. The voting
@@ -188,18 +210,9 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         let cfg_c = cfg.clone();
         let n_init = cfg.node_count;
         let cache: Mutex<HashMap<(u32, u32), f64>> = Mutex::new(HashMap::new());
-        b.add_transition(
-            TransitionDef::timed("T_IDS", move |m| {
-                let pop = population(
-                    &Places {
-                        tm,
-                        ucm,
-                        dcm,
-                        gf,
-                        ng,
-                    },
-                    m,
-                );
+        b.add_transition(guarded(
+            TransitionDef::timed(format!("T_IDS{suffix}"), move |m| {
+                let pop = population(&places, m);
                 if pop.undetected == 0 {
                     return 0.0;
                 }
@@ -214,7 +227,7 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
             })
             .input(ucm, 1)
             .output(dcm, 1),
-        );
+        ));
     }
 
     // T_FA: voting IDS falsely evicts a trusted node (same memoization).
@@ -222,18 +235,9 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         let cfg_c = cfg.clone();
         let n_init = cfg.node_count;
         let cache: Mutex<HashMap<(u32, u32), f64>> = Mutex::new(HashMap::new());
-        b.add_transition(
-            TransitionDef::timed("T_FA", move |m| {
-                let pop = population(
-                    &Places {
-                        tm,
-                        ucm,
-                        dcm,
-                        gf,
-                        ng,
-                    },
-                    m,
-                );
+        b.add_transition(guarded(
+            TransitionDef::timed(format!("T_FA{suffix}"), move |m| {
+                let pop = population(&places, m);
                 if pop.trusted == 0 {
                     return 0.0;
                 }
@@ -248,7 +252,7 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
             })
             .input(tm, 1)
             .output(dcm, 1),
-        );
+        ));
     }
 
     // T_DRQ: an undetected compromised member obtains data (C1). The
@@ -257,12 +261,14 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
     {
         let p1 = cfg.p1_host_false_negative;
         let lambda_q = cfg.group_comm_rate;
-        b.add_transition(
-            TransitionDef::timed("T_DRQ", move |m| p1 * lambda_q * m.tokens(ucm) as f64)
-                .input(ucm, 1)
-                .output(ucm, 1)
-                .output(gf, 1),
-        );
+        b.add_transition(guarded(
+            TransitionDef::timed(format!("T_DRQ{suffix}"), move |m| {
+                p1 * lambda_q * m.tokens(ucm) as f64
+            })
+            .input(ucm, 1)
+            .output(ucm, 1)
+            .output(gf, 1),
+        ));
     }
 
     // T_PAR / T_MER: birth–death on the group count, rates calibrated from
@@ -271,21 +277,24 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
     {
         let nu_p = cfg.partition_rate_per_group;
         let max_groups = cfg.max_groups;
+        let par_ok = move |m: &Marking| {
+            let g = m.tokens(ng);
+            g < max_groups && m.tokens(tm) + m.tokens(ucm) > g
+        };
         b.add_transition(
-            TransitionDef::timed("T_PAR", move |m| nu_p * m.tokens(ng) as f64)
-                .output(ng, 1)
-                .guard(move |m| {
-                    let g = m.tokens(ng);
-                    g < max_groups && m.tokens(tm) + m.tokens(ucm) > g
-                }),
+            TransitionDef::timed(format!("T_PAR{suffix}"), move |m| {
+                nu_p * m.tokens(ng) as f64
+            })
+            .output(ng, 1)
+            .guard(move |m| par_ok(m) && !(freeze_on_local_failure && frozen(m))),
         );
         let nu_m = cfg.merge_rate_per_group;
         b.add_transition(
-            TransitionDef::timed("T_MER", move |m| {
+            TransitionDef::timed(format!("T_MER{suffix}"), move |m| {
                 nu_m * (m.tokens(ng).saturating_sub(1)) as f64
             })
             .input(ng, 1)
-            .guard(move |m| m.tokens(ng) >= 2),
+            .guard(move |m| m.tokens(ng) >= 2 && !(freeze_on_local_failure && frozen(m))),
         );
     }
 
@@ -296,11 +305,31 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         let lambda = cfg.join_rate;
         let mu = cfg.leave_rate;
         let n_init = cfg.node_count;
-        b.add_transition(TransitionDef::timed("T_RK", move |m| {
-            let live = m.tokens(tm) + m.tokens(ucm);
-            lambda * (n_init - live.min(n_init)) as f64 + mu * live as f64
-        }));
+        b.add_transition(guarded(TransitionDef::timed(
+            format!("T_RK{suffix}"),
+            move |m| {
+                let live = m.tokens(tm) + m.tokens(ucm);
+                lambda * (n_init - live.min(n_init)) as f64 + mu * live as f64
+            },
+        )));
     }
+
+    places
+}
+
+/// Build the SPN for a configuration.
+///
+/// # Panics
+/// Panics if the configuration fails [`SystemConfig::validate`] — call it
+/// first for a recoverable error.
+pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    let mut b = SpnBuilder::new();
+    let places = add_subsystem(&mut b, cfg, "", false);
+
+    // Global absorbing predicate: C1 or C2 (or total attrition).
+    b.absorbing_when(move |m| cluster_failed(&places, m));
 
     let net = b
         .build()
@@ -310,6 +339,108 @@ pub fn build_model(cfg: &SystemConfig) -> GcsIdsModel {
         places,
         config: cfg.clone(),
     }
+}
+
+/// A clustered deployment: `topology.clusters` structurally identical
+/// copies of the per-cluster sub-system in one flat net, each frozen on its
+/// own failure, with the system absorbing once `topology.failure_threshold`
+/// clusters have failed.
+///
+/// Clusters share no places and no transitions, so before system absorption
+/// they evolve as independent copies of the single-cluster chain — which is
+/// what makes both the symmetry lumping (clusters are interchangeable
+/// members) and the hierarchical order-statistic composition in
+/// `gcsids::metrics` exact.
+pub struct ClusteredModel {
+    /// The flat stochastic Petri net over all clusters.
+    pub net: Spn,
+    /// Place handles per cluster, index = cluster id.
+    pub cluster_places: Vec<Places>,
+    /// Per-cluster configuration snapshot (`node_count` is the cluster
+    /// size; the deployment has `clusters × node_count` nodes).
+    pub config: SystemConfig,
+    /// Cluster count and failure threshold.
+    pub topology: ClusterTopology,
+}
+
+impl ClusteredModel {
+    /// Number of clusters whose local failure predicate holds in `m`.
+    pub fn failed_clusters(&self, m: &Marking) -> u32 {
+        self.cluster_places
+            .iter()
+            .filter(|p| cluster_failed(p, m))
+            .count() as u32
+    }
+}
+
+/// Build the flat clustered SPN for `topology` copies of `cfg`.
+///
+/// # Panics
+/// Panics if either the per-cluster configuration or the topology fails
+/// validation — call `validate()` on both first for a recoverable error.
+pub fn build_clustered_model(cfg: &SystemConfig, topology: &ClusterTopology) -> ClusteredModel {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    topology
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid topology: {e}"));
+    let mut b = SpnBuilder::new();
+    let cluster_places: Vec<Places> = (0..topology.clusters)
+        .map(|i| add_subsystem(&mut b, cfg, &format!("#{i}"), true))
+        .collect();
+
+    let blocks = cluster_places.clone();
+    let threshold = topology.failure_threshold as usize;
+    b.absorbing_when(move |m| blocks.iter().filter(|p| cluster_failed(p, m)).count() >= threshold);
+
+    let net = b
+        .build()
+        .expect("clustered model construction is internally consistent");
+    ClusteredModel {
+        net,
+        cluster_places,
+        config: cfg.clone(),
+        topology: *topology,
+    }
+}
+
+/// The member-permutation symmetry of a clustered model, as exploration
+/// orbits: clusters with identical structural signatures (same place-block
+/// shape and initial tokens — always all of them, since the net is built
+/// from one per-cluster config) are interchangeable.
+///
+/// Orbits are computed with a disjoint-set union over cluster signatures,
+/// so the construction stays correct if heterogeneous cluster families are
+/// ever added: only structurally identical clusters end up in one orbit.
+pub fn clustered_canonicalizer(model: &ClusteredModel) -> MarkingCanonicalizer {
+    let init = model.net.initial_marking();
+    let signature = |p: &Places| -> [u32; 5] {
+        [
+            init.tokens(p.tm),
+            init.tokens(p.ucm),
+            init.tokens(p.dcm),
+            init.tokens(p.gf),
+            init.tokens(p.ng),
+        ]
+    };
+    let mut uf = UnionFind::new(model.cluster_places.len());
+    let mut first_with: HashMap<[u32; 5], usize> = HashMap::new();
+    for (i, p) in model.cluster_places.iter().enumerate() {
+        match first_with.entry(signature(p)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                uf.union(*e.get(), i);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+    }
+    let (labels, _) = uf.component_labels();
+    let mut orbits: Vec<Vec<Vec<PlaceId>>> = vec![Vec::new(); uf.component_count()];
+    for (i, p) in model.cluster_places.iter().enumerate() {
+        orbits[labels[i] as usize].push(vec![p.tm, p.ucm, p.dcm, p.gf, p.ng]);
+    }
+    MarkingCanonicalizer::new(orbits).expect("cluster blocks are disjoint by construction")
 }
 
 #[cfg(test)]

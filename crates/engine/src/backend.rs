@@ -10,16 +10,18 @@
 use crate::error::EngineError;
 use crate::report::{survival_estimates_streaming, Estimate, FailureSplit, RunReport};
 use crate::spec::{BackendKind, SamplingPlan, ScenarioSpec};
+use gcsids::clustered::evaluate_clustered_with_survival;
 use gcsids::des::{run_des, DesConfig, FailureCause};
 use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
 use gcsids::metrics::{eviction_impulses, total_cost_reward, ExactTemplate};
 use gcsids::model::{build_model, Places};
 use numerics::replicate::{run_plan, Completed, OutcomeSink, Replicate};
+use numerics::rng::child_seed;
 use numerics::stats::{SurvivalAccumulator, Welford};
 use spn::error::SpnError;
 use spn::reach::ExploreOptions;
 use spn::reward::RewardSet;
-use spn::sim::{SimOptions, Simulator};
+use spn::sim::{SimOptions, SimOutcome, Simulator};
 use std::time::Instant;
 
 /// Resource limits applied to a run.
@@ -85,6 +87,13 @@ impl ExactBackend {
         spec: &ScenarioSpec,
     ) -> Result<RunReport, EngineError> {
         spec.validate()?;
+        if spec.clustered.is_some() {
+            // A template caches the single-system graph; a clustered spec
+            // solves a different (lumped or composed) chain entirely.
+            return Err(EngineError::InvalidSpec(
+                "clustered specs are not template-batchable — use Backend::run".into(),
+            ));
+        }
         let t0 = Instant::now();
         let (e, survival) = template.evaluate_with_survival(&spec.system, &spec.mission_times)?;
         Ok(Self::report_from_evaluation(
@@ -114,6 +123,7 @@ impl ExactBackend {
             },
             state_count: Some(e.state_count),
             edge_count: Some(e.edge_count),
+            lumping_reduction: None,
             replications: None,
             censored: None,
             zero_duration: None,
@@ -144,6 +154,18 @@ impl Backend for ExactBackend {
             max_states: budget.max_states,
             ..Default::default()
         };
+        if let Some(topo) = &spec.clustered {
+            let ce =
+                evaluate_clustered_with_survival(&spec.system, topo, &spec.mission_times, &opts)?;
+            let mut report = Self::report_from_evaluation(
+                spec,
+                &ce.evaluation,
+                ce.survival,
+                t0.elapsed().as_secs_f64(),
+            );
+            report.lumping_reduction = Some(ce.stats.reduction);
+            return Ok(report);
+        }
         let model = build_model(&spec.system);
         let graph = spn::reach::explore(&model.net, &opts)?;
         // One CTMC build serves both the absorption and the survival solve.
@@ -237,6 +259,7 @@ impl StochasticSink {
             failure,
             state_count: None,
             edge_count: None,
+            lumping_reduction: None,
             replications: Some(replications),
             censored: Some(self.censored),
             zero_duration: Some(self.zero_duration),
@@ -348,6 +371,20 @@ where
 /// cost rewards as the exact evaluator.
 pub struct SpnSimBackend;
 
+/// Classify how a single-system SPN replication ended from its final
+/// marking.
+fn spn_cause(places: &Places, o: &SimOutcome) -> FailureCause {
+    if !o.absorbed {
+        FailureCause::Censored
+    } else if o.final_marking.tokens(places.gf) > 0 {
+        FailureCause::DataLeak
+    } else if o.final_marking.tokens(places.tm) + o.final_marking.tokens(places.ucm) == 0 {
+        FailureCause::Attrition
+    } else {
+        FailureCause::ByzantineCapture
+    }
+}
+
 /// One SPN-sim replication reduced to the common summary.
 struct SpnSimTask<'a> {
     sim: Simulator<'a>,
@@ -361,21 +398,118 @@ impl Replicate for SpnSimTask<'_> {
         let o = self.sim.run_one(seed)?;
         let hop_bits: f64 = o.accumulated.iter().sum();
         let cost_rate = if o.time > 0.0 { hop_bits / o.time } else { 0.0 };
-        let cause = if !o.absorbed {
-            FailureCause::Censored
-        } else if o.final_marking.tokens(self.places.gf) > 0 {
-            FailureCause::DataLeak
-        } else if o.final_marking.tokens(self.places.tm) + o.final_marking.tokens(self.places.ucm)
-            == 0
-        {
-            FailureCause::Attrition
-        } else {
-            FailureCause::ByzantineCapture
-        };
+        let cause = spn_cause(&self.places, &o);
         Ok(Rep {
             time: o.time,
             cost_rate,
             cause,
+        })
+    }
+}
+
+/// One cluster's contribution to a clustered replication.
+struct ClusterRep {
+    time: f64,
+    failed: bool,
+    hop_bits: f64,
+    cause: FailureCause,
+}
+
+/// Compose independent per-cluster replications into the system summary.
+///
+/// The flat clustered net is exactly `reps.len()` independent copies of
+/// the single-cluster model — clusters share no places and each freezes
+/// on its own failure — so simulating the copies separately is
+/// distribution-identical to simulating the flat net, and additionally
+/// yields the exact failure order. The system fails at the K-th smallest
+/// cluster failure time with that cluster's cause; runs with fewer than
+/// K failures by `horizon` are censored. Cost is summed exactly over the
+/// observation window: clusters that outlive the system absorption time
+/// are re-run via `rerun(cluster, t_sys)` with their original seed — an
+/// identical trajectory, merely censored at `t_sys`.
+fn compose_clusters(
+    reps: &[ClusterRep],
+    threshold: u32,
+    horizon: f64,
+    mut rerun: impl FnMut(usize, f64) -> Result<f64, SpnError>,
+) -> Result<Rep, SpnError> {
+    let mut failures: Vec<(f64, usize)> = reps
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.failed)
+        .map(|(i, r)| (r.time, i))
+        .collect();
+    if (failures.len() as u32) < threshold {
+        let hop_bits: f64 = reps.iter().map(|r| r.hop_bits).sum();
+        let cost_rate = if horizon > 0.0 {
+            hop_bits / horizon
+        } else {
+            0.0
+        };
+        return Ok(Rep {
+            time: horizon,
+            cost_rate,
+            cause: FailureCause::Censored,
+        });
+    }
+    failures.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (t_sys, kth) = failures[threshold as usize - 1];
+    let mut hop_bits = 0.0;
+    for (i, r) in reps.iter().enumerate() {
+        if r.failed && r.time <= t_sys {
+            // Failed within the window: frozen afterwards, so its own
+            // accumulated cost already covers [0, t_sys].
+            hop_bits += r.hop_bits;
+        } else {
+            hop_bits += rerun(i, t_sys)?;
+        }
+    }
+    let cost_rate = if t_sys > 0.0 { hop_bits / t_sys } else { 0.0 };
+    Ok(Rep {
+        time: t_sys,
+        cost_rate,
+        cause: reps[kth].cause,
+    })
+}
+
+/// One clustered SPN-sim replication: independent single-cluster
+/// token-game runs composed by failure order statistics.
+struct ClusteredSpnSimTask<'a> {
+    net: &'a spn::model::Spn,
+    rewards: &'a RewardSet,
+    places: Places,
+    clusters: u32,
+    threshold: u32,
+    max_time: f64,
+}
+
+impl ClusteredSpnSimTask<'_> {
+    fn run_cluster(&self, seed: u64, horizon: f64) -> Result<SimOutcome, SpnError> {
+        let opts = SimOptions {
+            max_time: horizon,
+            ..Default::default()
+        };
+        Simulator::new(self.net, self.rewards, opts).run_one(seed)
+    }
+}
+
+impl Replicate for ClusteredSpnSimTask<'_> {
+    type Outcome = Result<Rep, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        let mut reps = Vec::with_capacity(self.clusters as usize);
+        for i in 0..u64::from(self.clusters) {
+            let o = self.run_cluster(child_seed(seed, i), self.max_time)?;
+            reps.push(ClusterRep {
+                time: o.time,
+                failed: o.absorbed,
+                hop_bits: o.accumulated.iter().sum(),
+                cause: spn_cause(&self.places, &o),
+            });
+        }
+        compose_clusters(&reps, self.threshold, self.max_time, |i, t_sys| {
+            let o = self.run_cluster(child_seed(seed, i as u64), t_sys)?;
+            Ok(o.accumulated.iter().sum())
         })
     }
 }
@@ -392,6 +526,17 @@ impl Backend for SpnSimBackend {
         let mut rewards = RewardSet::new().with_rate(total_cost_reward(&spec.system, &model));
         for imp in eviction_impulses(&model)? {
             rewards = rewards.with_impulse(imp);
+        }
+        if let Some(topo) = &spec.clustered {
+            let task = ClusteredSpnSimTask {
+                net: &model.net,
+                rewards: &rewards,
+                places: model.places,
+                clusters: topo.clusters,
+                threshold: topo.failure_threshold,
+                max_time: spec.stochastic.max_time,
+            };
+            return run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0);
         }
         let opts = SimOptions {
             max_time: spec.stochastic.max_time,
@@ -425,6 +570,37 @@ impl Replicate for DesTask {
     }
 }
 
+/// One clustered DES replication: independent single-cluster protocol
+/// simulations composed by failure order statistics.
+struct ClusteredDesTask {
+    cfg: DesConfig,
+    clusters: u32,
+    threshold: u32,
+}
+
+impl Replicate for ClusteredDesTask {
+    type Outcome = Result<Rep, SpnError>;
+
+    fn run_one(&self, seed: u64) -> Self::Outcome {
+        let reps: Vec<ClusterRep> = (0..u64::from(self.clusters))
+            .map(|i| {
+                let o = run_des(&self.cfg, child_seed(seed, i));
+                ClusterRep {
+                    time: o.time,
+                    failed: o.cause != FailureCause::Censored,
+                    hop_bits: o.hop_bits,
+                    cause: o.cause,
+                }
+            })
+            .collect();
+        compose_clusters(&reps, self.threshold, self.cfg.max_time, |i, t_sys| {
+            let mut censored = self.cfg.clone();
+            censored.max_time = t_sys;
+            Ok(run_des(&censored, child_seed(seed, i as u64)).hop_bits)
+        })
+    }
+}
+
 impl Backend for DesBackend {
     fn kind(&self) -> BackendKind {
         BackendKind::Des
@@ -435,6 +611,14 @@ impl Backend for DesBackend {
         let t0 = Instant::now();
         let mut cfg = DesConfig::new(spec.system.clone());
         cfg.max_time = spec.stochastic.max_time;
+        if let Some(topo) = &spec.clustered {
+            let task = ClusteredDesTask {
+                cfg,
+                clusters: topo.clusters,
+                threshold: topo.failure_threshold,
+            };
+            return run_stochastic(&task, spec, budget, BackendKind::Des, t0);
+        }
         run_stochastic(&DesTask(cfg), spec, budget, BackendKind::Des, t0)
     }
 }
@@ -733,6 +917,87 @@ mod tests {
                 spn::error::SpnError::StateSpaceExceeded { cap: 3 }
             ))
         ));
+    }
+
+    #[test]
+    fn clustered_exact_reports_lumping_stats() {
+        let topo = gcsids::config::ClusterTopology {
+            clusters: 3,
+            failure_threshold: 2,
+        };
+        let mut spec = hot_spec(BackendKind::Exact).with_clusters(topo);
+        spec.mission_times = vec![0.0, 2.0e4, 8.0e4];
+        let report = backend_for(BackendKind::Exact)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        assert!(report.mttsf.value > 0.0);
+        assert!(
+            report.lumping_reduction.unwrap() > 1.0,
+            "{:?}",
+            report.lumping_reduction
+        );
+        let surv = report.survival.as_ref().unwrap();
+        assert_eq!(surv.len(), 3);
+        assert!((surv[0].1.value - 1.0).abs() < 1e-9);
+        assert!(surv[2].1.value < surv[0].1.value);
+        // and the new field round-trips through JSON
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.lumping_reduction, report.lumping_reduction);
+    }
+
+    #[test]
+    fn clustered_stochastic_backends_agree_with_exact() {
+        let topo = gcsids::config::ClusterTopology {
+            clusters: 3,
+            failure_threshold: 2,
+        };
+        let exact_spec = hot_spec(BackendKind::Exact).with_clusters(topo);
+        let exact = backend_for(BackendKind::Exact)
+            .run(&exact_spec, &RunBudget::default())
+            .unwrap();
+        // The clustered SPN-sim runs the very net the exact path lumps, so
+        // the exact MTTSF must sit inside its confidence interval.
+        let mut sim_spec = hot_spec(BackendKind::SpnSim).with_clusters(topo);
+        sim_spec.stochastic.sampling = SamplingPlan::Fixed(600);
+        sim_spec.stochastic.confidence = 0.99;
+        let sim = backend_for(BackendKind::SpnSim)
+            .run(&sim_spec, &RunBudget::default())
+            .unwrap();
+        let (lo, hi) = sim.mttsf.ci.unwrap();
+        assert!(
+            lo <= exact.mttsf.value && exact.mttsf.value <= hi,
+            "exact {} outside clustered sim CI [{lo}, {hi}]",
+            exact.mttsf.value
+        );
+        let f = sim.failure;
+        assert!((f.p_c1 + f.p_c2 + f.p_other - 1.0).abs() < 1e-9, "{f:?}");
+        // The protocol DES is a different model of the same system: allow
+        // the documented modeling tolerance on top of the interval.
+        let mut des_spec = hot_spec(BackendKind::Des).with_clusters(topo);
+        des_spec.stochastic.sampling = SamplingPlan::Fixed(400);
+        let des = backend_for(BackendKind::Des)
+            .run(&des_spec, &RunBudget::default())
+            .unwrap();
+        let rel = (des.mttsf.value - exact.mttsf.value).abs() / exact.mttsf.value;
+        let inside = des
+            .mttsf
+            .ci
+            .is_some_and(|(lo, hi)| lo <= exact.mttsf.value && exact.mttsf.value <= hi);
+        assert!(inside || rel < 0.25, "clustered DES off by {rel}");
+    }
+
+    #[test]
+    fn clustered_spec_rejected_by_template_path() {
+        let topo = gcsids::config::ClusterTopology {
+            clusters: 2,
+            failure_threshold: 1,
+        };
+        let plain = hot_spec(BackendKind::Exact);
+        let opts = ExploreOptions::default();
+        let template = ExactTemplate::with_options(&plain.system, &opts).unwrap();
+        let clustered = plain.with_clusters(topo);
+        let out = ExactBackend::run_with_template(&template, &clustered);
+        assert!(matches!(out, Err(EngineError::InvalidSpec(_))), "{out:?}");
     }
 
     #[test]

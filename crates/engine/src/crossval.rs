@@ -577,6 +577,7 @@ mod tests {
             failure: Default::default(),
             state_count: Some(3),
             edge_count: Some(4),
+            lumping_reduction: None,
             replications: None,
             censored: None,
             zero_duration: None,

@@ -58,6 +58,7 @@ pub use crossval::{
     SpecCrossValidation,
 };
 pub use error::EngineError;
+pub use gcsids::config::ClusterTopology;
 pub use report::{
     survival_estimates, survival_estimates_streaming, Estimate, FailureSplit, RunReport,
 };

@@ -162,6 +162,10 @@ pub struct RunReport {
     pub state_count: Option<usize>,
     /// CTMC edges (exact backend only).
     pub edge_count: Option<usize>,
+    /// Symmetry-lumping reduction factor: estimated unlumped state count
+    /// divided by the states actually built (exact backend on clustered
+    /// specs only; `None` when lumping was not in play).
+    pub lumping_reduction: Option<f64>,
     /// Replications actually run (stochastic backends only; an adaptive
     /// sampling plan chooses this at runtime).
     pub replications: Option<u64>,
@@ -265,6 +269,7 @@ impl RunReport {
             ),
             ("state_count", opt_num(self.state_count.map(|x| x as f64))),
             ("edge_count", opt_num(self.edge_count.map(|x| x as f64))),
+            ("lumping_reduction", opt_num(self.lumping_reduction)),
             ("replications", opt_num(self.replications.map(|x| x as f64))),
             ("censored", opt_num(self.censored.map(|x| x as f64))),
             (
@@ -324,6 +329,10 @@ impl RunReport {
             },
             state_count: opt_u64("state_count")?.map(|x| x as usize),
             edge_count: opt_u64("edge_count")?.map(|x| x as usize),
+            lumping_reduction: v
+                .opt_field("lumping_reduction")
+                .map(Value::as_f64)
+                .transpose()?,
             replications: opt_u64("replications")?,
             censored: opt_u64("censored")?,
             zero_duration: opt_u64("zero_duration")?,
@@ -442,6 +451,7 @@ mod tests {
             },
             state_count: Some(10),
             edge_count: Some(20),
+            lumping_reduction: Some(4.5),
             replications: None,
             censored: None,
             zero_duration: None,
@@ -475,6 +485,7 @@ mod tests {
         s.cost_components = None;
         s.state_count = None;
         s.edge_count = None;
+        s.lumping_reduction = None;
         s.replications = Some(40);
         s.censored = Some(3);
         s.zero_duration = Some(1);

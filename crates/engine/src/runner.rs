@@ -8,7 +8,7 @@
 //! Stochastic scenarios run one-by-one (each already parallelizes across
 //! its replications). Report order matches spec order.
 
-use crate::backend::{backend_for, ExactBackend, RunBudget};
+use crate::backend::{backend_for, Backend, ExactBackend, RunBudget};
 use crate::error::EngineError;
 use crate::report::RunReport;
 use crate::spec::{BackendKind, ScenarioSpec};
@@ -60,7 +60,9 @@ impl Runner {
             ..Default::default()
         };
         for spec in specs {
-            if spec.backend == BackendKind::Exact {
+            // Clustered exact specs solve a lumped/composed chain of their
+            // own — they bypass the shared single-system template cache.
+            if spec.backend == BackendKind::Exact && spec.clustered.is_none() {
                 let key = (spec.system.node_count, spec.system.max_groups);
                 if let std::collections::hash_map::Entry::Vacant(e) = templates.entry(key) {
                     e.insert(ExactTemplate::with_options(&spec.system, &opts)?);
@@ -79,8 +81,12 @@ impl Runner {
         let exact_reports: Result<Vec<(usize, RunReport)>, EngineError> = exact
             .par_iter()
             .map(|&(i, spec)| {
-                let key = (spec.system.node_count, spec.system.max_groups);
-                let report = ExactBackend::run_with_template(&templates[&key], spec)?;
+                let report = if spec.clustered.is_some() {
+                    ExactBackend.run(spec, &self.budget)?
+                } else {
+                    let key = (spec.system.node_count, spec.system.max_groups);
+                    ExactBackend::run_with_template(&templates[&key], spec)?
+                };
                 Ok((i, report))
             })
             .collect();
@@ -319,6 +325,29 @@ mod tests {
         b.name = "n14".into();
         let reports = Runner::new().run_batch(&[a, b]).unwrap();
         assert!(reports[0].state_count.unwrap() < reports[1].state_count.unwrap());
+    }
+
+    #[test]
+    fn batch_routes_clustered_exact_specs_around_the_template_cache() {
+        let topo = gcsids::config::ClusterTopology {
+            clusters: 3,
+            failure_threshold: 2,
+        };
+        // Fast-failing system: the clustered solve composes over the
+        // cluster lifetime, so a paper-default (year-scale) MTTSF would
+        // make this test needlessly slow.
+        let mut hot = small_spec();
+        hot.system.attacker.base_rate = 1.0 / 600.0;
+        hot.system.detection = hot.system.detection.with_interval(120.0);
+        let mut clustered = hot.clone().with_clusters(topo);
+        clustered.name = "small/clustered".into();
+        let reports = Runner::new().run_batch(&[hot, clustered.clone()]).unwrap();
+        assert_eq!(reports[0].lumping_reduction, None);
+        assert!(reports[1].lumping_reduction.unwrap() > 1.0);
+        assert!(reports[1].mttsf.value > 0.0);
+        // batched result identical to the solo run (same evaluation path)
+        let solo = Runner::new().run(&clustered).unwrap();
+        assert_eq!(solo.mttsf.value, reports[1].mttsf.value);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::error::EngineError;
 use crate::json::Value;
-use gcsids::config::{KeyAgreementProtocol, SystemConfig};
+use gcsids::config::{ClusterTopology, KeyAgreementProtocol, SystemConfig};
 use ids::functions::{AttackerProfile, DetectionProfile, RateShape};
 use ids::voting::CollusionModel;
 pub use numerics::replicate::SamplingPlan;
@@ -137,6 +137,14 @@ pub struct ScenarioSpec {
     /// on the exact backend, as Kaplan–Meier-style estimates with
     /// confidence intervals on the stochastic ones.
     pub mission_times: Vec<f64>,
+    /// Optional clustered deployment: `clusters` copies of `system`
+    /// (so `clusters × node_count` nodes in total), the system failing
+    /// once `failure_threshold` clusters have failed. The exact backend
+    /// solves it through the symmetry-lumped / hierarchical pipeline
+    /// (`gcsids::clustered`); SPN-sim simulates the flat clustered net;
+    /// DES composes per-cluster replications by order statistics. Not
+    /// supported by the mobility backend.
+    pub clustered: Option<ClusterTopology>,
 }
 
 impl ScenarioSpec {
@@ -149,12 +157,19 @@ impl ScenarioSpec {
             stochastic: StochasticOptions::default(),
             mobility: MobilityOptions::default(),
             mission_times: Vec::new(),
+            clustered: None,
         }
     }
 
     /// Same spec with a mission-time grid (builder style).
     pub fn with_mission_times(mut self, times: &[f64]) -> Self {
         self.mission_times = times.to_vec();
+        self
+    }
+
+    /// Same spec as a clustered deployment (builder style).
+    pub fn with_clusters(mut self, topology: ClusterTopology) -> Self {
+        self.clustered = Some(topology);
         self
     }
 
@@ -202,6 +217,16 @@ impl ScenarioSpec {
             }
             prev = t;
         }
+        if let Some(topo) = &self.clustered {
+            topo.validate().map_err(EngineError::InvalidSpec)?;
+            if self.backend == BackendKind::MobilityDes {
+                return Err(EngineError::InvalidSpec(
+                    "the mobility backend has no clustered variant — \
+                     use exact, spn-sim, or des"
+                        .into(),
+                ));
+            }
+        }
         if self.backend == BackendKind::MobilityDes {
             if self.mobility.radio_range.is_nan() || self.mobility.radio_range <= 0.0 {
                 return Err(EngineError::InvalidSpec(
@@ -217,9 +242,11 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Serialize to canonical JSON.
+    /// Serialize to canonical JSON. The `clustered` key is omitted when
+    /// absent, so committed pre-clustering spec files stay canonical
+    /// byte-for-byte.
     pub fn to_json(&self) -> String {
-        Value::obj([
+        let mut fields = vec![
             ("name", Value::Str(self.name.clone())),
             ("backend", Value::Str(self.backend.name().into())),
             ("system", system_to_value(&self.system)),
@@ -268,8 +295,20 @@ impl ScenarioSpec {
                 "mission_times",
                 Value::Arr(self.mission_times.iter().copied().map(Value::Num).collect()),
             ),
-        ])
-        .encode()
+        ];
+        if let Some(topo) = &self.clustered {
+            fields.push((
+                "clustered",
+                Value::obj([
+                    ("clusters", Value::Num(f64::from(topo.clusters))),
+                    (
+                        "failure_threshold",
+                        Value::Num(f64::from(topo.failure_threshold)),
+                    ),
+                ]),
+            ));
+        }
+        Value::obj(fields).encode()
     }
 
     /// Parse a spec serialized by [`ScenarioSpec::to_json`].
@@ -304,6 +343,13 @@ impl ScenarioSpec {
                     .map(Value::as_f64)
                     .collect::<Result<Vec<f64>, EngineError>>()?,
                 None => Vec::new(),
+            },
+            clustered: match v.opt_field("clustered") {
+                Some(o) => Some(ClusterTopology {
+                    clusters: o.field("clusters")?.as_u32()?,
+                    failure_threshold: o.field("failure_threshold")?.as_u32()?,
+                }),
+                None => None,
             },
         };
         spec.validate()?;
@@ -651,5 +697,47 @@ mod tests {
     fn from_json_rejects_garbage() {
         assert!(ScenarioSpec::from_json("{").is_err());
         assert!(ScenarioSpec::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn clustered_roundtrips_and_is_omitted_when_absent() {
+        let plain = ScenarioSpec::paper_default(BackendKind::Exact);
+        assert!(!plain.to_json().contains("clustered"));
+        assert_eq!(ScenarioSpec::from_json(&plain.to_json()).unwrap(), plain);
+
+        let spec = plain.clone().with_clusters(ClusterTopology {
+            clusters: 10,
+            failure_threshold: 3,
+        });
+        let text = spec.to_json();
+        assert!(text.contains("\"clustered\":{\"clusters\":10.0,\"failure_threshold\":3.0}"));
+        assert_eq!(ScenarioSpec::from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn clustered_validation() {
+        let topo = ClusterTopology {
+            clusters: 4,
+            failure_threshold: 2,
+        };
+        for backend in [BackendKind::Exact, BackendKind::SpnSim, BackendKind::Des] {
+            assert!(ScenarioSpec::paper_default(backend)
+                .with_clusters(topo)
+                .validate()
+                .is_ok());
+        }
+        // the mobility backend has no clustered variant
+        assert!(ScenarioSpec::paper_default(BackendKind::MobilityDes)
+            .with_clusters(topo)
+            .validate()
+            .is_err());
+        // topology itself is validated
+        assert!(ScenarioSpec::paper_default(BackendKind::Exact)
+            .with_clusters(ClusterTopology {
+                clusters: 2,
+                failure_threshold: 3,
+            })
+            .validate()
+            .is_err());
     }
 }

@@ -14,18 +14,128 @@
 //! accounting.
 
 use crate::error::SpnError;
-use crate::model::{Marking, Spn, TransitionId};
+use crate::model::{Marking, PlaceId, Spn, TransitionId};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-/// Exploration limits.
-#[derive(Debug, Clone, Copy)]
+/// Symmetry-lumping canonicalizer: maps every marking to a canonical
+/// representative of its orbit under permutations of indistinguishable
+/// *member blocks*.
+///
+/// An orbit is a set of members that may be freely exchanged; each member is
+/// an ordered list of places (the member's private sub-marking), and every
+/// member of one orbit has the same block shape. Canonicalization sorts the
+/// member token-tuples of each orbit lexicographically, so two markings that
+/// differ only by a permutation of members inside an orbit map to the same
+/// representative.
+///
+/// Exploring with a canonicalizer (see [`ExploreOptions::lumping`]) builds
+/// the reachability graph directly over the lumped quotient chain. This is
+/// **exact** (strong lumpability) precisely when the permutations are net
+/// automorphisms: every rate, guard, and arc must be symmetric under
+/// exchanging two members of an orbit. The canonicalizer cannot check that —
+/// the model builder supplying the orbits is responsible for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkingCanonicalizer {
+    /// orbit → member → place indices (all members of an orbit share a
+    /// length).
+    orbits: Vec<Vec<Vec<u32>>>,
+}
+
+impl MarkingCanonicalizer {
+    /// Build a canonicalizer from orbits of interchangeable member blocks.
+    ///
+    /// # Errors
+    /// [`SpnError::InvalidModel`] when an orbit has members of differing
+    /// lengths, an empty member, or a place occurs in more than one member
+    /// (sorting would then be ill-defined).
+    pub fn new(orbits: Vec<Vec<Vec<PlaceId>>>) -> Result<Self, SpnError> {
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut compiled = Vec::with_capacity(orbits.len());
+        for orbit in &orbits {
+            let len = orbit.first().map_or(0, Vec::len);
+            if len == 0 && !orbit.is_empty() {
+                return Err(SpnError::InvalidModel(
+                    "lumping orbit has an empty member block".into(),
+                ));
+            }
+            let mut members = Vec::with_capacity(orbit.len());
+            for member in orbit {
+                if member.len() != len {
+                    return Err(SpnError::InvalidModel(
+                        "lumping orbit members must share one block shape".into(),
+                    ));
+                }
+                let mut block = Vec::with_capacity(len);
+                for p in member {
+                    let idx = p.index() as u32;
+                    if !seen.insert(idx) {
+                        return Err(SpnError::InvalidModel(format!(
+                            "place {idx} appears in more than one lumping member"
+                        )));
+                    }
+                    block.push(idx);
+                }
+                members.push(block);
+            }
+            compiled.push(members);
+        }
+        Ok(Self { orbits: compiled })
+    }
+
+    /// Number of orbits (including degenerate single-member ones).
+    pub fn orbit_count(&self) -> usize {
+        self.orbits.len()
+    }
+
+    /// Total member blocks across all orbits.
+    pub fn member_count(&self) -> usize {
+        self.orbits.iter().map(Vec::len).sum()
+    }
+
+    /// True when no orbit has ≥ 2 members, i.e. canonicalization is the
+    /// identity map and lumping cannot shrink anything.
+    pub fn is_trivial(&self) -> bool {
+        self.orbits.iter().all(|o| o.len() < 2)
+    }
+
+    /// Canonical representative of `m`'s symmetry orbit: member token-tuples
+    /// sorted lexicographically within each orbit, all other places
+    /// untouched. Idempotent.
+    pub fn canonicalize(&self, m: &Marking) -> Marking {
+        let mut tokens: Vec<u32> = m.as_slice().to_vec();
+        for orbit in &self.orbits {
+            if orbit.len() < 2 {
+                continue;
+            }
+            let mut tuples: Vec<Vec<u32>> = orbit
+                .iter()
+                .map(|block| block.iter().map(|&p| tokens[p as usize]).collect())
+                .collect();
+            tuples.sort_unstable();
+            for (block, tuple) in orbit.iter().zip(&tuples) {
+                for (&p, &v) in block.iter().zip(tuple) {
+                    tokens[p as usize] = v;
+                }
+            }
+        }
+        Marking::new(tokens)
+    }
+}
+
+/// Exploration limits and (optional) symmetry lumping.
+#[derive(Debug, Clone)]
 pub struct ExploreOptions {
     /// Maximum number of tangible states to generate.
     pub max_states: usize,
     /// Maximum length of an immediate-transition chain before declaring a
     /// vanishing loop.
     pub max_vanishing_depth: usize,
+    /// When set, [`explore`] interns only canonical representatives, building
+    /// the graph over the lumped quotient chain. Exactness requires the
+    /// orbit permutations to be net automorphisms; see
+    /// [`MarkingCanonicalizer`].
+    pub lumping: Option<MarkingCanonicalizer>,
 }
 
 impl Default for ExploreOptions {
@@ -33,6 +143,7 @@ impl Default for ExploreOptions {
         Self {
             max_states: 2_000_000,
             max_vanishing_depth: 64,
+            lumping: None,
         }
     }
 }
@@ -289,13 +400,38 @@ pub fn explore(net: &Spn, opts: &ExploreOptions) -> Result<ReachabilityGraph, Sp
         Ok(id)
     };
 
-    // The initial marking may itself be vanishing.
+    // Under lumping, only canonical orbit representatives are interned; the
+    // walk then explores the quotient chain directly.
+    let canon = |m: Marking| -> Marking {
+        match &opts.lumping {
+            Some(c) => c.canonicalize(&m),
+            None => m,
+        }
+    };
+
+    // The initial marking may itself be vanishing. Distinct tangible
+    // resolutions can share an orbit, so probabilities are re-merged after
+    // canonicalization.
     let initial = resolve_to_tangible(net, net.initial_marking(), opts)?;
-    let mut initial_distribution = Vec::with_capacity(initial.len());
+    let mut initial_mass: HashMap<u32, f64> = HashMap::new();
+    let mut initial_order: Vec<u32> = Vec::with_capacity(initial.len());
     for (m, p) in initial {
-        let id = intern(m, &mut states, &mut edges, &mut self_loops, &mut queue)?;
-        initial_distribution.push((id, p));
+        let id = intern(
+            canon(m),
+            &mut states,
+            &mut edges,
+            &mut self_loops,
+            &mut queue,
+        )?;
+        if !initial_mass.contains_key(&id) {
+            initial_order.push(id);
+        }
+        *initial_mass.entry(id).or_insert(0.0) += p;
     }
+    let initial_distribution: Vec<(u32, f64)> = initial_order
+        .into_iter()
+        .map(|id| (id, initial_mass[&id]))
+        .collect();
 
     while let Some(sid) = queue.pop_front() {
         let marking = states[sid as usize].clone();
@@ -308,6 +444,10 @@ pub fn explore(net: &Spn, opts: &ExploreOptions) -> Result<ReachabilityGraph, Sp
                 continue;
             }
             for (succ, prob) in resolve_to_tangible(net, fired, opts)? {
+                // `marking` is already canonical, so comparing the
+                // canonicalized successor against it also catches moves that
+                // stay inside the state's own orbit.
+                let succ = canon(succ);
                 if succ == marking {
                     self_loops[sid as usize].push((t, rate * prob));
                     continue;
@@ -712,5 +852,147 @@ mod tests {
                 assert!(seen.insert((edge.target, edge.transition)));
             }
         }
+    }
+
+    /// `copies` independent, identical death chains of `n` tokens each,
+    /// absorbing when every chain has drained. Fully symmetric under chain
+    /// permutation, so lumping over one orbit of all chains is exact.
+    fn parallel_death_chains(copies: usize, n: u32) -> (Spn, Vec<Vec<PlaceId>>) {
+        let mut b = SpnBuilder::new();
+        let mut blocks = Vec::with_capacity(copies);
+        let mut places = Vec::with_capacity(copies);
+        for i in 0..copies {
+            let up = b.add_place(format!("up{i}"), n);
+            places.push(up);
+            blocks.push(vec![up]);
+            b.add_transition(
+                TransitionDef::timed(format!("die{i}"), move |m: &Marking| m.tokens(up) as f64)
+                    .input(up, 1),
+            );
+        }
+        b.absorbing_when(move |m| places.iter().all(|&p| m.tokens(p) == 0));
+        (b.build().unwrap(), blocks)
+    }
+
+    #[test]
+    fn canonicalizer_sorts_member_tuples_and_is_idempotent() {
+        let (_, blocks) = parallel_death_chains(3, 4);
+        let c = MarkingCanonicalizer::new(vec![blocks]).unwrap();
+        let m = Marking::new(vec![4, 0, 2]);
+        let canon = c.canonicalize(&m);
+        assert_eq!(canon.as_slice(), &[0, 2, 4]);
+        assert_eq!(c.canonicalize(&canon), canon);
+        assert!(!c.is_trivial());
+        assert_eq!(c.orbit_count(), 1);
+        assert_eq!(c.member_count(), 3);
+    }
+
+    #[test]
+    fn canonicalizer_rejects_ragged_and_overlapping_orbits() {
+        let mut b = SpnBuilder::new();
+        let p = b.add_place("p", 1);
+        let q = b.add_place("q", 1);
+        let r = b.add_place("r", 1);
+        b.add_transition(TransitionDef::timed_const("t", 1.0).input(p, 1));
+        let _ = b.build().unwrap();
+        assert!(matches!(
+            MarkingCanonicalizer::new(vec![vec![vec![p, q], vec![r]]]),
+            Err(SpnError::InvalidModel(_))
+        ));
+        assert!(matches!(
+            MarkingCanonicalizer::new(vec![vec![vec![p], vec![q]], vec![vec![q], vec![r]]]),
+            Err(SpnError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn lumped_exploration_shrinks_states_and_preserves_mtta() {
+        // Two iid chains of 3: unlumped (a, b) pairs = 16 states, lumped
+        // multisets {a, b} = 10. MTTA must agree exactly (strong
+        // lumpability of the permutation symmetry).
+        let (net, blocks) = parallel_death_chains(2, 3);
+        let unlumped = explore(&net, &ExploreOptions::default()).unwrap();
+        let opts = ExploreOptions {
+            lumping: Some(MarkingCanonicalizer::new(vec![blocks]).unwrap()),
+            ..Default::default()
+        };
+        let lumped = explore(&net, &opts).unwrap();
+        assert_eq!(unlumped.state_count(), 16);
+        assert_eq!(lumped.state_count(), 10);
+        assert!(lumped.edge_count() < unlumped.edge_count());
+        let mtta_full = crate::ctmc::Ctmc::from_graph(&unlumped)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta;
+        let mtta_lumped = crate::ctmc::Ctmc::from_graph(&lumped)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta;
+        assert!(
+            (mtta_full - mtta_lumped).abs() <= 1e-9 * mtta_full,
+            "lumped {mtta_lumped} vs full {mtta_full}"
+        );
+    }
+
+    #[test]
+    fn lumped_graph_reweights_in_place() {
+        // Rate-only changes re-weight on the lumped quotient exactly as on
+        // the full graph: representatives see the same rate functions.
+        let (net, blocks) = parallel_death_chains(2, 3);
+        let canon = MarkingCanonicalizer::new(vec![blocks]).unwrap();
+        let opts = ExploreOptions {
+            lumping: Some(canon),
+            ..Default::default()
+        };
+        let lumped = explore(&net, &opts).unwrap();
+
+        // same structure, half the rate
+        let slow = {
+            let mut b = SpnBuilder::new();
+            let mut places = Vec::new();
+            for i in 0..2usize {
+                let up = b.add_place(format!("up{i}"), 3);
+                places.push(up);
+                b.add_transition(
+                    TransitionDef::timed(format!("die{i}"), move |m: &Marking| {
+                        0.5 * m.tokens(up) as f64
+                    })
+                    .input(up, 1),
+                );
+            }
+            b.absorbing_when(move |m| places.iter().all(|&p| m.tokens(p) == 0));
+            b.build().unwrap()
+        };
+        let rg = lumped.reweighted(&slow).unwrap();
+        let mtta_fast = crate::ctmc::Ctmc::from_graph(&lumped)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta;
+        let mtta_slow = crate::ctmc::Ctmc::from_graph(&rg)
+            .unwrap()
+            .mean_time_to_absorption()
+            .unwrap()
+            .mtta;
+        assert!((mtta_slow - 2.0 * mtta_fast).abs() <= 1e-9 * mtta_slow);
+    }
+
+    #[test]
+    fn trivial_canonicalizer_changes_nothing() {
+        let (net, blocks) = parallel_death_chains(2, 2);
+        let plain = explore(&net, &ExploreOptions::default()).unwrap();
+        // one orbit per chain — no two members interchangeable
+        let orbits: Vec<Vec<Vec<PlaceId>>> = blocks.into_iter().map(|blk| vec![blk]).collect();
+        let canon = MarkingCanonicalizer::new(orbits).unwrap();
+        assert!(canon.is_trivial());
+        let opts = ExploreOptions {
+            lumping: Some(canon),
+            ..Default::default()
+        };
+        let lumped = explore(&net, &opts).unwrap();
+        assert_eq!(lumped.state_count(), plain.state_count());
+        assert_eq!(lumped.edge_count(), plain.edge_count());
     }
 }

@@ -193,7 +193,7 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
         ..Default::default()
     };
     let report = cross_validate_dir(&dir, &opts).unwrap();
-    assert_eq!(report.specs.len(), 4);
+    assert_eq!(report.specs.len(), 5);
     assert!(
         report.agrees(),
         "cross-backend disagreement: {}",
@@ -226,6 +226,31 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
             c.skipped
         );
     }
+    // the clustered fixture runs on the lumped/composed exact path and
+    // must compare both MTTSF and survival against the stochastic
+    // backends' order-statistic compositions
+    let clustered = report
+        .specs
+        .iter()
+        .find(|s| s.name == "clustered-mission")
+        .expect("clustered-mission fixture present");
+    assert!(
+        clustered.exact.lumping_reduction.unwrap() > 1.0,
+        "clustered exact reference must record its reduction factor"
+    );
+    for c in &clustered.comparisons {
+        assert!(
+            c.checks.iter().any(|ch| ch.metric == "mttsf"),
+            "{:?} skipped clustered MTTSF: {:?}",
+            c.backend,
+            c.skipped
+        );
+        assert!(
+            c.checks.iter().any(|ch| ch.metric.starts_with("survival@")),
+            "{:?} compared no clustered survival points",
+            c.backend
+        );
+    }
     // the adaptive fixture must have chosen its replication count at
     // runtime and recorded the verdict in its report
     let adaptive = report
@@ -236,6 +261,58 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
     for c in &adaptive.comparisons {
         assert!(c.report.target_met.is_some(), "{:?}", c.backend);
         assert!(c.report.replications.unwrap() <= 150, "budget cap applies");
+    }
+}
+
+/// The symmetry-lumping acceptance criterion: the committed ≥100-node
+/// clustered fixture is solvable by the lumped/composed exact path under a
+/// state budget that the unlumped flat exploration of the very same net
+/// provably exceeds.
+#[test]
+fn lumped_exact_solves_clustered_fixture_beyond_unlumped_state_budget() {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/specs/clustered-mission.json");
+    let text = std::fs::read_to_string(&path).expect("clustered fixture committed");
+    let spec = ScenarioSpec::from_json(text.trim_end()).unwrap();
+    let topo = spec.clustered.expect("fixture is clustered");
+    assert!(
+        spec.system.node_count * topo.clusters >= 100,
+        "fixture must model a 100+-node system"
+    );
+
+    let budget = RunBudget {
+        max_states: 100_000,
+        ..Default::default()
+    };
+    // Unlumped flat exploration of the same clustered net blows the budget.
+    let model = gcsids::build_clustered_model(&spec.system, &topo);
+    let opts = spn::reach::ExploreOptions {
+        max_states: budget.max_states,
+        ..Default::default()
+    };
+    let unlumped = spn::reach::explore(&model.net, &opts);
+    assert!(
+        matches!(
+            unlumped,
+            Err(spn::error::SpnError::StateSpaceExceeded { .. })
+        ),
+        "unlumped exploration unexpectedly fit the budget: {unlumped:?}"
+    );
+
+    // The lumped/composed path solves it under the very same budget.
+    let report = Runner::with_budget(budget).run(&spec).unwrap();
+    assert!(report.mttsf.value.is_finite() && report.mttsf.value > 0.0);
+    assert!(report.state_count.unwrap() <= budget.max_states);
+    assert!(
+        report.lumping_reduction.unwrap() > 100.0,
+        "reduction {:?}",
+        report.lumping_reduction
+    );
+    let surv = report.survival.as_ref().unwrap();
+    assert_eq!(surv.len(), 5);
+    assert!((surv[0].1.value - 1.0).abs() < 1e-9);
+    for w in surv.windows(2) {
+        assert!(w[1].1.value <= w[0].1.value + 1e-12, "{surv:?}");
     }
 }
 

@@ -77,11 +77,28 @@ fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
         .system
         .with_detection_shape(ids::functions::RateShape::Polynomial);
 
+    // Clustered deployment: ten hot 12-node clusters (120 nodes total),
+    // the system failing at the third cluster failure. The unlumped flat
+    // product space is ~d^10 states — far beyond any budget — so only the
+    // symmetry-lumped/composed exact path can solve it; the stochastic
+    // backends check it via independent per-cluster replications composed
+    // by failure order statistics. The hot cluster MTTSF is ≈5.0e3 s, so
+    // the 3-of-10 system fails around ≈1.7e3 s; the grid spans that decay.
+    let mut clustered = hot.clone();
+    clustered.name = "clustered-mission".into();
+    clustered = clustered.with_clusters(engine::ClusterTopology {
+        clusters: 10,
+        failure_threshold: 3,
+    });
+    clustered.mission_times = vec![0.0, 4.0e2, 1.0e3, 2.0e3, 4.0e3];
+    clustered.stochastic.max_time = 1.0e5;
+
     vec![
         ("hot-mission.json", mission),
         ("hot-longrun.json", longrun),
         ("hot-adaptive.json", adaptive),
         ("collusion-none-mission.json", collusion),
+        ("clustered-mission.json", clustered),
     ]
 }
 
@@ -109,6 +126,8 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         },
         state_count: Some(1234),
         edge_count: Some(5678),
+        // exact-backend clustered runs record the lumping reduction factor
+        lumping_reduction: Some(512.0),
         replications: None,
         censored: None,
         zero_duration: None,
@@ -137,6 +156,7 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         failure: engine::FailureSplit::default(),
         state_count: None,
         edge_count: None,
+        lumping_reduction: None,
         replications: Some(8),
         censored: Some(8),
         zero_duration: Some(0),
