@@ -327,6 +327,50 @@ fn replication_throughput() -> Vec<Value> {
     rows
 }
 
+/// Cross-request template cache through the scenario-evaluation service's
+/// runner path: 30 flat exact specs round-robined over 3 structural
+/// families, evaluated on one cache-carrying [`engine::Runner`]. The
+/// counters are fully deterministic (3 cold builds, 27 warm replays), so
+/// the snapshot gate pins them exactly; the cold/warm stage timings ride
+/// the usual tolerance.
+fn service_profile() -> Value {
+    let runner = engine::Runner::new();
+    let spec_at = |i: u32| {
+        let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+        spec.name = format!("profile/service-{i:02}");
+        spec.system = hot_system();
+        spec.system.node_count = 10 + i % 3;
+        spec.system = spec.system.with_tids(60.0 + (i / 3) as f64 * 15.0);
+        spec
+    };
+
+    let t0 = Instant::now();
+    for i in 0..3 {
+        runner.run_cached(&spec_at(i)).unwrap();
+    }
+    let t_cold = t0.elapsed();
+    let t0 = Instant::now();
+    for i in 3..30 {
+        runner.run_cached(&spec_at(i)).unwrap();
+    }
+    let t_warm = t0.elapsed();
+
+    let stats = runner.cache().stats();
+    let hit_rate = stats.hit_rate().unwrap();
+    println!(
+        "service cache: 3 cold builds in {t_cold:?}, 27 warm replays in {t_warm:?} \
+         ({} hits / {} misses, hit_rate={hit_rate:.2})",
+        stats.hits, stats.misses
+    );
+    Value::obj([
+        ("cache_hits", Value::Num(stats.hits as f64)),
+        ("cache_misses", Value::Num(stats.misses as f64)),
+        ("cache_hit_rate", Value::Num(hit_rate)),
+        ("cold_seconds", Value::Num(t_cold.as_secs_f64())),
+        ("warm_seconds", Value::Num(t_warm.as_secs_f64())),
+    ])
+}
+
 /// `true` for fields that must match a snapshot exactly: structural counts
 /// are deterministic, so any drift is a behavior change, not noise.
 fn is_exact_key(key: &str) -> bool {
@@ -339,6 +383,9 @@ fn is_exact_key(key: &str) -> bool {
             | "reduction"
             | "fixed_reps"
             | "adaptive_reps"
+            | "cache_hits"
+            | "cache_misses"
+            | "cache_hit_rate"
     )
 }
 
@@ -417,6 +464,7 @@ fn main() -> ExitCode {
         ("exact", Value::Arr(exact_profile())),
         ("clustered", clustered_profile()),
         ("throughput", Value::Arr(replication_throughput())),
+        ("service", service_profile()),
     ]);
 
     if let Some(path) = out_path {

@@ -1,0 +1,150 @@
+//! Scenario-evaluation service soak harness: generates a spool of specs
+//! spanning several structural families, drains it through
+//! [`engine::service::serve`], and gates on the cross-request template
+//! cache's hit rate. The CI smoke configuration runs a short version of
+//! the same loop the `service_soak` integration test exercises.
+//!
+//! Run with: `cargo run --release -p bench-harness --bin soak`
+//!
+//! Flags:
+//! - `--specs N`: submissions to generate (default 120).
+//! - `--families K`: structural families to spread them across, as node
+//!   counts 10, 11, … (default 3).
+//! - `--workers N`: service worker threads (default 2).
+//! - `--min-hit-rate F`: exit non-zero if the template-cache hit rate
+//!   lands below this after the drain (default 0.9).
+//! - `--dir PATH`: working directory for spool/results (default: a
+//!   per-process directory under the system temp dir, removed on success).
+//!
+//! Exits 0 on success, 1 when any spec failed or the hit rate missed the
+//! gate, 2 on a fatal service error.
+
+use engine::service::{serve, ServiceConfig};
+use engine::{BackendKind, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    specs: usize,
+    families: u32,
+    workers: usize,
+    min_hit_rate: f64,
+    dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        specs: 120,
+        families: 3,
+        workers: 2,
+        min_hit_rate: 0.9,
+        dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--specs" => out.specs = value("--specs").parse().expect("--specs"),
+            "--families" => out.families = value("--families").parse().expect("--families"),
+            "--workers" => out.workers = value("--workers").parse().expect("--workers"),
+            "--min-hit-rate" => {
+                out.min_hit_rate = value("--min-hit-rate").parse().expect("--min-hit-rate")
+            }
+            "--dir" => out.dir = Some(PathBuf::from(value("--dir"))),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(out.specs > 0 && out.families > 0, "need specs and families");
+    out
+}
+
+/// The soak workload: flat exact specs round-robined across `families`
+/// structural families (node counts 10, 11, …), each submission a distinct
+/// rate-only variant (per-index detection interval) of its family.
+fn soak_spec(i: usize, families: u32) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+    spec.name = format!("soak-{i:04}");
+    spec.system.node_count = 10 + (i as u32 % families);
+    spec.system.vote_participants = 3;
+    spec.system = spec
+        .system
+        .with_tids(60.0 + (i as u32 / families) as f64 * 15.0);
+    spec
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let root = args.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("gcsids-soak-{}", std::process::id()))
+    });
+    let spool = root.join("spool");
+    let results = root.join("results");
+    std::fs::create_dir_all(&spool).expect("create spool");
+
+    for i in 0..args.specs {
+        let spec = soak_spec(i, args.families);
+        // tmp + rename, as the spool protocol requires
+        let tmp = spool.join(format!("{}.tmp", spec.name));
+        std::fs::write(&tmp, spec.to_json()).expect("write spec");
+        std::fs::rename(&tmp, spool.join(format!("{}.json", spec.name))).expect("publish spec");
+    }
+
+    let mut cfg = ServiceConfig::new(&spool, &results);
+    cfg.workers = args.workers;
+    cfg.drain = true;
+    let t0 = Instant::now();
+    let summary = match serve(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("soak: service failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let c = &summary.cache;
+    let hit_rate = c.hit_rate().unwrap_or(0.0);
+    println!(
+        "soak: {} specs / {} families / {} workers in {wall:.3}s ({:.1} specs/s)",
+        args.specs,
+        args.families,
+        args.workers,
+        summary.processed as f64 / wall,
+    );
+    println!(
+        "cache: {} hits / {} misses / {} evictions / {} bypasses \
+         ({} resident templates, {} states) hit_rate={hit_rate:.4}",
+        c.hits, c.misses, c.evictions, c.bypasses, c.entries, c.cached_states
+    );
+
+    if summary.failed > 0 {
+        eprintln!(
+            "soak: {} spec(s) FAILED — see {}",
+            summary.failed,
+            results.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    if summary.processed != args.specs as u64 {
+        eprintln!(
+            "soak: processed {} of {} submitted specs",
+            summary.processed, args.specs
+        );
+        return ExitCode::FAILURE;
+    }
+    if hit_rate < args.min_hit_rate {
+        eprintln!(
+            "soak: hit rate {hit_rate:.4} below the {:.4} gate",
+            args.min_hit_rate
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    ExitCode::SUCCESS
+}

@@ -15,7 +15,7 @@ use gcsids::des::{run_des, DesConfig, FailureCause};
 use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
 use gcsids::metrics::{eviction_impulses, total_cost_reward, ExactTemplate};
 use gcsids::model::{build_model, Places};
-use numerics::replicate::{run_plan, Completed, OutcomeSink, Replicate};
+use numerics::replicate::{run_plan_observed, Completed, OutcomeSink, Replicate};
 use numerics::rng::child_seed;
 use numerics::stats::{SurvivalAccumulator, Welford};
 use spn::error::SpnError;
@@ -50,6 +50,18 @@ impl RunBudget {
     }
 }
 
+/// A sampling-progress event: emitted once per adaptive round (and once
+/// at completion for fixed plans) by the stochastic backends when run
+/// through [`Backend::run_observed`]. The exact backend emits nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchProgress {
+    /// Replications completed so far.
+    pub replications: u64,
+    /// Relative CI half-width at this point (`None` below two failure
+    /// observations).
+    pub precision: Option<f64>,
+}
+
 /// A uniform evaluator of scenario specs.
 pub trait Backend: Sync {
     /// Which backend this is.
@@ -61,6 +73,23 @@ pub trait Backend: Sync {
     /// Returns [`EngineError::InvalidSpec`] for inconsistent specs and
     /// [`EngineError::Solver`] for evaluator failures.
     fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError>;
+
+    /// [`Backend::run`] with incremental sampling-progress observation.
+    /// Observation never changes what runs — reports are bit-identical to
+    /// the unobserved path. Backends with no replication loop (the exact
+    /// solver) ignore the observer; that is this default.
+    ///
+    /// # Errors
+    /// Same contract as [`Backend::run`].
+    fn run_observed(
+        &self,
+        spec: &ScenarioSpec,
+        budget: &RunBudget,
+        progress: &mut dyn FnMut(BatchProgress),
+    ) -> Result<RunReport, EngineError> {
+        let _ = progress;
+        self.run(spec, budget)
+    }
 }
 
 /// The backend implementation for a kind.
@@ -136,6 +165,7 @@ impl ExactBackend {
                     .collect()
             }),
             wall_seconds,
+            template_cache: None,
         }
     }
 }
@@ -266,6 +296,7 @@ impl StochasticSink {
             target_met,
             survival,
             wall_seconds: wall,
+            template_cache: None,
         }
     }
 }
@@ -342,6 +373,7 @@ fn run_stochastic<R>(
     budget: &RunBudget,
     kind: BackendKind,
     t0: Instant,
+    progress: &mut dyn FnMut(BatchProgress),
 ) -> Result<RunReport, EngineError>
 where
     R: Replicate<Outcome = Result<Rep, SpnError>>,
@@ -351,10 +383,18 @@ where
     // degenerate it (max_replications = Some(0) clamps a fixed count to
     // zero) — surface that as an error instead of panicking in run_plan.
     plan.validate().map_err(EngineError::InvalidSpec)?;
-    let done: Completed<StochasticSink> =
-        run_plan(task, &plan, spec.stochastic.master_seed, || {
-            StochasticSink::new(spec)
-        });
+    let done: Completed<StochasticSink> = run_plan_observed(
+        task,
+        &plan,
+        spec.stochastic.master_seed,
+        || StochasticSink::new(spec),
+        &mut |replications, precision| {
+            progress(BatchProgress {
+                replications,
+                precision,
+            });
+        },
+    );
     if let Some(e) = done.sink.error {
         return Err(EngineError::Solver(e));
     }
@@ -520,6 +560,15 @@ impl Backend for SpnSimBackend {
     }
 
     fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        self.run_observed(spec, budget, &mut |_| {})
+    }
+
+    fn run_observed(
+        &self,
+        spec: &ScenarioSpec,
+        budget: &RunBudget,
+        progress: &mut dyn FnMut(BatchProgress),
+    ) -> Result<RunReport, EngineError> {
         spec.validate()?;
         let t0 = Instant::now();
         let model = build_model(&spec.system);
@@ -536,7 +585,7 @@ impl Backend for SpnSimBackend {
                 threshold: topo.failure_threshold,
                 max_time: spec.stochastic.max_time,
             };
-            return run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0);
+            return run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0, progress);
         }
         let opts = SimOptions {
             max_time: spec.stochastic.max_time,
@@ -546,7 +595,7 @@ impl Backend for SpnSimBackend {
             sim: Simulator::new(&model.net, &rewards, opts),
             places: model.places,
         };
-        run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0)
+        run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0, progress)
     }
 }
 
@@ -607,6 +656,15 @@ impl Backend for DesBackend {
     }
 
     fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        self.run_observed(spec, budget, &mut |_| {})
+    }
+
+    fn run_observed(
+        &self,
+        spec: &ScenarioSpec,
+        budget: &RunBudget,
+        progress: &mut dyn FnMut(BatchProgress),
+    ) -> Result<RunReport, EngineError> {
         spec.validate()?;
         let t0 = Instant::now();
         let mut cfg = DesConfig::new(spec.system.clone());
@@ -617,9 +675,9 @@ impl Backend for DesBackend {
                 clusters: topo.clusters,
                 threshold: topo.failure_threshold,
             };
-            return run_stochastic(&task, spec, budget, BackendKind::Des, t0);
+            return run_stochastic(&task, spec, budget, BackendKind::Des, t0, progress);
         }
-        run_stochastic(&DesTask(cfg), spec, budget, BackendKind::Des, t0)
+        run_stochastic(&DesTask(cfg), spec, budget, BackendKind::Des, t0, progress)
     }
 }
 
@@ -654,6 +712,15 @@ impl Backend for MobilityDesBackend {
     }
 
     fn run(&self, spec: &ScenarioSpec, budget: &RunBudget) -> Result<RunReport, EngineError> {
+        self.run_observed(spec, budget, &mut |_| {})
+    }
+
+    fn run_observed(
+        &self,
+        spec: &ScenarioSpec,
+        budget: &RunBudget,
+        progress: &mut dyn FnMut(BatchProgress),
+    ) -> Result<RunReport, EngineError> {
         spec.validate()?;
         let t0 = Instant::now();
         let mut cfg = MobilityDesConfig::new(spec.system.clone());
@@ -666,6 +733,7 @@ impl Backend for MobilityDesBackend {
             budget,
             BackendKind::MobilityDes,
             t0,
+            progress,
         )
     }
 }
@@ -877,6 +945,69 @@ mod tests {
         };
         let report = backend_for(BackendKind::Des).run(&spec, &budget).unwrap();
         assert_eq!(report.replications, Some(25));
+    }
+
+    #[test]
+    fn replication_budget_below_first_batch_clamps_it() {
+        // Regression (satellite 3): a max_replications cap smaller than
+        // the adaptive plan's first batch must clamp that batch — running
+        // the full `min` would silently overshoot the budget — and report
+        // target_met = false with the actual count.
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-6, // unreachable at 7 replications
+            min: 100,
+            max: 400,
+            batch: 100,
+        };
+        let budget = RunBudget {
+            max_replications: Some(7),
+            ..Default::default()
+        };
+        let mut rounds = Vec::new();
+        let report = backend_for(BackendKind::Des)
+            .run_observed(&spec, &budget, &mut |p| rounds.push(p))
+            .unwrap();
+        assert_eq!(report.replications, Some(7));
+        assert_eq!(report.target_met, Some(false));
+        // exactly one sampling round ran, at the capped size
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].replications, 7);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_streams_rounds() {
+        let mut spec = hot_spec(BackendKind::Des);
+        spec.stochastic.sampling = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-6, // unreachable: every round fires
+            min: 10,
+            max: 30,
+            batch: 10,
+        };
+        let mut rounds = Vec::new();
+        let observed = backend_for(BackendKind::Des)
+            .run_observed(&spec, &RunBudget::default(), &mut |p| rounds.push(p))
+            .unwrap();
+        let plain = backend_for(BackendKind::Des)
+            .run(&spec, &RunBudget::default())
+            .unwrap();
+        assert_eq!(observed.mttsf, plain.mttsf);
+        assert_eq!(observed.c_total, plain.c_total);
+        assert_eq!(observed.replications, plain.replications);
+        assert_eq!(
+            rounds.iter().map(|p| p.replications).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        // the exact backend has no replication loop: observer never fires
+        let mut none = Vec::new();
+        backend_for(BackendKind::Exact)
+            .run_observed(
+                &hot_spec(BackendKind::Exact),
+                &RunBudget::default(),
+                &mut |p| none.push(p),
+            )
+            .unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -1,22 +1,38 @@
-//! Cross-backend validation harness over on-disk scenario specs.
+//! Cross-backend validation harness and scenario-evaluation service over
+//! on-disk scenario specs.
 //!
 //! ```text
 //! runner --specs <dir> [--out <file>] [--confidence 0.99] [--mttsf-rel-tol 0.2]
 //!        [--survival-abs-tol 0.05] [--survival-sup-tol X] [--max-replications N]
 //!        [--max-states N] [--mobility] [--quiet]
+//!
+//! runner serve --spool <dir> --results <dir> [--workers N] [--queue-limit N]
+//!        [--poll-ms N] [--max-states N] [--max-replications N]
+//!        [--cache-templates N] [--cache-states N] [--drain]
 //! ```
 //!
-//! Every `*.json` [`engine::ScenarioSpec`] in `--specs` runs on the exact
-//! backend and on each applicable stochastic backend; the exact value must
-//! lie inside the stochastic confidence interval (or within the explicit
-//! modeling tolerance) metric-by-metric and mission-grid-point-by-point.
-//! A machine-readable agreement report is written to `--out` (or printed),
-//! a human summary goes to stderr, and the exit code is non-zero on any
-//! disagreement — ready for CI.
+//! **Cross-validation mode** (the default): every `*.json`
+//! [`engine::ScenarioSpec`] in `--specs` runs on the exact backend and on
+//! each applicable stochastic backend; the exact value must lie inside the
+//! stochastic confidence interval (or within the explicit modeling
+//! tolerance) metric-by-metric and mission-grid-point-by-point. A
+//! machine-readable agreement report is written to `--out` (or printed), a
+//! human summary goes to stderr, and the exit code is non-zero on any
+//! disagreement **or any per-spec failure** (failures are isolated and
+//! named in the report, never aborting the rest of the directory) — ready
+//! for CI.
+//!
+//! **Serve mode**: a persistent daemon watching `--spool` for spec files
+//! and streaming reports (plus adaptive-sampling progress) into
+//! `--results`, with a cross-request template cache — see
+//! [`engine::service`] for the spool protocol and eviction policy. Exits
+//! zero when every processed spec succeeded, 1 otherwise.
 
+use engine::service::{serve, ServiceConfig};
 use engine::{cross_validate_dir, CrossValOptions, CrossValReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     specs: PathBuf,
@@ -29,37 +45,42 @@ fn usage() -> ! {
     eprintln!(
         "usage: runner --specs <dir> [--out <file>] [--confidence <c>] \
          [--mttsf-rel-tol <x>] [--survival-abs-tol <x>] [--survival-sup-tol <x>] \
-         [--max-replications <n>] [--max-states <n>] [--mobility] [--quiet]"
+         [--max-replications <n>] [--max-states <n>] [--mobility] [--quiet]\n\
+         \n\
+         runner serve --spool <dir> --results <dir> [--workers <n>] \
+         [--queue-limit <n>] [--poll-ms <n>] [--max-states <n>] \
+         [--max-replications <n>] [--cache-templates <n>] [--cache-states <n>] \
+         [--drain]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut args = std::env::args().skip(1);
+fn next_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}");
+        usage()
+    })
+}
+
+fn parse_args(args: &mut dyn Iterator<Item = String>) -> Args {
     let mut specs: Option<PathBuf> = None;
     let mut out = None;
     let mut opts = CrossValOptions::default();
     let mut quiet = false;
-    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        args.next().unwrap_or_else(|| {
-            eprintln!("missing value for {flag}");
-            usage()
-        })
-    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--specs" => specs = Some(PathBuf::from(value(&mut args, "--specs"))),
-            "--out" => out = Some(PathBuf::from(value(&mut args, "--out"))),
+            "--specs" => specs = Some(PathBuf::from(next_value(args, "--specs"))),
+            "--out" => out = Some(PathBuf::from(next_value(args, "--out"))),
             "--confidence" => {
-                opts.confidence = parse_num(&value(&mut args, "--confidence"), "--confidence")
+                opts.confidence = parse_num(&next_value(args, "--confidence"), "--confidence")
             }
             "--mttsf-rel-tol" => {
                 opts.mttsf_rel_tol =
-                    parse_num(&value(&mut args, "--mttsf-rel-tol"), "--mttsf-rel-tol")
+                    parse_num(&next_value(args, "--mttsf-rel-tol"), "--mttsf-rel-tol")
             }
             "--survival-abs-tol" => {
                 opts.survival_abs_tol = parse_num(
-                    &value(&mut args, "--survival-abs-tol"),
+                    &next_value(args, "--survival-abs-tol"),
                     "--survival-abs-tol",
                 )
             }
@@ -67,19 +88,19 @@ fn parse_args() -> Args {
             // enforced only when this flag is given).
             "--survival-sup-tol" => {
                 opts.survival_sup_tol = Some(parse_num(
-                    &value(&mut args, "--survival-sup-tol"),
+                    &next_value(args, "--survival-sup-tol"),
                     "--survival-sup-tol",
                 ))
             }
             "--max-replications" => {
                 opts.budget.max_replications = Some(parse_count(
-                    &value(&mut args, "--max-replications"),
+                    &next_value(args, "--max-replications"),
                     "--max-replications",
                 ))
             }
             "--max-states" => {
                 opts.budget.max_states =
-                    parse_count(&value(&mut args, "--max-states"), "--max-states") as usize
+                    parse_count(&next_value(args, "--max-states"), "--max-states") as usize
             }
             "--mobility" => opts.include_mobility = true,
             "--quiet" => quiet = true,
@@ -100,6 +121,61 @@ fn parse_args() -> Args {
         opts,
         quiet,
     }
+}
+
+fn parse_serve_args(args: &mut dyn Iterator<Item = String>) -> ServiceConfig {
+    let mut spool: Option<PathBuf> = None;
+    let mut results: Option<PathBuf> = None;
+    let mut cfg = ServiceConfig::new("", "");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--spool" => spool = Some(PathBuf::from(next_value(args, "--spool"))),
+            "--results" => results = Some(PathBuf::from(next_value(args, "--results"))),
+            "--workers" => {
+                cfg.workers = parse_count(&next_value(args, "--workers"), "--workers") as usize
+            }
+            "--queue-limit" => {
+                cfg.queue_limit =
+                    parse_count(&next_value(args, "--queue-limit"), "--queue-limit") as usize
+            }
+            "--poll-ms" => {
+                cfg.poll_interval =
+                    Duration::from_millis(parse_count(&next_value(args, "--poll-ms"), "--poll-ms"))
+            }
+            "--max-states" => {
+                cfg.budget.max_states =
+                    parse_count(&next_value(args, "--max-states"), "--max-states") as usize
+            }
+            "--max-replications" => {
+                cfg.budget.max_replications = Some(parse_count(
+                    &next_value(args, "--max-replications"),
+                    "--max-replications",
+                ))
+            }
+            "--cache-templates" => {
+                cfg.cache_budget.max_templates =
+                    parse_count(&next_value(args, "--cache-templates"), "--cache-templates")
+                        as usize
+            }
+            "--cache-states" => {
+                cfg.cache_budget.max_cached_states =
+                    parse_count(&next_value(args, "--cache-states"), "--cache-states") as usize
+            }
+            "--drain" => cfg.drain = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let (Some(spool), Some(results)) = (spool, results) else {
+        eprintln!("serve requires --spool and --results");
+        usage()
+    };
+    cfg.spool = spool;
+    cfg.results = results;
+    cfg
 }
 
 fn parse_num(text: &str, flag: &str) -> f64 {
@@ -146,6 +222,9 @@ fn summarize(report: &CrossValReport) {
             }
         }
     }
+    for f in &report.failures {
+        eprintln!("{} [FAILED]  {}", f.spec, f.error);
+    }
     if let Some((name, backend, ch)) = report.worst_offender() {
         eprintln!(
             "worst offender: {name} vs {} on {} (discrepancy {:.4})",
@@ -156,8 +235,41 @@ fn summarize(report: &CrossValReport) {
     }
 }
 
+fn serve_main(args: &mut dyn Iterator<Item = String>) -> ExitCode {
+    let cfg = parse_serve_args(args);
+    let summary = match serve(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("runner serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let c = summary.cache;
+    eprintln!(
+        "service: {} processed, {} failed | cache: {} hits / {} misses / {} evictions / {} bypasses ({} resident, {} states)",
+        summary.processed,
+        summary.failed,
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.bypasses,
+        c.entries,
+        c.cached_states
+    );
+    if summary.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let args = parse_args();
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return serve_main(&mut raw);
+    }
+    let args = parse_args(&mut raw);
     let report = match cross_validate_dir(&args.specs, &args.opts) {
         Ok(r) => r,
         Err(e) => {
@@ -178,6 +290,13 @@ fn main() -> ExitCode {
             eprintln!("agreement report written to {}", path.display());
         }
         None => println!("{json}"),
+    }
+    if !report.clean() {
+        eprintln!(
+            "cross-backend validation: {} spec(s) FAILED to load or evaluate",
+            report.failures.len()
+        );
+        return ExitCode::FAILURE;
     }
     if report.agrees() {
         eprintln!("cross-backend validation: all specs agree");

@@ -185,17 +185,47 @@ pub struct SpecCrossValidation {
     pub agrees: bool,
 }
 
+/// One spec that could not be loaded or evaluated. Failures are isolated
+/// per spec — they never abort the rest of a directory run — and carried
+/// in the report so a nonzero exit code can name every offender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecFailure {
+    /// The offending spec: its file path (load failures) or scenario
+    /// name (evaluation failures).
+    pub spec: String,
+    /// Human-readable error.
+    pub error: String,
+}
+
+impl SpecFailure {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("spec", Value::Str(self.spec.clone())),
+            ("error", Value::Str(self.error.clone())),
+        ])
+    }
+}
+
 /// The aggregate agreement report over a batch of scenarios.
 #[derive(Debug, Clone, Default)]
 pub struct CrossValReport {
     /// Per-scenario verdicts.
     pub specs: Vec<SpecCrossValidation>,
+    /// Specs that failed to load or evaluate (isolated, not aborting).
+    pub failures: Vec<SpecFailure>,
 }
 
 impl CrossValReport {
     /// True when every scenario agrees on every backend.
     pub fn agrees(&self) -> bool {
         self.specs.iter().all(|s| s.agrees)
+    }
+
+    /// True when every spec in the run loaded and evaluated. A run can
+    /// [`CrossValReport::agrees`] on the specs it did validate and still
+    /// be unclean — callers gating on success must check both.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
     }
 
     /// The check with the largest discrepancy across the whole run, as
@@ -274,8 +304,13 @@ impl CrossValReport {
             });
         Value::obj([
             ("specs", Value::Arr(specs)),
+            (
+                "failures",
+                Value::Arr(self.failures.iter().map(SpecFailure::to_value).collect()),
+            ),
             ("worst_offender", worst),
             ("agrees", Value::Bool(self.agrees())),
+            ("clean", Value::Bool(self.clean())),
         ])
         .encode()
     }
@@ -455,32 +490,81 @@ pub fn load_spec_dir(dir: &Path) -> Result<Vec<(PathBuf, ScenarioSpec)>, EngineE
         .collect()
 }
 
+/// What [`load_spec_dir_lenient`] yields: the specs that parsed (with
+/// their source paths) and the per-file failures.
+pub type LenientSpecs = (Vec<(PathBuf, ScenarioSpec)>, Vec<SpecFailure>);
+
+/// [`load_spec_dir`] with per-file error isolation: unreadable or
+/// malformed files become [`SpecFailure`]s instead of aborting the load.
+///
+/// # Errors
+/// Only an unreadable *directory* is fatal.
+pub fn load_spec_dir_lenient(dir: &Path) -> Result<LenientSpecs, EngineError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| EngineError::Json(format!("cannot read spec dir {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut loaded = Vec::new();
+    let mut failures = Vec::new();
+    for p in paths {
+        let outcome = std::fs::read_to_string(&p)
+            .map_err(|e| EngineError::Json(format!("cannot read: {e}")))
+            .and_then(|text| ScenarioSpec::from_json(&text));
+        match outcome {
+            Ok(spec) => loaded.push((p, spec)),
+            Err(e) => failures.push(SpecFailure {
+                spec: p.display().to_string(),
+                error: e.to_string(),
+            }),
+        }
+    }
+    Ok((loaded, failures))
+}
+
 /// Cross-validate every spec file in a directory. The exact references run
 /// through the batched [`Runner`], so rate-only spec variants of one
 /// structural family share a single state-space exploration.
 ///
+/// Per-spec failures — malformed files, validation errors, evaluation
+/// errors — are isolated into [`CrossValReport::failures`] and the rest
+/// of the directory still validates; gate on [`CrossValReport::clean`]
+/// (the `runner` binary exits nonzero when it is false).
+///
 /// # Errors
-/// Propagates loading and evaluation failures; an empty directory is an
-/// error (a harness that validates nothing should not report success).
+/// An unreadable directory or a directory with no `.json` files at all is
+/// an error (a harness that validates nothing should not report success).
 pub fn cross_validate_dir(
     dir: &Path,
     opts: &CrossValOptions,
 ) -> Result<CrossValReport, EngineError> {
-    let specs = load_spec_dir(dir)?;
-    if specs.is_empty() {
+    let (loaded, failures) = load_spec_dir_lenient(dir)?;
+    if loaded.is_empty() && failures.is_empty() {
         return Err(EngineError::Json(format!(
             "no .json specs found in {}",
             dir.display()
         )));
     }
-    let bases: Vec<ScenarioSpec> = specs
+    let bases: Vec<ScenarioSpec> = loaded
         .iter()
         .map(|(_, spec)| harness_base(spec, opts))
         .collect();
-    let exact_reports = Runner::with_budget(opts.budget).run_batch(&bases)?;
-    let mut report = CrossValReport::default();
-    for (base, exact) in bases.iter().zip(exact_reports) {
-        report.specs.push(compare_against(base, exact, opts)?);
+    let exact_results = Runner::with_budget(opts.budget).try_batch(&bases);
+    let mut report = CrossValReport {
+        specs: Vec::new(),
+        failures,
+    };
+    for ((path, _), (base, exact)) in loaded.iter().zip(bases.iter().zip(exact_results)) {
+        match exact.and_then(|e| compare_against(base, e, opts)) {
+            Ok(v) => report.specs.push(v),
+            Err(e) => report.failures.push(SpecFailure {
+                spec: path.display().to_string(),
+                error: e.to_string(),
+            }),
+        }
     }
     Ok(report)
 }
@@ -584,6 +668,7 @@ mod tests {
             target_met: None,
             survival: None,
             wall_seconds: 0.0,
+            template_cache: None,
         }
     }
 
@@ -826,5 +911,41 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         assert!(cross_validate_dir(&dir, &CrossValOptions::default()).is_err());
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    /// Regression (satellite 1): one malformed or failing spec must not
+    /// abort the directory — the rest still validates, and every failure
+    /// is named in the report.
+    #[test]
+    fn dir_harness_isolates_bad_specs() {
+        let dir = std::env::temp_dir().join("gcsids-crossval-isolation-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut good = hot_spec();
+        good.stochastic.sampling = SamplingPlan::Fixed(30);
+        std::fs::write(dir.join("a_good.json"), good.to_json()).unwrap();
+        std::fs::write(dir.join("b_malformed.json"), "{not json").unwrap();
+        let mut invalid = good.clone();
+        invalid.system.node_count = 0;
+        invalid.name = "invalid".into();
+        std::fs::write(dir.join("c_invalid.json"), invalid.to_json()).unwrap();
+
+        let report = cross_validate_dir(&dir, &CrossValOptions::default()).unwrap();
+        assert_eq!(report.specs.len(), 1, "{:?}", report.failures);
+        assert_eq!(report.specs[0].name, good.name);
+        assert_eq!(report.failures.len(), 2);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.spec.contains("b_malformed.json")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.spec.contains("c_invalid.json")));
+        assert!(!report.clean());
+        let v = crate::json::Value::parse(&report.to_json()).unwrap();
+        assert_eq!(v.field("failures").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.field("clean").unwrap(), &Value::Bool(false));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -50,9 +50,10 @@ pub mod error;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod spec;
 
-pub use backend::{backend_for, Backend, ExactBackend, RunBudget};
+pub use backend::{backend_for, Backend, BatchProgress, ExactBackend, RunBudget};
 pub use crossval::{
     cross_validate, cross_validate_dir, CrossValOptions, CrossValReport, MetricCheck,
     SpecCrossValidation,
@@ -60,7 +61,11 @@ pub use crossval::{
 pub use error::EngineError;
 pub use gcsids::config::ClusterTopology;
 pub use report::{
-    survival_estimates, survival_estimates_streaming, Estimate, FailureSplit, RunReport,
+    survival_estimates, survival_estimates_streaming, CacheOutcome, Estimate, FailureSplit,
+    RunReport, TemplateCacheInfo,
 };
 pub use runner::{Runner, ScenarioGrid};
+pub use service::{
+    serve, CacheBudget, CacheStats, FamilyKey, ServiceConfig, ServiceSummary, TemplateCache,
+};
 pub use spec::{BackendKind, MobilityOptions, SamplingPlan, ScenarioSpec, StochasticOptions};

@@ -132,6 +132,94 @@ pub fn survival_estimates_streaming(
         .collect()
 }
 
+/// How the cross-request template cache handled one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A cached template for the spec's structural family was reused.
+    Hit,
+    /// No template was cached for the family; one was built and inserted.
+    Miss,
+    /// The spec is not cacheable (stochastic backends and clustered exact
+    /// specs route around the template cache — see
+    /// [`crate::service::TemplateCache`]).
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+
+    /// Inverse of [`CacheOutcome::name`].
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Json`] for unknown names.
+    pub fn from_name(name: &str) -> Result<Self, EngineError> {
+        match name {
+            "hit" => Ok(CacheOutcome::Hit),
+            "miss" => Ok(CacheOutcome::Miss),
+            "bypass" => Ok(CacheOutcome::Bypass),
+            other => Err(EngineError::Json(format!(
+                "unknown cache outcome {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Template-cache telemetry attached to reports produced through a
+/// cache-aware runner ([`crate::Runner::run_cached`] and the service
+/// loop). `None` on reports from plain one-shot execution, and omitted
+/// from the JSON encoding in that case, so cache-aware and one-shot
+/// reports stay byte-comparable after stripping this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateCacheInfo {
+    /// What the cache did for this submission.
+    pub outcome: CacheOutcome,
+    /// Cumulative hits since the cache was created.
+    pub hits: u64,
+    /// Cumulative misses (each miss built and inserted a template).
+    pub misses: u64,
+    /// Cumulative evictions under the LRU/size budget.
+    pub evictions: u64,
+    /// Cumulative bypasses (non-cacheable submissions).
+    pub bypasses: u64,
+    /// Templates resident after this submission.
+    pub entries: u64,
+    /// Total tangible CTMC states across resident templates.
+    pub cached_states: u64,
+}
+
+impl TemplateCacheInfo {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("outcome", Value::Str(self.outcome.name().into())),
+            ("hits", Value::Num(self.hits as f64)),
+            ("misses", Value::Num(self.misses as f64)),
+            ("evictions", Value::Num(self.evictions as f64)),
+            ("bypasses", Value::Num(self.bypasses as f64)),
+            ("entries", Value::Num(self.entries as f64)),
+            ("cached_states", Value::Num(self.cached_states as f64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, EngineError> {
+        Ok(Self {
+            outcome: CacheOutcome::from_name(v.field("outcome")?.as_str()?)?,
+            hits: v.field("hits")?.as_u64()?,
+            misses: v.field("misses")?.as_u64()?,
+            evictions: v.field("evictions")?.as_u64()?,
+            bypasses: v.field("bypasses")?.as_u64()?,
+            entries: v.field("entries")?.as_u64()?,
+            cached_states: v.field("cached_states")?.as_u64()?,
+        })
+    }
+}
+
 /// How the observed runs ended, as probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FailureSplit {
@@ -188,6 +276,9 @@ pub struct RunReport {
     pub survival: Option<Vec<(f64, Estimate)>>,
     /// Wall-clock seconds spent producing this report.
     pub wall_seconds: f64,
+    /// Cross-request template-cache telemetry (`None` outside cache-aware
+    /// execution; the JSON key is omitted entirely in that case).
+    pub template_cache: Option<TemplateCacheInfo>,
 }
 
 /// Non-finite numbers (the "not estimable" marker) encode as null.
@@ -253,7 +344,7 @@ impl RunReport {
                     .collect(),
             )
         });
-        Value::obj([
+        let mut root = Value::obj([
             ("scenario", Value::Str(self.scenario.clone())),
             ("backend", Value::Str(self.backend.name().into())),
             ("mttsf", est_to_value(&self.mttsf)),
@@ -282,8 +373,17 @@ impl RunReport {
             ),
             ("survival", survival),
             ("wall_seconds", Value::Num(self.wall_seconds)),
-        ])
-        .encode()
+        ]);
+        // Emitted only when present so reports from plain one-shot runs
+        // keep their historical byte encoding (the `clustered` spec key
+        // follows the same convention).
+        if let Some(info) = self.template_cache {
+            let Value::Obj(fields) = &mut root else {
+                unreachable!("report root is an object")
+            };
+            fields.insert("template_cache".into(), info.to_value());
+        }
+        root.encode()
     }
 
     /// Parse a report serialized by [`RunReport::to_json`].
@@ -339,6 +439,10 @@ impl RunReport {
             target_met: v.opt_field("target_met").map(Value::as_bool).transpose()?,
             survival,
             wall_seconds: v.field("wall_seconds")?.as_f64()?,
+            template_cache: v
+                .opt_field("template_cache")
+                .map(TemplateCacheInfo::from_value)
+                .transpose()?,
         })
     }
 }
@@ -461,6 +565,7 @@ mod tests {
                 (50.0, Estimate::exact(0.5)),
             ]),
             wall_seconds: 0.5,
+            template_cache: None,
         }
     }
 
@@ -496,6 +601,32 @@ mod tests {
         ]);
         let back = RunReport::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn template_cache_field_is_omitted_when_absent_and_roundtrips_when_set() {
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("template_cache"));
+
+        let mut cached = sample_report();
+        cached.template_cache = Some(TemplateCacheInfo {
+            outcome: CacheOutcome::Hit,
+            hits: 9,
+            misses: 3,
+            evictions: 1,
+            bypasses: 2,
+            entries: 2,
+            cached_states: 1234,
+        });
+        let text = cached.to_json();
+        assert!(text.contains("\"template_cache\":{"));
+        assert!(text.contains("\"outcome\":\"hit\""));
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, cached);
+        // stripping the field restores the plain byte encoding
+        let mut stripped = back;
+        stripped.template_cache = None;
+        assert_eq!(stripped.to_json(), plain.to_json());
     }
 
     #[test]

@@ -8,20 +8,27 @@
 //! Stochastic scenarios run one-by-one (each already parallelizes across
 //! its replications). Report order matches spec order.
 
-use crate::backend::{backend_for, Backend, ExactBackend, RunBudget};
+use crate::backend::{backend_for, BatchProgress, ExactBackend, RunBudget};
 use crate::error::EngineError;
 use crate::report::RunReport;
+use crate::service::TemplateCache;
 use crate::spec::{BackendKind, ScenarioSpec};
 use gcsids::metrics::ExactTemplate;
 use rayon::prelude::*;
 use spn::reach::ExploreOptions;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Executes scenario specs against their backends.
+///
+/// Every runner owns a [`TemplateCache`] shared by its cache-aware entry
+/// points ([`Runner::run_cached`], [`Runner::run_batch`]); cloning a
+/// runner shares the cache, and [`Runner::with_cache`] wires an external
+/// one in (the service loop's cross-request cache).
 #[derive(Debug, Clone, Default)]
 pub struct Runner {
     /// Budget applied to every run.
     pub budget: RunBudget,
+    cache: Arc<TemplateCache>,
 }
 
 impl Runner {
@@ -32,10 +39,31 @@ impl Runner {
 
     /// Runner with an explicit budget.
     pub fn with_budget(budget: RunBudget) -> Self {
-        Self { budget }
+        Self {
+            budget,
+            cache: Arc::default(),
+        }
     }
 
-    /// Run one scenario.
+    /// Runner sharing an externally owned template cache (the service
+    /// loop's cross-request cache).
+    pub fn with_cache(budget: RunBudget, cache: Arc<TemplateCache>) -> Self {
+        Self { budget, cache }
+    }
+
+    /// The template cache this runner consults.
+    pub fn cache(&self) -> &Arc<TemplateCache> {
+        &self.cache
+    }
+
+    fn explore_options(&self) -> ExploreOptions {
+        ExploreOptions {
+            max_states: self.budget.max_states,
+            ..Default::default()
+        }
+    }
+
+    /// Run one scenario without touching the template cache.
     ///
     /// # Errors
     /// Propagates spec validation and backend failures.
@@ -43,9 +71,105 @@ impl Runner {
         backend_for(spec.backend).run(spec, &self.budget)
     }
 
+    /// Run one scenario through the template cache: flat exact specs
+    /// resolve their structural family against the cache (hit or miss)
+    /// and solve on the memoized template; everything else bypasses. The
+    /// report carries the cache telemetry in
+    /// [`RunReport::template_cache`]. Results are bit-identical to
+    /// [`Runner::run`] up to `wall_seconds` and that field.
+    ///
+    /// # Errors
+    /// Propagates spec validation and backend failures.
+    pub fn run_cached(&self, spec: &ScenarioSpec) -> Result<RunReport, EngineError> {
+        self.run_cached_observed(spec, &mut |_| {})
+    }
+
+    /// [`Runner::run_cached`] with incremental sampling-progress
+    /// observation on the stochastic backends (see
+    /// [`crate::Backend::run_observed`]).
+    ///
+    /// # Errors
+    /// Propagates spec validation and backend failures.
+    pub fn run_cached_observed(
+        &self,
+        spec: &ScenarioSpec,
+        progress: &mut dyn FnMut(BatchProgress),
+    ) -> Result<RunReport, EngineError> {
+        spec.validate()?;
+        let (template, outcome) = self.cache.lookup(spec, &self.explore_options())?;
+        let mut report = match template {
+            Some(t) => ExactBackend::run_with_template(&t, spec)?,
+            None => backend_for(spec.backend).run_observed(spec, &self.budget, progress)?,
+        };
+        report.template_cache = Some(self.cache.info(outcome));
+        Ok(report)
+    }
+
+    /// Run a batch with **per-spec error isolation**: every spec produces
+    /// either a report or its own error, in spec order — one malformed or
+    /// failing spec never aborts the rest (satellite-1 semantics). Exact
+    /// structural families resolve through the template cache (explore
+    /// once, solve many, shared across batches on the same runner) and
+    /// solve in parallel; stochastic specs run sequentially because each
+    /// already fans out across replications.
+    pub fn try_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<RunReport, EngineError>> {
+        let opts = self.explore_options();
+        // Resolve every cache lookup up front, sequentially: counters and
+        // hit/miss attribution stay deterministic in spec order.
+        let lookups: Vec<Result<crate::service::CacheLookup, EngineError>> = specs
+            .iter()
+            .map(|spec| {
+                spec.validate()?;
+                self.cache.lookup(spec, &opts)
+            })
+            .collect();
+
+        let mut slots: Vec<Option<Result<RunReport, EngineError>>> =
+            specs.iter().map(|_| None).collect();
+
+        // Exact template solves in parallel.
+        let templated: Vec<(usize, &ScenarioSpec, &Arc<ExactTemplate>)> = specs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, spec)| match &lookups[i] {
+                Ok((Some(t), _)) => Some((i, spec, t)),
+                _ => None,
+            })
+            .collect();
+        let solved: Vec<(usize, Result<RunReport, EngineError>)> = templated
+            .par_iter()
+            .map(|&(i, spec, template)| (i, ExactBackend::run_with_template(template, spec)))
+            .collect();
+        for (i, result) in solved {
+            slots[i] = Some(result);
+        }
+
+        for (i, spec) in specs.iter().enumerate() {
+            let outcome = match &lookups[i] {
+                Err(e) => {
+                    slots[i] = Some(Err(e.clone()));
+                    continue;
+                }
+                Ok((_, outcome)) => *outcome,
+            };
+            if slots[i].is_none() {
+                // Bypassed specs (stochastic backends, clustered exact).
+                slots[i] = Some(backend_for(spec.backend).run(spec, &self.budget));
+            }
+            if let Some(Ok(report)) = &mut slots[i] {
+                report.template_cache = Some(self.cache.info(outcome));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
     /// Run a batch, sharing one state-space exploration across all exact
-    /// scenarios with the same structural key. Reports come back in spec
-    /// order; the first error aborts the batch.
+    /// scenarios with the same structural family. Reports come back in
+    /// spec order; the first error (in spec order) aborts the batch — use
+    /// [`Runner::try_batch`] to keep going past per-spec failures.
     ///
     /// # Errors
     /// Propagates spec validation and backend failures.
@@ -53,57 +177,7 @@ impl Runner {
         for spec in specs {
             spec.validate()?;
         }
-        // Explore each exact structural family once.
-        let mut templates: HashMap<(u32, u32), ExactTemplate> = HashMap::new();
-        let opts = ExploreOptions {
-            max_states: self.budget.max_states,
-            ..Default::default()
-        };
-        for spec in specs {
-            // Clustered exact specs solve a lumped/composed chain of their
-            // own — they bypass the shared single-system template cache.
-            if spec.backend == BackendKind::Exact && spec.clustered.is_none() {
-                let key = (spec.system.node_count, spec.system.max_groups);
-                if let std::collections::hash_map::Entry::Vacant(e) = templates.entry(key) {
-                    e.insert(ExactTemplate::with_options(&spec.system, &opts)?);
-                }
-            }
-        }
-
-        // Exact scenarios solve in parallel against their cached graphs;
-        // stochastic scenarios run sequentially here because each already
-        // fans out across replications.
-        let exact: Vec<(usize, &ScenarioSpec)> = specs
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.backend == BackendKind::Exact)
-            .collect();
-        let exact_reports: Result<Vec<(usize, RunReport)>, EngineError> = exact
-            .par_iter()
-            .map(|&(i, spec)| {
-                let report = if spec.clustered.is_some() {
-                    ExactBackend.run(spec, &self.budget)?
-                } else {
-                    let key = (spec.system.node_count, spec.system.max_groups);
-                    ExactBackend::run_with_template(&templates[&key], spec)?
-                };
-                Ok((i, report))
-            })
-            .collect();
-
-        let mut slots: Vec<Option<RunReport>> = vec![None; specs.len()];
-        for (i, report) in exact_reports? {
-            slots[i] = Some(report);
-        }
-        for (i, spec) in specs.iter().enumerate() {
-            if spec.backend != BackendKind::Exact {
-                slots[i] = Some(backend_for(spec.backend).run(spec, &self.budget)?);
-            }
-        }
-        Ok(slots
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect())
+        self.try_batch(specs).into_iter().collect()
     }
 }
 
@@ -355,6 +429,92 @@ mod tests {
         let mut bad = small_spec();
         bad.system.node_count = 0;
         assert!(Runner::new().run_batch(&[small_spec(), bad]).is_err());
+    }
+
+    #[test]
+    fn try_batch_isolates_per_spec_failures() {
+        // Regression (satellite 1): one bad spec must not take down the
+        // batch — every other spec still gets its report.
+        let mut bad = small_spec();
+        bad.system.node_count = 0;
+        let mut other = small_spec();
+        other.system = other.system.with_tids(30.0);
+        other.name = "small/t30".into();
+        let results = Runner::new().try_batch(&[small_spec(), bad, other]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        // failing specs keep order; good reports match the strict batch
+        let strict = Runner::new().run_batch(&[small_spec()]).unwrap();
+        assert_eq!(
+            results[0].as_ref().unwrap().mttsf.value,
+            strict[0].mttsf.value
+        );
+    }
+
+    #[test]
+    fn clustered_spec_never_hits_a_flat_family_template() {
+        // Regression (satellite 2): the structural-family key includes the
+        // cluster topology, so a flat-family entry warmed first can never
+        // serve a clustered spec with the same (node_count, max_groups).
+        use crate::report::CacheOutcome;
+        use crate::service::FamilyKey;
+        let topo = gcsids::config::ClusterTopology {
+            clusters: 3,
+            failure_threshold: 2,
+        };
+        let mut flat = small_spec();
+        flat.system.attacker.base_rate = 1.0 / 600.0;
+        flat.system.detection = flat.system.detection.with_interval(120.0);
+        let mut clustered = flat.clone().with_clusters(topo);
+        clustered.name = "small/clustered".into();
+        assert_ne!(FamilyKey::of(&flat), FamilyKey::of(&clustered));
+
+        let runner = Runner::new();
+        // warm the flat family
+        let warm = runner.run_cached(&flat).unwrap();
+        assert_eq!(warm.template_cache.unwrap().outcome, CacheOutcome::Miss);
+        // the clustered spec must bypass, not hit the stale flat entry
+        let report = runner.run_cached(&clustered).unwrap();
+        let info = report.template_cache.unwrap();
+        assert_eq!(info.outcome, CacheOutcome::Bypass);
+        assert_eq!(info.hits, 0);
+        // and it solved the real clustered chain (lumping stats prove it)
+        assert!(report.lumping_reduction.unwrap() > 1.0);
+        let solo = runner.run(&clustered).unwrap();
+        assert_eq!(report.mttsf.value, solo.mttsf.value);
+    }
+
+    #[test]
+    fn cache_persists_across_batches_on_one_runner() {
+        let runner = Runner::new();
+        let first = runner.run_batch(&[small_spec()]).unwrap();
+        assert_eq!(
+            first[0].template_cache.unwrap().outcome,
+            crate::report::CacheOutcome::Miss
+        );
+        // same family again, new batch: served from the warm cache
+        let mut again = small_spec();
+        again.system = again.system.with_tids(30.0);
+        let second = runner.run_batch(&[again]).unwrap();
+        let info = second[0].template_cache.unwrap();
+        assert_eq!(info.outcome, crate::report::CacheOutcome::Hit);
+        assert_eq!((info.hits, info.misses, info.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn run_cached_matches_run_up_to_telemetry() {
+        let runner = Runner::new();
+        let spec = small_spec();
+        let mut cached = runner.run_cached(&spec).unwrap();
+        let mut plain = runner.run(&spec).unwrap();
+        assert!(cached.template_cache.is_some());
+        assert!(plain.template_cache.is_none());
+        cached.template_cache = None;
+        cached.wall_seconds = 0.0;
+        plain.wall_seconds = 0.0;
+        assert_eq!(cached, plain);
     }
 
     #[test]

@@ -316,11 +316,39 @@ where
     S: OutcomeSink<R::Outcome>,
     F: Fn() -> S + Sync,
 {
+    run_plan_observed(task, plan, master_seed, new_sink, &mut |_, _| {})
+}
+
+/// [`run_plan`] with a progress observer: after each sampling round the
+/// observer receives `(replications_so_far, precision)` — one call per
+/// adaptive round (including the initial `min` round) and a single final
+/// call for fixed plans. Observation never changes what runs: the
+/// replication stream and the aggregation order are exactly those of the
+/// unobserved executor, so results stay bit-identical. The observer runs
+/// on the driving thread, between rounds.
+///
+/// # Panics
+/// Panics on an invalid plan (call [`SamplingPlan::validate`] first when
+/// the plan comes from external input).
+pub fn run_plan_observed<R, S, F>(
+    task: &R,
+    plan: &SamplingPlan,
+    master_seed: u64,
+    new_sink: F,
+    observe: &mut dyn FnMut(u64, Option<f64>),
+) -> Completed<S>
+where
+    R: Replicate + ?Sized,
+    S: OutcomeSink<R::Outcome>,
+    F: Fn() -> S + Sync,
+{
     plan.validate().expect("invalid sampling plan");
     let mut state: Stream<S> = Stream::new();
     match *plan {
         SamplingPlan::Fixed(n) => {
             extend(task, master_seed, &mut state, n, &new_sink);
+            let p = state.snapshot::<R::Outcome>().expect("n > 0").precision();
+            observe(n, p);
             Completed {
                 sink: state.finish::<R::Outcome>().expect("n > 0"),
                 replications: n,
@@ -336,11 +364,9 @@ where
             let mut n = min.min(max);
             extend(task, master_seed, &mut state, n, &new_sink);
             loop {
-                let met = state
-                    .snapshot::<R::Outcome>()
-                    .expect("n > 0")
-                    .precision()
-                    .is_some_and(|p| p <= target_rel_halfwidth);
+                let p = state.snapshot::<R::Outcome>().expect("n > 0").precision();
+                observe(n, p);
+                let met = p.is_some_and(|p| p <= target_rel_halfwidth);
                 if met || n >= max {
                     return Completed {
                         sink: state.finish::<R::Outcome>().expect("n > 0"),
@@ -426,6 +452,69 @@ mod tests {
         assert!(done.replications < 100_000, "{}", done.replications);
         let p = done.sink.precision().unwrap();
         assert!(p <= 0.25, "claimed target met but precision is {p}");
+    }
+
+    #[test]
+    fn observer_sees_each_round_and_does_not_perturb_results() {
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-9, // unreachable: every round observed
+            min: 10,
+            max: 50,
+            batch: 20,
+        };
+        let mut rounds: Vec<(u64, Option<f64>)> = Vec::new();
+        let observed = run_plan_observed(&Uniform, &plan, 3, MeanSink::new, &mut |n, p| {
+            rounds.push((n, p));
+        });
+        let plain = run_plan(&Uniform, &plan, 3, MeanSink::new);
+        assert_eq!(observed.sink.0, plain.sink.0);
+        assert_eq!(observed.replications, plain.replications);
+        assert_eq!(
+            rounds.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![10, 30, 50]
+        );
+        assert!(rounds.iter().all(|&(_, p)| p.is_some()));
+        // last observation matches the completed sink's precision
+        assert_eq!(rounds.last().unwrap().1, observed.sink.precision());
+    }
+
+    #[test]
+    fn observer_fires_once_for_fixed_plans() {
+        let mut rounds = Vec::new();
+        let done = run_plan_observed(
+            &Uniform,
+            &SamplingPlan::Fixed(64),
+            9,
+            MeanSink::new,
+            &mut |n, p| {
+                rounds.push((n, p));
+            },
+        );
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].0, 64);
+        assert_eq!(rounds[0].1, done.sink.precision());
+    }
+
+    #[test]
+    fn capped_below_first_batch_runs_only_the_cap() {
+        // Regression: a replication budget smaller than the adaptive plan's
+        // first batch must clamp that batch, not silently run all of `min`.
+        let plan = SamplingPlan::Adaptive {
+            target_rel_halfwidth: 1e-9,
+            min: 100,
+            max: 400,
+            batch: 100,
+        };
+        let capped = plan.capped(7);
+        capped.validate().unwrap();
+        let mut rounds = Vec::new();
+        let done = run_plan_observed(&Uniform, &capped, 3, MeanSink::new, &mut |n, p| {
+            rounds.push((n, p));
+        });
+        assert_eq!(done.replications, 7);
+        assert_eq!(done.sink.0.count(), 7);
+        assert_eq!(done.target_met, Some(false));
+        assert_eq!(rounds.iter().map(|&(n, _)| n).collect::<Vec<_>>(), vec![7]);
     }
 
     #[test]

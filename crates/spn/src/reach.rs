@@ -264,19 +264,33 @@ impl ReachabilityGraph {
             // the division avoids 0/0 → NaN on repeated re-weighting. (It
             // cannot be revived either: its probability split is lost, and
             // a positive new rate is rejected by the check above.)
-            let scale_for = |t: TransitionId,
-                             new_rate: &HashMap<TransitionId, f64>,
-                             old_mass: &HashMap<TransitionId, f64>| {
+            //
+            // An edge carrying its transition's *entire* mass (no vanishing
+            // split — the only case in the GCS net) takes the new rate
+            // verbatim: `rate * (new / mass)` double-rounds and would leave
+            // a re-weighted graph one ULP off the same graph explored
+            // fresh, breaking bit-identical template-cache replays.
+            let reweight = |rate: &mut f64,
+                            t: TransitionId,
+                            new_rate: &HashMap<TransitionId, f64>,
+                            old_mass: &HashMap<TransitionId, f64>| {
                 match old_mass.get(&t) {
-                    Some(&mass) if mass > 0.0 => new_rate.get(&t).copied().unwrap_or(0.0) / mass,
-                    _ => 0.0,
+                    Some(&mass) if mass > 0.0 => {
+                        let target = new_rate.get(&t).copied().unwrap_or(0.0);
+                        if *rate == mass {
+                            *rate = target;
+                        } else {
+                            *rate *= target / mass;
+                        }
+                    }
+                    _ => *rate = 0.0,
                 }
             };
             for e in &mut self.edges[s] {
-                e.rate *= scale_for(e.transition, &new_rate, &old_mass);
+                reweight(&mut e.rate, e.transition, &new_rate, &old_mass);
             }
             for sl in &mut self.self_loop_rates[s] {
-                sl.1 *= scale_for(sl.0, &new_rate, &old_mass);
+                reweight(&mut sl.1, sl.0, &new_rate, &old_mass);
             }
         }
         // A rate that drops to zero can silence every remaining edge of a
@@ -781,6 +795,37 @@ mod tests {
         let base = explore(&build(7.0), &ExploreOptions::default()).unwrap();
         let rg = base.reweighted(&build(21.0)).unwrap();
         assert_eq!(rg.self_loop_rates[0][0].1, 21.0);
+    }
+
+    #[test]
+    fn reweight_without_vanishing_split_is_bit_exact() {
+        // An edge holding its transition's whole mass must take the new
+        // rate verbatim. The old `rate * (new / old)` double-rounds: for
+        // this rate pair x * (y / x) != y in f64, so scaling would leave
+        // the re-weighted graph one ULP off a fresh exploration — visible
+        // as non-bit-identical template-cache replays downstream.
+        let (old_r, new_r) = (6.519413797500402_f64, 7.889346277843776_f64);
+        assert_ne!(old_r * (new_r / old_r), new_r, "pair no longer witnesses");
+        let build = |rate: f64| {
+            let mut b = SpnBuilder::new();
+            let up = b.add_place("up", 2);
+            b.add_transition(TransitionDef::timed_const("die", rate).input(up, 1));
+            b.build().unwrap()
+        };
+        let reweighted = explore(&build(old_r), &ExploreOptions::default())
+            .unwrap()
+            .reweighted(&build(new_r))
+            .unwrap();
+        let fresh = explore(&build(new_r), &ExploreOptions::default()).unwrap();
+        for (a, b) in reweighted
+            .edges
+            .iter()
+            .flatten()
+            .zip(fresh.edges.iter().flatten())
+        {
+            assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+            assert_eq!(a.rate, new_r);
+        }
     }
 
     #[test]

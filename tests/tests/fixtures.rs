@@ -138,6 +138,9 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
             (86_400.0, Estimate::exact(0.375)),
         ]),
         wall_seconds: 0.125,
+        // absent on purpose: the committed fixture bytes predate (and must
+        // survive) the cross-request template cache — the key is omitted
+        template_cache: None,
     };
 
     let all_censored = RunReport {
@@ -169,6 +172,7 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
             (1.0e6, Estimate::proportion(0, 0, 0.95)),
         ]),
         wall_seconds: 0.5,
+        template_cache: None,
     };
 
     vec![

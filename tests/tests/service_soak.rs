@@ -1,0 +1,249 @@
+//! Soak test of the scenario-evaluation service loop (satellite 4).
+//!
+//! Submits 100+ specs across several structural families through the
+//! spool-directory protocol and asserts the tentpole properties:
+//!
+//! * cache hit-rate > 0.9 after warmup (repeat-family submissions skip
+//!   exploration and CTMC pattern building),
+//! * every service report is **bit-identical** to a one-shot runner
+//!   execution of the same spec (up to `wall_seconds` and the cache
+//!   telemetry field, which one-shot runs don't carry),
+//! * memory stays bounded under eviction pressure (a one-template budget
+//!   still serves every family, with evictions counted),
+//! * per-spec failures are isolated into error artifacts, never aborting
+//!   the loop.
+
+use engine::service::{serve, CacheBudget, ServiceConfig, TemplateCache};
+use engine::{BackendKind, RunReport, Runner, SamplingPlan, ScenarioSpec};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Flat exact spec in the structural family selected by `node_count`,
+/// varied within the family by the detection interval.
+fn family_spec(name: &str, node_count: u32, tids: f64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_default(BackendKind::Exact);
+    spec.name = name.into();
+    spec.system.node_count = node_count;
+    spec.system.vote_participants = 3;
+    spec.system = spec.system.with_tids(tids);
+    spec
+}
+
+/// The soak workload: `total` specs round-robined across three structural
+/// families (node counts 10/11/12), each with a per-index detection
+/// interval so every submission is a distinct scenario.
+fn soak_specs(total: usize) -> Vec<ScenarioSpec> {
+    let families = [10u32, 11, 12];
+    (0..total)
+        .map(|i| {
+            let n = families[i % families.len()];
+            let tids = 60.0 + (i / families.len()) as f64 * 15.0;
+            family_spec(&format!("soak-{i:03}"), n, tids)
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcsids-service-soak-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spool_specs(spool: &Path, specs: &[ScenarioSpec]) {
+    for (i, spec) in specs.iter().enumerate() {
+        // write-then-rename, as the protocol requires
+        let tmp = spool.join(format!("s{i:03}.tmp"));
+        fs::write(&tmp, spec.to_json()).unwrap();
+        fs::rename(&tmp, spool.join(format!("s{i:03}.json"))).unwrap();
+    }
+}
+
+/// Strip the fields a one-shot run legitimately differs in, then encode.
+fn normalized(mut report: RunReport) -> String {
+    report.wall_seconds = 0.0;
+    report.template_cache = None;
+    report.to_json()
+}
+
+#[test]
+fn soak_cache_hit_rate_and_bit_identical_reports() {
+    let root = temp_dir("main");
+    let spool = root.join("spool");
+    let results = root.join("results");
+    let specs = soak_specs(102);
+    fs::create_dir_all(&spool).unwrap();
+    spool_specs(&spool, &specs);
+
+    let mut cfg = ServiceConfig::new(&spool, &results);
+    cfg.workers = 4;
+    cfg.drain = true;
+    let summary = serve(&cfg).unwrap();
+
+    assert_eq!(summary.processed, 102);
+    assert_eq!(summary.failed, 0);
+    // 3 structural families → 3 misses, 99 hits: far past the 0.9 bar
+    assert_eq!(summary.cache.misses, 3);
+    assert_eq!(summary.cache.hits, 99);
+    assert!(
+        summary.cache.hit_rate().unwrap() > 0.9,
+        "hit rate {:?}",
+        summary.cache.hit_rate()
+    );
+    assert_eq!(summary.cache.evictions, 0);
+    assert_eq!(summary.cache.entries, 3);
+
+    // every report is bit-identical to a one-shot runner execution
+    let runner = Runner::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let path = results.join(format!("s{i:03}.report.json"));
+        let text = fs::read_to_string(&path).unwrap();
+        let served = RunReport::from_json(&text).unwrap();
+        let info = served
+            .template_cache
+            .expect("service reports carry telemetry");
+        assert!(info.hits + info.misses >= 1);
+        let one_shot = runner.run(spec).unwrap();
+        assert_eq!(
+            normalized(served),
+            normalized(one_shot),
+            "{} diverged from its one-shot run",
+            spec.name
+        );
+    }
+
+    // the summary artifact exists and parses
+    let summary_text = fs::read_to_string(results.join("service.summary.json")).unwrap();
+    assert!(summary_text.contains("\"hit_rate\":"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn soak_eviction_pressure_keeps_memory_bounded() {
+    // One-template budget: every family switch evicts the previous
+    // template, yet every spec still evaluates and residency never
+    // exceeds the budget.
+    let root = temp_dir("evict");
+    let spool = root.join("spool");
+    let results = root.join("results");
+    let specs = soak_specs(30);
+    fs::create_dir_all(&spool).unwrap();
+    spool_specs(&spool, &specs);
+
+    let mut cfg = ServiceConfig::new(&spool, &results);
+    cfg.cache_budget = CacheBudget {
+        max_templates: 1,
+        max_cached_states: usize::MAX,
+    };
+    // single worker: submissions round-robin families in spool order, so
+    // under a one-entry budget every cacheable lookup evicts its
+    // predecessor deterministically
+    cfg.workers = 1;
+    cfg.drain = true;
+    let summary = serve(&cfg).unwrap();
+
+    assert_eq!(summary.processed, 30);
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.cache.entries, 1, "residency bounded by the budget");
+    assert!(
+        summary.cache.evictions >= summary.cache.misses - 1,
+        "every rebuild past the first must have evicted: {:?}",
+        summary.cache
+    );
+    // thrashing: each family switch misses (29 switches + initial build)
+    assert_eq!(summary.cache.misses, 30);
+    // evaluation is still correct under pressure — spot-check one report
+    let text = fs::read_to_string(results.join("s007.report.json")).unwrap();
+    let served = RunReport::from_json(&text).unwrap();
+    let one_shot = Runner::new().run(&specs[7]).unwrap();
+    assert_eq!(normalized(served), normalized(one_shot));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn soak_isolates_failures_and_mixes_backends() {
+    let root = temp_dir("mixed");
+    let spool = root.join("spool");
+    let results = root.join("results");
+    fs::create_dir_all(&spool).unwrap();
+
+    // two good exact specs (same family: one miss, one hit)
+    spool_specs(
+        &spool,
+        &[
+            family_spec("mixed-0", 12, 60.0),
+            family_spec("mixed-1", 12, 90.0),
+        ],
+    );
+    // a stochastic spec: bypasses the cache, streams progress
+    let mut des = family_spec("mixed-des", 12, 60.0);
+    des.backend = BackendKind::Des;
+    des.system.attacker.base_rate = 1.0 / 600.0;
+    des.system.detection = des.system.detection.with_interval(120.0);
+    des.stochastic.max_time = 200_000.0;
+    des.stochastic.sampling = SamplingPlan::Adaptive {
+        target_rel_halfwidth: 1e-6, // unreachable: every round streams
+        min: 10,
+        max: 30,
+        batch: 10,
+    };
+    fs::write(spool.join("zdes.json"), des.to_json()).unwrap();
+    // a malformed submission and an invalid spec
+    fs::write(spool.join("bad.json"), "{not json").unwrap();
+    let mut invalid = family_spec("invalid", 12, 60.0);
+    invalid.system.node_count = 0;
+    fs::write(spool.join("invalid.json"), invalid.to_json()).unwrap();
+
+    let mut cfg = ServiceConfig::new(&spool, &results);
+    cfg.drain = true;
+    let summary = serve(&cfg).unwrap();
+
+    assert_eq!(summary.processed, 3);
+    assert_eq!(summary.failed, 2);
+    assert_eq!(summary.cache.bypasses, 1);
+    // failures left named error artifacts; successes their reports
+    assert!(results.join("bad.error.json").exists());
+    assert!(results.join("invalid.error.json").exists());
+    assert!(results.join("s000.report.json").exists());
+    assert!(results.join("s001.report.json").exists());
+    // the adaptive DES streamed one progress line per round
+    let progress = fs::read_to_string(results.join("zdes.progress.jsonl")).unwrap();
+    let lines: Vec<&str> = progress.lines().collect();
+    assert_eq!(lines.len(), 3, "{progress}");
+    assert!(lines[0].contains("\"replications\":10"));
+    assert!(lines[2].contains("\"replications\":30"));
+    // and the DES report matches its one-shot run bit-for-bit
+    let served =
+        RunReport::from_json(&fs::read_to_string(results.join("zdes.report.json")).unwrap())
+            .unwrap();
+    let one_shot = Runner::new().run(&des).unwrap();
+    assert_eq!(normalized(served), normalized(one_shot));
+    // nothing is left claimed in the spool
+    assert!(fs::read_dir(&spool).unwrap().next().is_none());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn warm_cache_skips_exploration_and_pattern_build() {
+    // The acceptance criterion behind the hit-rate number: a repeat-family
+    // submission must not re-explore or rebuild the CTMC pattern.
+    let cache = TemplateCache::default();
+    let opts = spn::reach::ExploreOptions::default();
+    let (t1, _) = cache.lookup(&family_spec("w0", 12, 60.0), &opts).unwrap();
+    let t1 = t1.unwrap();
+    let before = t1.stats();
+    assert_eq!((before.explorations, before.pattern_builds), (1, 1));
+    // three more submissions in the family, different rates
+    let runner = Runner::with_cache(Default::default(), std::sync::Arc::new(cache));
+    for (i, tids) in [90.0, 120.0, 240.0].iter().enumerate() {
+        runner
+            .run_cached(&family_spec(&format!("w{}", i + 1), 12, *tids))
+            .unwrap();
+    }
+    let after = t1.stats();
+    assert_eq!(
+        (after.explorations, after.pattern_builds),
+        (1, 1),
+        "repeat-family submissions must reuse the cached exploration"
+    );
+}
