@@ -1,0 +1,103 @@
+//! `detlint` CLI.
+//!
+//! ```text
+//! detlint [--root DIR] [--format text|json] [--deny-all] [--out FILE]
+//! ```
+//!
+//! With no `--root`, the workspace is auto-discovered from the current
+//! directory (nearest ancestor whose `Cargo.toml` has `[workspace]`), so
+//! `cargo run -p analysis` works from anywhere inside the tree. Exit
+//! status is 0 when the scan is clean (or `--deny-all` was not given) and
+//! 1 when `--deny-all` found active findings, stale allows, or malformed
+//! allows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny_all: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = args.next().ok_or("--format needs `text` or `json`")?;
+                match v.as_str() {
+                    "json" => opts.json = true,
+                    "text" => opts.json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--out" => {
+                let v = args.next().ok_or("--out needs a file argument")?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism & robustness linter\n\n\
+                     usage: detlint [--root DIR] [--format text|json] [--deny-all] [--out FILE]\n\n\
+                     rules:"
+                );
+                for rule in analysis::Rule::ALL {
+                    println!("  {rule}: {}", rule.summary());
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = opts.root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        analysis::find_workspace_root(&cwd)
+    });
+    let report = match analysis::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = &opts.out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("detlint: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if opts.deny_all && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,19 @@
+//! D001 clean fixture: ordered maps may be iterated; hash maps may be
+//! used for lookups. Expected findings: 0.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn summarize(counts: BTreeMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    index.get(key).copied()
+}
+
+pub fn insert(index: &mut HashMap<String, u64>, key: String, v: u64) {
+    index.insert(key, v);
+}

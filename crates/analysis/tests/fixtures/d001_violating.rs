@@ -1,0 +1,18 @@
+//! D001 fixture: iterating hash collections. Expected findings: 3.
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(counts: HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn drain_all(mut pending: HashSet<u32>) -> Vec<u32> {
+    pending.drain().collect()
+}

@@ -1,0 +1,11 @@
+//! D002 clean fixture: durations and simulated clocks are fine; the
+//! string below must not trip the lexer. Expected findings: 0.
+use std::time::Duration;
+
+pub fn tick(sim_time: f64, dt: Duration) -> f64 {
+    sim_time + dt.as_secs_f64()
+}
+
+pub fn describe() -> &'static str {
+    "this report never calls Instant::now() or SystemTime"
+}

@@ -1,0 +1,13 @@
+//! D002 fixture: wall-clock reads. Expected findings: 2.
+
+pub fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn epoch_secs() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//! D003 clean fixture: consuming an RNG handed down by the replication
+//! executor is fine — only *construction* is audited. Expected
+//! findings: 0.
+
+pub fn sample(rng: &mut impl RngCore) -> f64 {
+    let raw = rng.next_u64();
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}

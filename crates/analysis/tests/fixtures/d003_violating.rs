@@ -1,0 +1,12 @@
+//! D003 fixture: RNG construction outside the seed grid. Expected
+//! findings: 2.
+
+pub fn ad_hoc_stream() -> u64 {
+    let mut rng = SmallRng::seed_from_u64(42);
+    rng.next_u64()
+}
+
+pub fn entropy_stream() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,9 @@
+//! D004 clean fixture: parallel map + collect keeps per-item order, and
+//! the reduction happens sequentially afterwards. Expected findings: 0.
+use rayon::prelude::*;
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    let total: f64 = doubled.iter().sum();
+    total / xs.len() as f64
+}

@@ -1,0 +1,11 @@
+//! D004 fixture: float reduction over a rayon parallel iterator — the
+//! reduction order depends on thread scheduling. Expected findings: 1.
+use rayon::prelude::*;
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total: f64 = xs
+        .par_iter()
+        .map(|x| x * 2.0)
+        .sum();
+    total / xs.len() as f64
+}

@@ -1,0 +1,17 @@
+//! R001 clean fixture: recoverable error handling, plus the non-panicking
+//! lookalikes (`unwrap_or`, `expect_err`) that must not match. Expected
+//! findings: 0.
+
+pub fn parse_spec(text: &str) -> Result<u64, String> {
+    text.trim()
+        .parse()
+        .map_err(|e| format!("malformed spec: {e}"))
+}
+
+pub fn parse_or_default(text: &str) -> u64 {
+    text.trim().parse().unwrap_or(0)
+}
+
+pub fn must_fail(r: Result<u32, String>) -> String {
+    r.expect_err("fixture value is always Err")
+}

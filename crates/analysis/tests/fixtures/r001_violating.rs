@@ -1,0 +1,18 @@
+//! R001 fixture: panicking constructs in the service path. Expected
+//! findings: 3.
+
+pub fn parse_spec(text: &str) -> u64 {
+    let parsed: Option<u64> = text.trim().parse().ok();
+    parsed.unwrap()
+}
+
+pub fn load(path: &str) -> String {
+    std::fs::read_to_string(path).expect("spool file readable")
+}
+
+pub fn dispatch(kind: &str) {
+    match kind {
+        "exact" => {}
+        other => panic!("unknown backend {other}"),
+    }
+}

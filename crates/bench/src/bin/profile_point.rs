@@ -371,12 +371,54 @@ fn service_profile() -> Value {
     ])
 }
 
+/// Per-rule detlint suppression counts, so the allow-list cannot grow
+/// without a visible snapshot diff. Active counts are pinned too (the
+/// `--deny-all` CI gate keeps them at zero; the snapshot double-books
+/// that). `files_scanned` stays informational — new files are expected.
+fn detlint_profile() -> Value {
+    let cwd = std::env::current_dir().unwrap();
+    let root = analysis::find_workspace_root(&cwd);
+    let report = analysis::scan_workspace(&root).unwrap();
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for (id, c) in report.counts() {
+        let id = id.to_ascii_lowercase();
+        entries.push((format!("active_{id}"), Value::Num(c.active as f64)));
+        entries.push((format!("suppressed_{id}"), Value::Num(c.suppressed as f64)));
+    }
+    entries.push((
+        "malformed_allows".to_string(),
+        Value::Num(report.malformed_allows.len() as f64),
+    ));
+    entries.push((
+        "stale_allows".to_string(),
+        Value::Num(report.stale_allows.len() as f64),
+    ));
+    entries.push((
+        "files_scanned".to_string(),
+        Value::Num(report.files_scanned as f64),
+    ));
+    let suppressed: usize = report.counts().values().map(|c| c.suppressed).sum();
+    println!(
+        "detlint: {} files, {} suppressions, {} active",
+        report.files_scanned,
+        suppressed,
+        report.active().count()
+    );
+    Value::Obj(entries.into_iter().collect())
+}
+
 /// `true` for fields that must match a snapshot exactly: structural counts
 /// are deterministic, so any drift is a behavior change, not noise.
 fn is_exact_key(key: &str) -> bool {
+    if key.starts_with("suppressed_") || key.starts_with("active_") {
+        return true;
+    }
     matches!(
         key,
-        "n" | "states"
+        "stale_allows"
+            | "malformed_allows"
+            | "n"
+            | "states"
             | "edges"
             | "unlumped_states"
             | "unlumped_state_estimate"
@@ -465,6 +507,7 @@ fn main() -> ExitCode {
         ("clustered", clustered_profile()),
         ("throughput", Value::Arr(replication_throughput())),
         ("service", service_profile()),
+        ("detlint", detlint_profile()),
     ]);
 
     if let Some(path) = out_path {

@@ -90,6 +90,7 @@ enum St {
 /// Run one mobility-coupled replication.
 pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcome {
     let sys = &cfg.system;
+    // detlint::allow(D003): leaf constructor — `seed` is a child_seed from the replicate grid, passed down by the executor
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mobility = RandomWaypoint::new(
         MobilityConfig {

@@ -336,6 +336,7 @@ impl RunReport {
                     .iter()
                     .map(|(t, e)| {
                         let Value::Obj(mut fields) = est_to_value(e) else {
+                            // detlint::allow(R001): structural invariant — est_to_value always builds Value::Obj, no spec input involved
                             unreachable!("estimates encode as objects")
                         };
                         fields.insert("t".into(), Value::Num(*t));
@@ -379,6 +380,7 @@ impl RunReport {
         // follows the same convention).
         if let Some(info) = self.template_cache {
             let Value::Obj(fields) = &mut root else {
+                // detlint::allow(R001): structural invariant — `root` is the Value::obj literal built eight lines up
                 unreachable!("report root is an object")
             };
             fields.insert("template_cache".into(), info.to_value());

@@ -51,13 +51,13 @@ use crate::spec::{BackendKind, ScenarioSpec};
 use gcsids::config::ClusterTopology;
 use gcsids::metrics::ExactTemplate;
 use spn::reach::ExploreOptions;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Structural family of a scenario spec — the unit of template reuse.
@@ -68,7 +68,7 @@ use std::time::Duration;
 /// cluster topology (satellite-2 regression: a clustered spec must never
 /// be served from a flat-family entry, even though both share
 /// `node_count`/`max_groups`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FamilyKey {
     /// Nodes in the (sub)system.
     pub node_count: u32,
@@ -146,7 +146,11 @@ struct CacheEntry {
 
 #[derive(Default)]
 struct CacheState {
-    entries: HashMap<FamilyKey, CacheEntry>,
+    // BTreeMap: `cached_states` sums and eviction scans iterate this map,
+    // and the summary report exposes the results — key order must not
+    // depend on hasher state. Ties on `last_used` now evict the smallest
+    // key instead of an arbitrary one.
+    entries: BTreeMap<FamilyKey, CacheEntry>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -212,7 +216,10 @@ impl TemplateCache {
 
     /// Current lifetime counters.
     pub fn stats(&self) -> CacheStats {
-        let s = self.state.lock().expect("template cache poisoned");
+        // Poison recovery: a panicking template build must not take the
+        // whole daemon down with it. The guarded state has no multi-step
+        // invariants that a mid-section panic could leave half-applied.
+        let s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: s.hits,
             misses: s.misses,
@@ -249,7 +256,7 @@ impl TemplateCache {
         spec: &ScenarioSpec,
         opts: &ExploreOptions,
     ) -> Result<CacheLookup, EngineError> {
-        let mut s = self.state.lock().expect("template cache poisoned");
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if spec.backend != BackendKind::Exact || spec.clustered.is_some() {
             s.bypasses += 1;
             return Ok((None, CacheOutcome::Bypass));
@@ -400,14 +407,19 @@ fn process_job(job: &Job, runner: &Runner, results: &Path) -> bool {
         .map_err(|e| io_err("read spec", &e))
         .and_then(|text| ScenarioSpec::from_json(&text))
         .and_then(|spec| {
-            let mut progress_file: Option<fs::File> = None;
+            // Progress is appended per adaptive round as it happens — the
+            // "streaming" half of the protocol. Best-effort throughout: a
+            // progress stream that cannot be created (read-only results
+            // dir, quota) or written must not fail the evaluation, so
+            // creation failure is remembered (`Some(None)`) and rounds
+            // simply skip the write instead of panicking the worker.
+            let mut progress_file: Option<Option<fs::File>> = None;
             runner.run_cached_observed(&spec, &mut |p| {
-                // Progress is appended per adaptive round as it happens —
-                // the "streaming" half of the protocol. Best-effort: a
-                // progress write failure must not fail the evaluation.
-                let file = progress_file.get_or_insert_with(|| {
-                    fs::File::create(&progress_path).expect("create progress stream")
-                });
+                let slot =
+                    progress_file.get_or_insert_with(|| fs::File::create(&progress_path).ok());
+                let Some(file) = slot.as_mut() else {
+                    return;
+                };
                 let line = Value::obj([
                     ("precision", p.precision.map_or(Value::Null, Value::Num)),
                     ("replications", Value::Num(p.replications as f64)),
@@ -499,7 +511,10 @@ pub fn serve(cfg: &ServiceConfig) -> Result<ServiceSummary, EngineError> {
     let scan_result: Result<(), EngineError> = std::thread::scope(|scope| {
         for _ in 0..cfg.workers.max(1) {
             scope.spawn(|| loop {
-                let job = match rx.lock().expect("job queue poisoned").recv() {
+                // Poison recovery: if a sibling worker panicked while
+                // holding the queue lock, the receiver itself is still
+                // sound — keep draining rather than cascading the panic.
+                let job = match rx.lock().unwrap_or_else(PoisonError::into_inner).recv() {
                     Ok(job) => job,
                     Err(_) => break, // scanner hung up and the queue drained
                 };

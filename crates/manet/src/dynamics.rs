@@ -17,7 +17,7 @@ use crate::CalibrationConfig;
 use numerics::stats::Welford;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum group count tracked in the binned statistics.
 pub const MAX_TRACKED_GROUPS: usize = 64;
@@ -83,10 +83,12 @@ impl DynamicsTracker {
         }
 
         let mut events = Vec::new();
-        // old component -> set of new components its members now occupy
-        let mut splits: HashMap<u32, HashSet<u32>> = HashMap::new();
+        // old component -> set of new components its members now occupy.
+        // Ordered maps so the emitted GroupEvent sequence is label-ordered,
+        // not hasher-ordered.
+        let mut splits: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
         // new component -> set of old components feeding it
-        let mut joins: HashMap<u32, HashSet<u32>> = HashMap::new();
+        let mut joins: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
         for (old, new) in self.prev_labels.iter().zip(graph.labels()) {
             splits.entry(*old).or_default().insert(*new);
             joins.entry(*new).or_default().insert(*old);
@@ -248,6 +250,7 @@ impl CalibrationResult {
 
 /// Run one seed of the calibration simulation.
 pub fn run_single_calibration(cfg: &CalibrationConfig, seed: u64) -> CalibrationResult {
+    // detlint::allow(D003): leaf constructor — `seed` is a child_seed from the replicate grid, passed down by the executor
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mobility = RandomWaypoint::new(cfg.mobility, &mut rng);
     let mut positions = mobility.positions();

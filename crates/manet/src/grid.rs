@@ -6,13 +6,15 @@
 //! cell-list technique from molecular dynamics.
 
 use crate::geometry::Vec2;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Spatial hash over points with a fixed cell size.
 #[derive(Debug)]
 pub struct SpatialGrid {
     cell: f64,
-    bins: HashMap<(i32, i32), Vec<u32>>,
+    // BTreeMap so pair-visit order is a function of cell coordinates, not
+    // hasher state — callbacks that accumulate floats see a fixed order.
+    bins: BTreeMap<(i32, i32), Vec<u32>>,
 }
 
 impl SpatialGrid {
@@ -22,7 +24,7 @@ impl SpatialGrid {
     /// Panics if `cell_size <= 0`.
     pub fn build(points: &[Vec2], cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "cell size must be positive");
-        let mut bins: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        let mut bins: BTreeMap<(i32, i32), Vec<u32>> = BTreeMap::new();
         for (i, p) in points.iter().enumerate() {
             bins.entry(Self::key(p, cell_size))
                 .or_default()

@@ -370,8 +370,11 @@ fn resolve_to_tangible(
             frontier.push((next, prob * w / total_w, depth + 1));
         }
     }
-    // Merge duplicates.
-    let mut merged: HashMap<Marking, f64> = HashMap::new();
+    // Merge duplicates. A BTreeMap keeps the merged order a pure function
+    // of the markings themselves: for nets with immediate transitions this
+    // order feeds state interning, so hash order here would leak into
+    // every downstream index.
+    let mut merged: std::collections::BTreeMap<Marking, f64> = std::collections::BTreeMap::new();
     for (m, p) in tangible {
         *merged.entry(m).or_insert(0.0) += p;
     }

@@ -195,6 +195,7 @@ impl<'a> Simulator<'a> {
     /// # Errors
     /// Propagates rate-function failures and immediate-loop detection.
     pub fn run_one(&self, seed: u64) -> Result<SimOutcome, SpnError> {
+        // detlint::allow(D003): leaf constructor — `seed` is a child_seed from the replicate grid, passed down by the executor
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut marking = self.net.initial_marking();
         let mut time = 0.0_f64;

@@ -30,6 +30,7 @@ fn main() {
 
     // --- 2. the defender observes compromise events -----------------------
     let mut controller = AdaptiveController::new(3.0, cfg.detection.base_interval);
+    // detlint::allow(D003): pedagogical demo with a fixed literal seed — not part of the replication pipeline
     let mut rng = StdRng::seed_from_u64(7);
     let mut trusted = cfg.node_count;
     let mut undetected = 0u32;
