@@ -28,6 +28,7 @@ fn violating_fixtures_pin_exact_counts() {
         ("d002_violating.rs", Rule::D002, 2),
         ("d003_violating.rs", Rule::D003, 2),
         ("d004_violating.rs", Rule::D004, 1),
+        ("d004_violating_gather.rs", Rule::D004, 1),
         ("r001_violating.rs", Rule::R001, 3),
     ];
     for (name, rule, expected) in expectations {
@@ -60,6 +61,43 @@ fn clean_fixtures_have_zero_findings() {
         );
         assert!(report.is_clean());
     }
+}
+
+/// The sparse-kernel carve-out is exactly one file wide: the same
+/// gather-shaped parallel reduction scans clean under
+/// `crates/numerics/src/sparse.rs` (where the kernels' chunked map→collect
+/// structure guarantees bit-identical results) and still fires one line
+/// over in the same crate.
+#[test]
+fn d004_sparse_kernel_carveout_is_one_file_wide() {
+    let text = fixture("d004_violating_gather.rs");
+    let inside = scan_source("crates/numerics/src/sparse.rs", &text);
+    assert!(
+        inside.findings.iter().all(|f| f.rule != Rule::D004),
+        "sparse.rs is the blessed gather-kernel location"
+    );
+    for path in [
+        "crates/numerics/src/stats.rs",
+        "crates/spn/src/transient.rs",
+    ] {
+        let outside = scan_source(path, &text);
+        assert_eq!(
+            outside
+                .findings
+                .iter()
+                .filter(|f| f.rule == Rule::D004)
+                .count(),
+            1,
+            "{path}: gather-shaped par reduction must still fire"
+        );
+    }
+    // The carve-out removes D004 only — wall-clock and RNG rules still
+    // apply to the kernel file.
+    let rules = analysis::rules::rules_for_path("crates/numerics/src/sparse.rs");
+    assert!(!rules.contains(&Rule::D004));
+    assert!(rules.contains(&Rule::D001));
+    assert!(rules.contains(&Rule::D002));
+    assert!(rules.contains(&Rule::D003));
 }
 
 #[test]

@@ -113,14 +113,22 @@ fn exact_profile() -> Vec<Value> {
         let t0 = Instant::now();
         let horizon = 0.05 * a.mtta;
         let grid: Vec<f64> = (1..=5).map(|i| horizon * i as f64 / 5.0).collect();
-        let s = ctmc.survival_curve(&grid, &spn::ctmc::TransientOptions::default());
+        let (s, tstats) =
+            ctmc.survival_curve_with_stats(&grid, &spn::ctmc::TransientOptions::default());
         let t_survival = t0.elapsed();
         println!(
             "N={n}: explore+pattern={t_template:?} rates={t_rates:?} cost={t_cost:?} \
              ctmc_build={t_build:?} solve={t_solve:?} \
              legacy_point={t_legacy_point:?} template_point={t_template_point:?} \
-             survival5pt@0.05mtta={t_survival:?} (mtta={:.3e}, S(end)={:.4}, acc={acc:.1})",
-            a.mtta, s[4]
+             survival5pt@0.05mtta={t_survival:?} (mtta={:.3e}, S(end)={:.4}, acc={acc:.1}, \
+             matvecs={}, nt={}, na={}, detect={:?}, early_exit={})",
+            a.mtta,
+            s[4],
+            tstats.matvecs,
+            tstats.transient_states,
+            tstats.absorbing_states,
+            tstats.detection_step,
+            tstats.early_exit,
         );
         points.push(Value::obj([
             ("n", Value::Num(f64::from(n))),
@@ -146,6 +154,34 @@ fn exact_profile() -> Vec<Value> {
                         Value::Num(t_template_point.as_secs_f64()),
                     ),
                     ("survival_seconds", Value::Num(t_survival.as_secs_f64())),
+                ]),
+            ),
+            // Transient-engine telemetry for the survival sweep above.
+            // Fully deterministic (the matvec count is fixed by the Fox–Glynn
+            // windows of the grid), so the snapshot gate pins every field
+            // exactly — any drift is an algorithm change, not noise.
+            (
+                "transient",
+                Value::obj([
+                    ("matvecs", Value::Num(tstats.matvecs as f64)),
+                    (
+                        "detection_step",
+                        tstats
+                            .detection_step
+                            .map_or(Value::Null, |s| Value::Num(s as f64)),
+                    ),
+                    (
+                        "early_exit",
+                        Value::Num(f64::from(u8::from(tstats.early_exit))),
+                    ),
+                    (
+                        "transient_states",
+                        Value::Num(f64::from(tstats.transient_states)),
+                    ),
+                    (
+                        "absorbing_states",
+                        Value::Num(f64::from(tstats.absorbing_states)),
+                    ),
                 ]),
             ),
         ]));
@@ -428,6 +464,11 @@ fn is_exact_key(key: &str) -> bool {
             | "cache_hits"
             | "cache_misses"
             | "cache_hit_rate"
+            | "matvecs"
+            | "detection_step"
+            | "early_exit"
+            | "transient_states"
+            | "absorbing_states"
     )
 }
 

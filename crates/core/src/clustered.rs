@@ -308,7 +308,7 @@ pub fn evaluate_clustered_graph(
 
     let (p_c1, p_c2) = absorbing_flux_split(model, graph, &absorption.sojourn);
 
-    let evaluation = Evaluation {
+    let mut evaluation = Evaluation {
         mttsf_seconds: mttsf,
         c_total_hop_bits_per_sec: components.total(),
         cost_components: components,
@@ -316,11 +316,15 @@ pub fn evaluate_clustered_graph(
         p_failure_c2: p_c2,
         state_count: graph.state_count(),
         edge_count: graph.edge_count(),
+        transient: None,
     };
     let survival = if mission_times.is_empty() {
         None
     } else {
-        Some(ctmc.survival_curve(mission_times, &TransientOptions::default()))
+        let (curve, stats) =
+            ctmc.survival_curve_with_stats(mission_times, &TransientOptions::default());
+        evaluation.transient = Some(stats);
+        Some(curve)
     };
     Ok((evaluation, survival))
 }
@@ -586,7 +590,7 @@ fn hierarchical_compose(
     let m_intervals: usize = if c <= 64 { 2048 } else { 8192 };
     let h = t_end / m_intervals as f64;
     let grid: Vec<f64> = (0..=m_intervals).map(|i| i as f64 * h).collect();
-    let s_grid = ctmc.survival_curve(&grid, &topts);
+    let (s_grid, mut tstats) = ctmc.survival_curve_with_stats(&grid, &topts);
 
     // --- probe distributions: ρ(t) = E[rate | alive], φ(t) = C1 share ----
     // Quadratically-spaced probes front-load resolution where the cost
@@ -725,7 +729,8 @@ fn hierarchical_compose(
     let survival = if mission_times.is_empty() {
         None
     } else {
-        let s_mission = ctmc.survival_curve(mission_times, &topts);
+        let (s_mission, ms) = ctmc.survival_curve_with_stats(mission_times, &topts);
+        tstats.merge(&ms);
         Some(
             s_mission
                 .iter()
@@ -742,6 +747,7 @@ fn hierarchical_compose(
         p_failure_c2: p_c2,
         state_count: cluster_graph.state_count(),
         edge_count: cluster_graph.edge_count(),
+        transient: Some(tstats),
     };
     Ok((evaluation, survival))
 }

@@ -11,6 +11,7 @@ use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
 use crate::model::{build_model, population, GcsIdsModel};
 use spn::ctmc::{Ctmc, CtmcTemplate, TransientOptions};
 use spn::error::SpnError;
+use spn::transient::TransientStats;
 use spn::reach::{explore, ExploreOptions, ReachabilityGraph};
 use spn::reward::{ImpulseReward, RateReward};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +34,9 @@ pub struct Evaluation {
     pub state_count: usize,
     /// Number of CTMC transitions.
     pub edge_count: usize,
+    /// Transient-engine telemetry from the mission-survival sweep
+    /// (`None` when no survival curve was requested).
+    pub transient: Option<TransientStats>,
 }
 
 /// Evaluate MTTSF and Ĉtotal for a configuration.
@@ -379,7 +383,7 @@ pub(crate) fn evaluate_with_ctmc(
         }
     }
 
-    let evaluation = Evaluation {
+    let mut evaluation = Evaluation {
         mttsf_seconds: mttsf,
         c_total_hop_bits_per_sec: components.total(),
         cost_components: components,
@@ -387,11 +391,15 @@ pub(crate) fn evaluate_with_ctmc(
         p_failure_c2: p_c2,
         state_count: graph.state_count(),
         edge_count: graph.edge_count(),
+        transient: None,
     };
     let survival = if mission_times.is_empty() {
         None
     } else {
-        Some(ctmc.survival_curve(mission_times, &TransientOptions::default()))
+        let (curve, stats) =
+            ctmc.survival_curve_with_stats(mission_times, &TransientOptions::default());
+        evaluation.transient = Some(stats);
+        Some(curve)
     };
     Ok((evaluation, survival))
 }

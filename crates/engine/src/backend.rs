@@ -167,6 +167,13 @@ impl ExactBackend {
             }),
             wall_seconds,
             template_cache: None,
+            transient: e.transient.as_ref().map(|s| crate::report::TransientInfo {
+                matvecs: s.matvecs,
+                detection_step: s.detection_step,
+                early_exit: s.early_exit,
+                transient_states: u64::from(s.transient_states),
+                absorbing_states: u64::from(s.absorbing_states),
+            }),
         }
     }
 }
@@ -299,6 +306,7 @@ impl StochasticSink {
             survival,
             wall_seconds: wall,
             template_cache: None,
+            transient: None,
         }
     }
 }

@@ -669,6 +669,7 @@ mod tests {
             survival: None,
             wall_seconds: 0.0,
             template_cache: None,
+            transient: None,
         }
     }
 

@@ -62,7 +62,7 @@ pub use error::EngineError;
 pub use gcsids::config::ClusterTopology;
 pub use report::{
     survival_estimates, survival_estimates_streaming, CacheOutcome, Estimate, FailureSplit,
-    RunReport, TemplateCacheInfo,
+    RunReport, TemplateCacheInfo, TransientInfo,
 };
 pub use runner::{Runner, ScenarioGrid};
 pub use service::{

@@ -220,6 +220,57 @@ impl TemplateCacheInfo {
     }
 }
 
+/// Transient-engine telemetry attached to reports whose spec requested a
+/// mission-survival grid on the exact backend. `None` otherwise (including
+/// every stochastic-backend report), and omitted from the JSON encoding in
+/// that case, so grids-off and stochastic reports keep their historical
+/// byte encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientInfo {
+    /// Sparse matrix-vector products spent across the survival sweep.
+    pub matvecs: u64,
+    /// Uniformization step at which steady-state detection collapsed the
+    /// Poisson tail analytically (`None` when detection never fired).
+    pub detection_step: Option<u64>,
+    /// Whether the grid sweep stopped early because the surviving
+    /// transient mass dropped below the truncation tolerance.
+    pub early_exit: bool,
+    /// Transient states in the compacted uniformized submatrix.
+    pub transient_states: u64,
+    /// Absorbing states excluded from per-step propagation.
+    pub absorbing_states: u64,
+}
+
+impl TransientInfo {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("matvecs", Value::Num(self.matvecs as f64)),
+            (
+                "detection_step",
+                self.detection_step
+                    .map_or(Value::Null, |s| Value::Num(s as f64)),
+            ),
+            ("early_exit", Value::Bool(self.early_exit)),
+            ("transient_states", Value::Num(self.transient_states as f64)),
+            ("absorbing_states", Value::Num(self.absorbing_states as f64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, EngineError> {
+        let detection_step = match v.field("detection_step")? {
+            Value::Null => None,
+            other => Some(other.as_u64()?),
+        };
+        Ok(Self {
+            matvecs: v.field("matvecs")?.as_u64()?,
+            detection_step,
+            early_exit: v.field("early_exit")?.as_bool()?,
+            transient_states: v.field("transient_states")?.as_u64()?,
+            absorbing_states: v.field("absorbing_states")?.as_u64()?,
+        })
+    }
+}
+
 /// How the observed runs ended, as probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FailureSplit {
@@ -279,6 +330,10 @@ pub struct RunReport {
     /// Cross-request template-cache telemetry (`None` outside cache-aware
     /// execution; the JSON key is omitted entirely in that case).
     pub template_cache: Option<TemplateCacheInfo>,
+    /// Transient-engine telemetry from the mission-survival sweep (`None`
+    /// when the spec has no grid or the backend is stochastic; the JSON key
+    /// is omitted entirely in that case).
+    pub transient: Option<TransientInfo>,
 }
 
 /// Non-finite numbers (the "not estimable" marker) encode as null.
@@ -385,6 +440,13 @@ impl RunReport {
             };
             fields.insert("template_cache".into(), info.to_value());
         }
+        if let Some(info) = self.transient {
+            let Value::Obj(fields) = &mut root else {
+                // detlint::allow(R001): structural invariant — `root` is the Value::obj literal built above
+                unreachable!("report root is an object")
+            };
+            fields.insert("transient".into(), info.to_value());
+        }
         root.encode()
     }
 
@@ -444,6 +506,10 @@ impl RunReport {
             template_cache: v
                 .opt_field("template_cache")
                 .map(TemplateCacheInfo::from_value)
+                .transpose()?,
+            transient: v
+                .opt_field("transient")
+                .map(TransientInfo::from_value)
                 .transpose()?,
         })
     }
@@ -568,6 +634,7 @@ mod tests {
             ]),
             wall_seconds: 0.5,
             template_cache: None,
+            transient: None,
         }
     }
 

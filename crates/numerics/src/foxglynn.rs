@@ -19,6 +19,10 @@ pub struct PoissonWeights {
     pub right: usize,
     /// `weights[i] = P[Poisson = left + i]`, renormalized to sum to 1.
     pub weights: Vec<f64>,
+    /// Left-walk scratch reused across [`PoissonWeights::compute_into`]
+    /// calls so per-segment recomputation performs no allocation once the
+    /// buffers have grown to the widest window seen.
+    scratch: Vec<f64>,
 }
 
 impl PoissonWeights {
@@ -28,14 +32,32 @@ impl PoissonWeights {
     /// # Panics
     /// Panics if `lambda` is negative/non-finite or `epsilon` not in (0,1).
     pub fn compute(lambda: f64, epsilon: f64) -> Self {
+        let mut out = Self {
+            left: 0,
+            right: 0,
+            weights: Vec::new(),
+            scratch: Vec::new(),
+        };
+        out.compute_into(lambda, epsilon);
+        out
+    }
+
+    /// Recompute the window in place, reusing the internal buffers. The
+    /// resulting weights are bit-identical to a fresh
+    /// [`PoissonWeights::compute`] with the same arguments.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative/non-finite or `epsilon` not in (0,1).
+    pub fn compute_into(&mut self, lambda: f64, epsilon: f64) {
         assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
         assert!(epsilon > 0.0 && epsilon < 1.0, "bad epsilon {epsilon}");
+        self.weights.clear();
+        self.scratch.clear();
         if lambda == 0.0 {
-            return Self {
-                left: 0,
-                right: 0,
-                weights: vec![1.0],
-            };
+            self.left = 0;
+            self.right = 0;
+            self.weights.push(1.0);
+            return;
         }
         let mode = lambda.floor() as usize;
         // ln pmf at the mode (guards underflow for large lambda).
@@ -43,9 +65,8 @@ impl PoissonWeights {
 
         // Walk right from the mode until the cumulative tail bound is hit.
         // pmf(k+1) = pmf(k) * lambda / (k+1)
-        let mut right_weights = Vec::with_capacity(64);
         let mut w = 1.0_f64; // scaled: pmf(k)/pmf(mode)
-        right_weights.push(w);
+        self.weights.push(w);
         let mut k = mode;
         // Conservative stop: when scaled weight is far below eps relative to
         // the accumulated mass and we've passed ~6 standard deviations.
@@ -54,7 +75,7 @@ impl PoissonWeights {
         while k < hard_right {
             w *= lambda / (k + 1) as f64;
             k += 1;
-            right_weights.push(w);
+            self.weights.push(w);
             if w < epsilon * 1e-4 && (k - mode) as f64 > 6.0 * sigma {
                 break;
             }
@@ -62,41 +83,42 @@ impl PoissonWeights {
         let right = k;
 
         // Walk left from the mode.
-        let mut left_weights = Vec::with_capacity(64);
         let mut w = 1.0_f64;
         let mut k = mode;
         while k > 0 {
             w *= k as f64 / lambda;
             k -= 1;
-            left_weights.push(w);
+            self.scratch.push(w);
             if w < epsilon * 1e-4 && (mode - k) as f64 > 6.0 * sigma {
                 break;
             }
         }
         let left = k;
 
-        // Assemble in order [left..=right], scale back by pmf(mode) in log
-        // space to avoid overflow, then renormalize.
+        // Assemble in order [left..=right]: the left walk produced
+        // `mode-1, mode-2, …` so append it reversed (ascending) and rotate
+        // it ahead of the right part, then scale back by pmf(mode) in log
+        // space to avoid overflow, and renormalize.
+        let l_len = self.scratch.len();
+        for i in (0..l_len).rev() {
+            let sw = self.scratch[i];
+            self.weights.push(sw);
+        }
+        self.weights.rotate_right(l_len);
         let scale = ln_pmf_mode.exp();
-        let mut weights: Vec<f64> = left_weights
-            .iter()
-            .rev()
-            .chain(right_weights.iter())
-            .map(|sw| sw * scale)
-            .collect();
-        let total: f64 = weights.iter().sum();
+        for w in &mut self.weights {
+            *w *= scale;
+        }
+        let total: f64 = self.weights.iter().sum();
         assert!(
             total > 1.0 - 1e-3,
             "PoissonWeights: truncated mass {total} too small for lambda {lambda}"
         );
-        for w in &mut weights {
+        for w in &mut self.weights {
             *w /= total;
         }
-        Self {
-            left,
-            right,
-            weights,
-        }
+        self.left = left;
+        self.right = right;
     }
 
     /// Weight of `k`, zero outside the truncation window.
@@ -183,5 +205,17 @@ mod tests {
     #[should_panic]
     fn rejects_bad_epsilon() {
         PoissonWeights::compute(1.0, 0.0);
+    }
+
+    #[test]
+    fn compute_into_reuse_is_bit_identical() {
+        let mut reused = PoissonWeights::compute(500.0, 1e-10);
+        for &lambda in &[0.0, 3.5, 250.0, 12_345.0] {
+            let fresh = PoissonWeights::compute(lambda, 1e-10);
+            reused.compute_into(lambda, 1e-10);
+            assert_eq!(reused.left, fresh.left, "lambda={lambda}");
+            assert_eq!(reused.right, fresh.right, "lambda={lambda}");
+            assert_eq!(reused.weights, fresh.weights, "lambda={lambda}");
+        }
     }
 }

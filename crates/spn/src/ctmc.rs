@@ -18,10 +18,10 @@
 
 use crate::error::SpnError;
 use crate::reach::ReachabilityGraph;
-use numerics::foxglynn::PoissonWeights;
+use crate::transient::{TransientEngine, TransientStats};
 use numerics::linsolve::IterConfig;
 use numerics::sparse::{Csr, CsrPattern, Triplets};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A CTMC extracted from a reachability graph.
 #[derive(Debug, Clone)]
@@ -40,9 +40,14 @@ pub struct Ctmc {
     /// solves skip the per-solve transpose construction. `None` on the
     /// one-shot [`Ctmc::from_graph`] path.
     transposed: Option<Csr>,
-    /// Uniformization constant and DTMC, pre-built by [`CtmcTemplate`].
-    /// `None` on the one-shot path (built on demand per transient solve).
-    uniformized: Option<(f64, Csr)>,
+    /// Uniformization constant and DTMC, pre-built by [`CtmcTemplate`] or
+    /// memoized on first use on the one-shot path — repeated transient
+    /// solves on one chain never rebuild it.
+    uniformized: OnceLock<(f64, Csr)>,
+    /// Transpose of the uniformized DTMC — the gather-matvec operand of
+    /// [`TransientEngine`]. Pre-built by [`CtmcTemplate`], memoized on
+    /// first use otherwise.
+    uniformized_t: OnceLock<Csr>,
 }
 
 /// Options for uniformization-based transient analysis.
@@ -50,11 +55,23 @@ pub struct Ctmc {
 pub struct TransientOptions {
     /// Poisson truncation error.
     pub epsilon: f64,
+    /// Steady-state detection tolerance (Reibman–Trivedi): once
+    /// `‖v·P − v‖∞` of the uniformized chain drops below this, the
+    /// remaining Poisson mixture collapses to an analytic tail and no
+    /// further matvecs run. `0.0` disables detection.
+    pub detect_tolerance: f64,
+    /// Stop sweeping a survival grid once the live transient mass falls
+    /// below `epsilon` — every later mission time reports survival 0.
+    pub early_exit: bool,
 }
 
 impl Default for TransientOptions {
     fn default() -> Self {
-        Self { epsilon: 1e-10 }
+        Self {
+            epsilon: 1e-10,
+            detect_tolerance: 1e-14,
+            early_exit: true,
+        }
     }
 }
 
@@ -140,7 +157,8 @@ impl Ctmc {
             initial: graph.initial_distribution.clone(),
             absorbing,
             transposed: None,
-            uniformized: None,
+            uniformized: OnceLock::new(),
+            uniformized_t: OnceLock::new(),
         })
     }
 
@@ -456,15 +474,29 @@ impl Ctmc {
     }
 
     /// Uniformization constant and DTMC for transient analysis: the cached
-    /// template copy when present, otherwise freshly built.
-    fn uniformized(&self) -> (f64, std::borrow::Cow<'_, Csr>) {
-        match &self.uniformized {
-            Some((q, p)) => (*q, std::borrow::Cow::Borrowed(p)),
-            None => {
-                let (q, p) = self.build_uniformized();
-                (q, std::borrow::Cow::Owned(p))
-            }
-        }
+    /// template copy when present, otherwise built **once** and memoized —
+    /// repeated transient solves on one chain share the build.
+    pub(crate) fn uniformized(&self) -> (f64, &Csr) {
+        let (q, p) = self.uniformized.get_or_init(|| self.build_uniformized());
+        (*q, p)
+    }
+
+    /// Transpose of the uniformized DTMC (the gather-propagation operand):
+    /// the cached template copy when present, otherwise built once and
+    /// memoized.
+    pub(crate) fn uniformized_transpose(&self) -> &Csr {
+        self.uniformized_t
+            .get_or_init(|| self.uniformized().1.transpose())
+    }
+
+    /// Exit rate vector.
+    pub(crate) fn exit_rates(&self) -> &[f64] {
+        &self.exit
+    }
+
+    /// Initial distribution as sparse (state, probability) pairs.
+    pub(crate) fn initial_pairs(&self) -> &[(u32, f64)] {
+        &self.initial
     }
 
     /// Build the uniformized DTMC from the current rates.
@@ -487,50 +519,50 @@ impl Ctmc {
     /// Panics if `t < 0`.
     pub fn transient_distribution(&self, t: f64, opts: &TransientOptions) -> Vec<f64> {
         assert!(t >= 0.0, "negative time {t}");
-        let pi0 = self.initial_dense();
         if t == 0.0 {
-            return pi0;
+            return self.initial_dense();
         }
-        let (q, p) = self.uniformized();
-        propagate(&p, q, pi0, t, opts.epsilon)
+        let mut engine = TransientEngine::new(self, opts);
+        engine.advance(t);
+        engine.distribution()
     }
 
     /// Survival function `S(t) = P[no absorption by t]` on an ascending
     /// mission-time grid.
     ///
-    /// One uniformization sweep serves the whole grid: the distribution is
-    /// propagated segment-by-segment (`t_{k-1} → t_k`), so the total Poisson
-    /// depth is proportional to `q·t_max` rather than `q·Σ t_k` — on a
-    /// typical mission grid this is several-fold cheaper than independent
-    /// `transient_distribution` calls per point.
+    /// One [`TransientEngine`] sweep serves the whole grid: the distribution
+    /// is propagated segment-by-segment (`t_{k-1} → t_k`), so the total
+    /// Poisson depth is proportional to `q·t_max` rather than `q·Σ t_k` —
+    /// on a typical mission grid this is several-fold cheaper than
+    /// independent `transient_distribution` calls per point.
     ///
     /// # Panics
     /// Panics if any time is negative/non-finite or the grid is not
     /// non-decreasing.
     pub fn survival_curve(&self, times: &[f64], opts: &TransientOptions) -> Vec<f64> {
+        self.survival_curve_with_stats(times, opts).0
+    }
+
+    /// [`Ctmc::survival_curve`] plus the engine's propagation telemetry
+    /// (matvec count, steady-state detection step, early-exit flag, state
+    /// split) for reporting and benchmark gating.
+    ///
+    /// # Panics
+    /// Same conditions as [`Ctmc::survival_curve`].
+    pub fn survival_curve_with_stats(
+        &self,
+        times: &[f64],
+        opts: &TransientOptions,
+    ) -> (Vec<f64>, TransientStats) {
         let mut prev = 0.0_f64;
         for &t in times {
             assert!(t.is_finite() && t >= 0.0, "bad mission time {t}");
             assert!(t >= prev, "mission grid must be non-decreasing at {t}");
             prev = t;
         }
-        let (q, p) = self.uniformized();
-        let mut pi = self.initial_dense();
-        let mut now = 0.0_f64;
-        let mut out = Vec::with_capacity(times.len());
-        for &t in times {
-            if t > now {
-                pi = propagate(&p, q, pi, t - now, opts.epsilon);
-                now = t;
-            }
-            let absorbed: f64 = pi
-                .iter()
-                .zip(&self.absorbing)
-                .filter_map(|(&x, &a)| a.then_some(x))
-                .sum();
-            out.push((1.0 - absorbed).clamp(0.0, 1.0));
-        }
-        out
+        let mut engine = TransientEngine::for_survival(self, opts);
+        let out = engine.survival_curve(times);
+        (out, engine.stats().clone())
     }
 
     /// Expected occupancy vector `∫₀ᵗ π(u) du` (expected time spent in each
@@ -544,31 +576,11 @@ impl Ctmc {
     /// Panics if `t < 0`.
     pub fn expected_occupancy(&self, t: f64, opts: &TransientOptions) -> Vec<f64> {
         assert!(t >= 0.0, "negative time {t}");
-        let n = self.state_count();
         if t == 0.0 {
-            return vec![0.0; n];
+            return vec![0.0; self.state_count()];
         }
-        let (q, p) = self.uniformized();
-        let weights = PoissonWeights::compute(q * t, opts.epsilon);
-        // tail[k] = P[N_{qt} > k]; beyond the right truncation point it is 0.
-        // Σ_k tail(k)/q · v_k, truncated once the tail is negligible.
-        let mut cumulative = 0.0;
-        let mut v = self.initial_dense();
-        let mut next = vec![0.0; n];
-        let mut integral = vec![0.0; n];
-        for k in 0..=weights.right {
-            cumulative += weights.weight(k);
-            let tail = (1.0 - cumulative).max(0.0);
-            // For k < left, weight(k) = 0 and tail = 1: full contribution.
-            for (acc, &vi) in integral.iter_mut().zip(&v) {
-                *acc += tail / q * vi;
-            }
-            if k < weights.right {
-                p.vecmat_into(&v, &mut next);
-                std::mem::swap(&mut v, &mut next);
-            }
-        }
-        integral
+        let mut engine = TransientEngine::new(self, opts);
+        engine.occupancy(t)
     }
 
     /// Stationary distribution of an ergodic chain via power iteration on
@@ -590,7 +602,7 @@ impl Ctmc {
             max_iterations: 1_000_000,
             omega: 1.0,
         };
-        let (pi, rep) = numerics::linsolve::power_iteration_stationary(&p, &cfg);
+        let (pi, rep) = numerics::linsolve::power_iteration_stationary(p, &cfg);
         if !rep.converged {
             return Err(SpnError::SolverDiverged {
                 iterations: rep.iterations,
@@ -634,6 +646,10 @@ pub struct CtmcTemplate {
     u_pattern: Arc<CsrPattern>,
     u_perm: Vec<u32>,
     diag_slots: Vec<u32>,
+    /// Transposed uniformized pattern (the [`TransientEngine`] gather
+    /// operand) and the slot permutation uniformized → transpose.
+    ut_pattern: Arc<CsrPattern>,
+    ut_from_u: Vec<u32>,
     initial: Vec<(u32, f64)>,
 }
 
@@ -733,6 +749,30 @@ impl CtmcTemplate {
             u_row_ptr.push(u_col.len() as u32);
         }
 
+        // Transposed uniformized pattern + slot permutation uniformized →
+        // transpose, by counting sort — the same construction as the rate
+        // transpose above, applied to the diagonal-bearing pattern.
+        let u_nnz = u_col.len();
+        let mut ut_row_ptr = vec![0u32; n + 1];
+        for &c in &u_col {
+            ut_row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            ut_row_ptr[i + 1] += ut_row_ptr[i];
+        }
+        let mut ut_next = ut_row_ptr.clone();
+        let mut ut_col = vec![0u32; u_nnz];
+        let mut ut_from_u = vec![0u32; u_nnz];
+        for r in 0..n {
+            for slot in u_row_ptr[r] as usize..u_row_ptr[r + 1] as usize {
+                let c = u_col[slot] as usize;
+                let pos = ut_next[c];
+                ut_next[c] += 1;
+                ut_col[pos as usize] = r as u32;
+                ut_from_u[slot] = pos;
+            }
+        }
+
         Ok(Self {
             n,
             pattern: Arc::new(CsrPattern::new(n, n, row_ptr, col_idx)),
@@ -743,6 +783,8 @@ impl CtmcTemplate {
             u_pattern: Arc::new(CsrPattern::new(n, n, u_row_ptr, u_col)),
             u_perm,
             diag_slots,
+            ut_pattern: Arc::new(CsrPattern::new(n, n, ut_row_ptr, ut_col)),
+            ut_from_u,
             initial: graph.initial_distribution.clone(),
         })
     }
@@ -768,9 +810,13 @@ impl CtmcTemplate {
                 self.t_pattern.clone(),
                 vec![0.0; self.t_pattern.nnz()],
             )),
-            uniformized: Some((
+            uniformized: OnceLock::from((
                 0.0,
                 Csr::from_pattern(self.u_pattern.clone(), vec![0.0; self.u_pattern.nnz()]),
+            )),
+            uniformized_t: OnceLock::from(Csr::from_pattern(
+                self.ut_pattern.clone(),
+                vec![0.0; self.ut_pattern.nnz()],
             )),
         };
         self.refresh(graph, &mut ctmc)?;
@@ -806,9 +852,14 @@ impl CtmcTemplate {
             absorbing,
             transposed,
             uniformized,
+            uniformized_t,
             ..
         } = ctmc;
-        let (Some(transposed), Some((q_cached, uni))) = (transposed, uniformized) else {
+        let (Some(transposed), Some((q_cached, uni)), Some(uni_t)) = (
+            transposed.as_mut(),
+            uniformized.get_mut(),
+            uniformized_t.get_mut(),
+        ) else {
             return Err(SpnError::InvalidModel(
                 "refresh target lost its cached matrices".into(),
             ));
@@ -862,6 +913,14 @@ impl CtmcTemplate {
             u_values[self.diag_slots[s] as usize] = 1.0 - exit[s] / q;
         }
         *q_cached = q;
+
+        // Transposed uniformized values: a pure permutation of the
+        // uniformized slots.
+        let u_values = uni.values();
+        let ut_values = uni_t.values_mut();
+        for (slot, &v) in u_values.iter().enumerate() {
+            ut_values[self.ut_from_u[slot] as usize] = v;
+        }
         Ok(())
     }
 }
@@ -890,29 +949,6 @@ fn validate_graph(graph: &ReachabilityGraph) -> Result<(), SpnError> {
 fn uniformization_q(exit: &[f64]) -> f64 {
     let qmax = exit.iter().copied().fold(0.0_f64, f64::max);
     (qmax * 1.02).max(1e-12)
-}
-
-/// Advance a distribution by `dt` under the uniformized DTMC `p` with
-/// uniformization constant `q`: `v · e^{Q·dt}` via Jensen's method.
-fn propagate(p: &Csr, q: f64, v: Vec<f64>, dt: f64, epsilon: f64) -> Vec<f64> {
-    let n = v.len();
-    let weights = PoissonWeights::compute(q * dt, epsilon);
-    let mut v = v;
-    let mut next = vec![0.0; n];
-    let mut result = vec![0.0; n];
-    for k in 0..=weights.right {
-        let w = weights.weight(k);
-        if w > 0.0 {
-            for (r, &vi) in result.iter_mut().zip(&v) {
-                *r += w * vi;
-            }
-        }
-        if k < weights.right {
-            p.vecmat_into(&v, &mut next);
-            std::mem::swap(&mut v, &mut next);
-        }
-    }
-    result
 }
 
 /// Iterative Tarjan strongly-connected components. Components are emitted

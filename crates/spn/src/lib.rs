@@ -53,8 +53,10 @@ pub mod reach;
 pub mod reward;
 pub mod sim;
 pub mod structural;
+pub mod transient;
 
 pub use ctmc::{AbsorptionAnalysis, Ctmc, TransientOptions};
+pub use transient::{TransientEngine, TransientStats};
 pub use error::SpnError;
 pub use model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef, TransitionId};
 pub use reach::{explore, ExploreOptions, ReachabilityGraph};

@@ -141,6 +141,15 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         // absent on purpose: the committed fixture bytes predate (and must
         // survive) the cross-request template cache — the key is omitted
         template_cache: None,
+        // exact runs with a mission grid carry transient-engine telemetry,
+        // including the null encoding of a never-fired detection step
+        transient: Some(engine::TransientInfo {
+            matvecs: 4096,
+            detection_step: None,
+            early_exit: false,
+            transient_states: 617,
+            absorbing_states: 617,
+        }),
     };
 
     let all_censored = RunReport {
@@ -173,6 +182,8 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         ]),
         wall_seconds: 0.5,
         template_cache: None,
+        // stochastic backends never carry transient telemetry
+        transient: None,
     };
 
     vec![

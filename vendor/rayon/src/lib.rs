@@ -18,6 +18,14 @@ pub mod prelude {
     };
 }
 
+/// Number of worker threads in the (implicit) global pool — the same count
+/// `parallel_map` splits work across. API-compatible with real rayon's
+/// `current_num_threads`, so callers can pick sequential fast paths when
+/// only one worker exists.
+pub fn current_num_threads() -> usize {
+    thread_count()
+}
+
 /// Number of worker threads to use (`RAYON_NUM_THREADS` override honored).
 fn thread_count() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
