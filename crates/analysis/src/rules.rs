@@ -87,7 +87,8 @@ impl fmt::Display for Rule {
 ///   forced through allow comments; everywhere else a parallel reduction
 ///   still fires (see the `d004_violating_gather.rs` fixture).
 /// * R001 guards the long-running service: everything under
-///   `crates/engine/src/`.
+///   `crates/engine/src/`, plus the scenario subsystem it evaluates
+///   (`crates/scenario/src/` and `crates/core/src/scenario_model.rs`).
 pub fn rules_for_path(path: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::D001];
     if !path.starts_with("crates/bench/") {
@@ -101,7 +102,14 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
             rules.push(Rule::D004);
         }
     }
-    if path.starts_with("crates/engine/src/") {
+    if path.starts_with("crates/engine/src/")
+        || path.starts_with("crates/scenario/src/")
+        || path == "crates/core/src/scenario_model.rs"
+    {
+        // The scenario subsystem is service-facing too: scenario specs are
+        // evaluated by the long-running daemon, so a panic in scenario
+        // validation or model construction kills worker threads the same
+        // way an engine panic would.
         rules.push(Rule::R001);
     }
     rules

@@ -5,7 +5,9 @@
 //! head-to-head on clustered deployments (plus the 120-node lumped-only
 //! point the unlumped path cannot reach), and replication throughput
 //! (reps/sec) of the three stochastic backends through the shared
-//! replication engine. Before/after numbers live in
+//! replication engine, and the scenario subsystem: structural counts of
+//! each attacker/response net plus one CRN-paired comparison with its
+//! zero-delta self-check. Before/after numbers live in
 //! `results/profile_point.md`.
 //!
 //! Run with: `cargo run --release -p bench-harness --bin profile_point`
@@ -407,6 +409,139 @@ fn service_profile() -> Value {
     ])
 }
 
+/// Scenario subsystem profile: structural counts (states/edges — exact,
+/// pinned) and solve timing of each attacker-strategy / response-policy
+/// net on the hot system, plus one CRN-paired comparison with its
+/// paired-vs-unpaired half-widths and the self-comparison zero-delta
+/// invariant (pinned exactly at 0.0).
+fn scenario_profile() -> Value {
+    use engine::{AttackerStrategy, ResponsePolicy, ScenarioConfig};
+    let cfg = hot_system();
+    let axes: [(&str, ScenarioConfig); 6] = [
+        ("baseline", ScenarioConfig::baseline()),
+        (
+            "burst",
+            ScenarioConfig {
+                attacker: AttackerStrategy::Burst {
+                    on_rate: 1.0 / 5_000.0,
+                    off_rate: 1.0 / 5_000.0,
+                    multiplier: 6.0,
+                },
+                response: ResponsePolicy::Evict,
+            },
+        ),
+        (
+            "stealth",
+            ScenarioConfig {
+                attacker: AttackerStrategy::Stealth {
+                    rate_factor: 0.5,
+                    evasion: 0.3,
+                },
+                response: ResponsePolicy::Evict,
+            },
+        ),
+        (
+            "targeted",
+            ScenarioConfig {
+                attacker: AttackerStrategy::Targeted { focus: 0.8 },
+                response: ResponsePolicy::Evict,
+            },
+        ),
+        (
+            "quarantine",
+            ScenarioConfig {
+                attacker: AttackerStrategy::Baseline,
+                response: ResponsePolicy::QuarantineRejoin {
+                    release_rate: 1.0 / 2_000.0,
+                    false_release_prob: 0.1,
+                },
+            },
+        ),
+        (
+            "throttle",
+            ScenarioConfig {
+                attacker: AttackerStrategy::Baseline,
+                response: ResponsePolicy::RekeyThrottle {
+                    max_rate: 1.0 / 1_000.0,
+                },
+            },
+        ),
+    ];
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for (name, sc) in axes {
+        let t0 = Instant::now();
+        let model = gcsids::build_scenario_model(&cfg, &sc);
+        let graph = explore(&model.net, &ExploreOptions::default()).unwrap();
+        let (e, _, totals) = gcsids::evaluate_scenario_graph(&model, &graph, &[]).unwrap();
+        let dt = t0.elapsed();
+        println!(
+            "scenario {name:<10} {} states / {} edges, MTTSF {:.4e} s, \
+             E[detections] {:.3} in {dt:?}",
+            graph.state_count(),
+            graph.edge_count(),
+            e.mttsf_seconds,
+            totals.detections
+        );
+        entries.push((
+            name.to_string(),
+            Value::obj([
+                ("states", Value::Num(graph.state_count() as f64)),
+                ("edges", Value::Num(graph.edge_count() as f64)),
+                ("mttsf", Value::Num(e.mttsf_seconds)),
+                ("solve_seconds", Value::Num(dt.as_secs_f64())),
+            ]),
+        ));
+    }
+
+    // Paired comparison: burst variant vs baseline on the protocol DES,
+    // plus the self-comparison that must difference to bitwise zero.
+    let mut base = ScenarioSpec::paper_default(BackendKind::Des);
+    base.name = "profile/ab-base".into();
+    base.system = cfg;
+    base.stochastic.sampling = SamplingPlan::Fixed(60);
+    base.stochastic.max_time = 1.0e6;
+    let mut variant = base.clone();
+    variant.name = "profile/ab-burst".into();
+    variant.scenario = Some(axes[1].1);
+    let budget = RunBudget::default();
+    let t0 = Instant::now();
+    let ab = engine::compare(&base, &variant, &budget).unwrap();
+    let t_compare = t0.elapsed();
+    let self_ab = engine::compare(&base, &base, &budget).unwrap();
+    println!(
+        "paired compare: {} pairs in {t_compare:?}, ΔMTTSF ±{:.3e} paired \
+         vs ±{:.3e} unpaired; self-compare max|Δt| = {}",
+        ab.replications,
+        ab.delta_mttsf.paired_halfwidth,
+        ab.delta_mttsf.unpaired_halfwidth,
+        self_ab.max_abs_delta_time
+    );
+    entries.push((
+        "paired".to_string(),
+        Value::obj([
+            ("pairs", Value::Num(ab.replications as f64)),
+            (
+                "paired_halfwidth",
+                Value::Num(ab.delta_mttsf.paired_halfwidth),
+            ),
+            (
+                "unpaired_halfwidth",
+                Value::Num(ab.delta_mttsf.unpaired_halfwidth),
+            ),
+            ("compare_seconds", Value::Num(t_compare.as_secs_f64())),
+            (
+                "self_max_abs_delta_time",
+                Value::Num(self_ab.max_abs_delta_time),
+            ),
+            (
+                "self_max_abs_delta_cost",
+                Value::Num(self_ab.max_abs_delta_cost),
+            ),
+        ]),
+    ));
+    Value::Obj(entries.into_iter().collect())
+}
+
 /// Per-rule detlint suppression counts, so the allow-list cannot grow
 /// without a visible snapshot diff. Active counts are pinned too (the
 /// `--deny-all` CI gate keeps them at zero; the snapshot double-books
@@ -469,6 +604,9 @@ fn is_exact_key(key: &str) -> bool {
             | "early_exit"
             | "transient_states"
             | "absorbing_states"
+            | "pairs"
+            | "self_max_abs_delta_time"
+            | "self_max_abs_delta_cost"
     )
 }
 
@@ -548,6 +686,7 @@ fn main() -> ExitCode {
         ("clustered", clustered_profile()),
         ("throughput", Value::Arr(replication_throughput())),
         ("service", service_profile()),
+        ("scenario", scenario_profile()),
         ("detlint", detlint_profile()),
     ]);
 

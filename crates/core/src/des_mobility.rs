@@ -20,13 +20,18 @@
 use crate::config::SystemConfig;
 use crate::cost::gdh_rekey_hop_bits;
 use crate::des::FailureCause;
-use ids::voting::{run_vote_with_collusion, VotingConfig};
+use crate::scenario_model::scenario_system;
+use ids::voting::{run_vote_with_collusion, CollusionModel, VotingConfig};
 use manet::{ConnectivityGraph, MobilityConfig, RandomWaypoint};
 use numerics::replicate::{run_plan, OutcomeSink, Replicate, SamplingPlan};
 use numerics::stats::Welford;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use scenario::{
+    burst_capture_multiplier, targeted_capture_multiplier, targeted_effective_collusion,
+    AttackerStrategy, ScenarioConfig,
+};
 
 /// Parameters of the mobility-coupled simulation.
 #[derive(Debug, Clone)]
@@ -41,6 +46,11 @@ pub struct MobilityDesConfig {
     pub dt: f64,
     /// Censoring horizon (s).
     pub max_time: f64,
+    /// Adversary scenario. Only the *attacker* axis is modeled here (burst,
+    /// stealth, targeted); response policies other than eviction are not
+    /// meaningful on live connectivity components and are rejected upstream
+    /// by `engine` spec validation.
+    pub scenario: ScenarioConfig,
 }
 
 impl MobilityDesConfig {
@@ -57,6 +67,7 @@ impl MobilityDesConfig {
             radio_range: 250.0,
             dt: 1.0,
             max_time: 3.15e7,
+            scenario: ScenarioConfig::baseline(),
         }
     }
 }
@@ -78,6 +89,14 @@ pub struct MobilityDesOutcome {
     pub compromises: u64,
     /// Evictions by the voting IDS (true + false).
     pub evictions: u64,
+    /// Evictions of actually compromised nodes.
+    pub true_evictions: u64,
+    /// Evictions of healthy nodes (false alarms).
+    pub false_evictions: u64,
+    /// Time of the first compromise (`None` if none happened).
+    pub first_compromise: Option<f64>,
+    /// Time of the first eviction of a compromised node (`None` if none).
+    pub first_true_detection: Option<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,9 +106,50 @@ enum St {
     Evicted,
 }
 
+/// Per-replication counters threaded to every return site.
+#[derive(Debug, Clone, Copy, Default)]
+struct MobCounters {
+    partitions: u64,
+    merges: u64,
+    compromises: u64,
+    evictions: u64,
+    true_evictions: u64,
+    false_evictions: u64,
+    first_compromise: Option<f64>,
+    first_true_detection: Option<f64>,
+}
+
+fn finish(t: f64, cause: FailureCause, hop_bits: f64, k: &MobCounters) -> MobilityDesOutcome {
+    MobilityDesOutcome {
+        time: t,
+        cause,
+        hop_bits,
+        partitions: k.partitions,
+        merges: k.merges,
+        compromises: k.compromises,
+        evictions: k.evictions,
+        true_evictions: k.true_evictions,
+        false_evictions: k.false_evictions,
+        first_compromise: k.first_compromise,
+        first_true_detection: k.first_true_detection,
+    }
+}
+
 /// Run one mobility-coupled replication.
 pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcome {
-    let sys = &cfg.system;
+    // Stealth is a pure parameter transform, exactly as in the other
+    // backends; burst/targeted modulate rates inside the loop.
+    let sys_owned = scenario_system(&cfg.system, &cfg.scenario);
+    let sys = &sys_owned;
+    let focus = cfg.scenario.attacker.focus();
+    let burst = match cfg.scenario.attacker {
+        AttackerStrategy::Burst {
+            on_rate,
+            off_rate,
+            multiplier,
+        } => Some((on_rate, off_rate, multiplier)),
+        _ => None,
+    };
     // detlint::allow(D003): leaf constructor — `seed` is a child_seed from the replicate grid, passed down by the executor
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mobility = RandomWaypoint::new(
@@ -107,25 +167,12 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
 
     let mut t = 0.0f64;
     let mut hop_bits = 0.0f64;
-    let mut partitions = 0u64;
-    let mut merges = 0u64;
-    let mut compromises = 0u64;
-    let mut evictions = 0u64;
+    let mut k = MobCounters::default();
+    let mut burst_active = false;
 
     let positions = mobility.positions();
     let mut graph = ConnectivityGraph::build(&positions, cfg.radio_range);
     let mut prev_components = graph.component_count();
-
-    let finish =
-        |t, cause, hop_bits, partitions, merges, compromises, evictions| MobilityDesOutcome {
-            time: t,
-            cause,
-            hop_bits,
-            partitions,
-            merges,
-            compromises,
-            evictions,
-        };
 
     while t < cfg.max_time {
         // --- mobility step and group bookkeeping ---------------------------
@@ -137,10 +184,10 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
         // Count topology events and charge their rekeys (evicted nodes keep
         // moving but are cryptographically outside every group).
         if components > prev_components {
-            partitions += (components - prev_components) as u64;
+            k.partitions += (components - prev_components) as u64;
             hop_bits += gdh_rekey_hop_bits(sys, mean_live_group_size(&graph, &status));
         } else if components < prev_components {
-            merges += (prev_components - components) as u64;
+            k.merges += (prev_components - components) as u64;
             hop_bits += gdh_rekey_hop_bits(sys, mean_live_group_size(&graph, &status));
         }
         prev_components = components;
@@ -150,23 +197,30 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
         let undetected = status.iter().filter(|&&s| s == St::Compromised).count() as u32;
         let live = trusted + undetected;
         if live == 0 {
-            return finish(
-                t,
-                FailureCause::Attrition,
-                hop_bits,
-                partitions,
-                merges,
-                compromises,
-                evictions,
-            );
+            return finish(t, FailureCause::Attrition, hop_bits, &k);
         }
 
         // --- background traffic over actual components ----------------------
         hop_bits += background_rate(sys, &graph, &status) * cfg.dt;
 
+        // --- scenario phase (burst attackers only; no draw otherwise) --------
+        if let Some((on, off, _)) = burst {
+            let toggle_rate = if burst_active { off } else { on };
+            if rng.gen::<f64>() < 1.0 - (-toggle_rate * cfg.dt).exp() {
+                burst_active = !burst_active;
+            }
+        }
+
         // --- protocol events within the step (thinned Poisson) --------------
         let r_compromise = if trusted > 0 {
-            sys.attacker.rate(trusted, undetected)
+            let mut r = sys.attacker.rate(trusted, undetected);
+            if focus > 0.0 {
+                r *= targeted_capture_multiplier(focus, trusted, undetected);
+            }
+            if let Some((_, _, mult)) = burst {
+                r *= burst_capture_multiplier(mult, burst_active);
+            }
+            r
         } else {
             0.0
         };
@@ -176,7 +230,10 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
                 .collect();
             let &victim = victims.choose(&mut rng).expect("trusted node exists");
             status[victim] = St::Compromised;
-            compromises += 1;
+            k.compromises += 1;
+            if k.first_compromise.is_none() {
+                k.first_compromise = Some(t);
+            }
         }
 
         let d_rate = sys.detection.rate(sys.node_count, trusted, undetected);
@@ -194,11 +251,31 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
                 .map(|&n| status[n] == St::Compromised)
                 .collect();
             let target_bad = status[target] == St::Compromised;
-            let o = run_vote_with_collusion(&vote_cfg, target_bad, &peers, sys.collusion, &mut rng);
+            // Targeted attackers press their numeric advantage inside the
+            // vote too — same effective collusion as the SPN's Pfn/Pfp.
+            let collusion = if focus > 0.0 {
+                CollusionModel::Probabilistic(targeted_effective_collusion(
+                    sys.collusion.malice_probability(),
+                    focus,
+                    trusted,
+                    undetected,
+                ))
+            } else {
+                sys.collusion
+            };
+            let o = run_vote_with_collusion(&vote_cfg, target_bad, &peers, collusion, &mut rng);
             hop_bits += o.votes as f64 * sys.vote_packet_bits as f64 * (peers.len() + 1) as f64;
             if o.evicted {
                 status[target] = St::Evicted;
-                evictions += 1;
+                k.evictions += 1;
+                if target_bad {
+                    k.true_evictions += 1;
+                    if k.first_true_detection.is_none() {
+                        k.first_true_detection = Some(t);
+                    }
+                } else {
+                    k.false_evictions += 1;
+                }
                 hop_bits += gdh_rekey_hop_bits(sys, peers.len() as u32);
             }
         }
@@ -207,15 +284,7 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
         if undetected > 0 && rng.gen::<f64>() < 1.0 - (-r_leak * cfg.dt).exp() {
             hop_bits += sys.data_packet_bits as f64 * sys.mean_hops;
             if rng.gen::<f64>() < sys.p1_host_false_negative {
-                return finish(
-                    t,
-                    FailureCause::DataLeak,
-                    hop_bits,
-                    partitions,
-                    merges,
-                    compromises,
-                    evictions,
-                );
+                return finish(t, FailureCause::DataLeak, hop_bits, &k);
             }
         }
 
@@ -227,26 +296,10 @@ pub fn run_mobility_des(cfg: &MobilityDesConfig, seed: u64) -> MobilityDesOutcom
 
         // --- C2 check on real components ------------------------------------
         if any_component_byzantine(&graph, &status) {
-            return finish(
-                t,
-                FailureCause::ByzantineCapture,
-                hop_bits,
-                partitions,
-                merges,
-                compromises,
-                evictions,
-            );
+            return finish(t, FailureCause::ByzantineCapture, hop_bits, &k);
         }
     }
-    finish(
-        cfg.max_time,
-        FailureCause::Censored,
-        hop_bits,
-        partitions,
-        merges,
-        compromises,
-        evictions,
-    )
+    finish(cfg.max_time, FailureCause::Censored, hop_bits, &k)
 }
 
 fn mean_live_group_size(graph: &ConnectivityGraph, status: &[St]) -> u32 {
@@ -448,6 +501,45 @@ mod tests {
         let stats = run_mobility_des_replications(&hot(), 8, 11);
         assert_eq!(stats.c1_failures + stats.c2_failures + stats.censored, 8);
         assert!(stats.mttsf.count() > 0);
+    }
+
+    #[test]
+    fn scenario_deterministic_and_burst_changes_outcome() {
+        let mut cfg = hot();
+        cfg.scenario.attacker = AttackerStrategy::Burst {
+            on_rate: 1.0 / 200.0,
+            off_rate: 1.0 / 100.0,
+            multiplier: 6.0,
+        };
+        let a = run_mobility_des(&cfg, 17);
+        let b = run_mobility_des(&cfg, 17);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.hop_bits, b.hop_bits);
+        assert_eq!(a.first_compromise, b.first_compromise);
+        // the burst phase draws perturb the event stream vs baseline
+        let base = run_mobility_des(&hot(), 17);
+        assert!(a.time != base.time || a.hop_bits != base.hop_bits);
+    }
+
+    #[test]
+    fn targeted_attacker_does_not_outlive_baseline() {
+        let mut cfg = hot();
+        cfg.scenario.attacker = AttackerStrategy::Targeted { focus: 1.0 };
+        let t = run_mobility_des_replications(&cfg, 6, 3);
+        let b = run_mobility_des_replications(&hot(), 6, 3);
+        // with full-collusion defaults the capture multiplier is the lever;
+        // a small sample still should not show the targeted attacker losing
+        assert!(t.mttsf.mean() <= b.mttsf.mean() * 1.5);
+        assert!(t.mttsf.count() + t.censored == 6);
+    }
+
+    #[test]
+    fn eviction_split_sums_to_total() {
+        let o = run_mobility_des(&hot(), 29);
+        assert_eq!(o.evictions, o.true_evictions + o.false_evictions);
+        if let (Some(fc), Some(fd)) = (o.first_compromise, o.first_true_detection) {
+            assert!(fd >= fc);
+        }
     }
 
     #[test]

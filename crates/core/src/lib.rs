@@ -47,6 +47,7 @@ pub mod des_mobility;
 pub mod metrics;
 pub mod model;
 pub mod pareto;
+pub mod scenario_model;
 pub mod sweep;
 
 pub use clustered::{
@@ -65,4 +66,9 @@ pub use des_mobility::{
 pub use metrics::{evaluate, Evaluation};
 pub use model::{build_clustered_model, clustered_canonicalizer, ClusteredModel};
 pub use pareto::{design_space, pareto_front, DesignPoint};
+pub use scenario_model::{
+    build_scenario_model, evaluate_scenario, evaluate_scenario_graph, scenario_cost_reward,
+    scenario_failed, scenario_impulses, scenario_system, DetectionTotals, ScenarioModel,
+    ScenarioPlaces,
+};
 pub use sweep::{optimal_tids_for_mttsf, sweep_tids, SweepPoint, SweepSeries};

@@ -11,9 +11,9 @@ use crate::cost::{cost_breakdown, gdh_rekey_hop_bits, CostBreakdown};
 use crate::model::{build_model, population, GcsIdsModel};
 use spn::ctmc::{Ctmc, CtmcTemplate, TransientOptions};
 use spn::error::SpnError;
-use spn::transient::TransientStats;
 use spn::reach::{explore, ExploreOptions, ReachabilityGraph};
 use spn::reward::{ImpulseReward, RateReward};
+use spn::transient::TransientStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -8,17 +8,24 @@
 //! uniformly instead of hand-rolling one orchestration per evaluator.
 
 use crate::error::EngineError;
-use crate::report::{survival_estimates_streaming, Estimate, FailureSplit, RunReport};
+use crate::report::{
+    survival_estimates_streaming, DetectionInfo, Estimate, FailureSplit, RunReport,
+};
 use crate::spec::{BackendKind, SamplingPlan, ScenarioSpec};
 use gcsids::clustered::evaluate_clustered_with_survival;
 use gcsids::des::{run_des, DesConfig, FailureCause};
 use gcsids::des_mobility::{run_mobility_des, MobilityDesConfig};
 use gcsids::metrics::{eviction_impulses, total_cost_reward, ExactTemplate};
 use gcsids::model::{build_model, Places};
+use gcsids::{
+    build_scenario_model, evaluate_scenario_graph, scenario_cost_reward, scenario_impulses,
+    DetectionTotals,
+};
 use numerics::replicate::{run_plan_observed, Completed, OutcomeSink, Replicate};
 use numerics::rng::child_seed;
 use numerics::stats::{SurvivalAccumulator, Welford};
 use spn::error::SpnError;
+use spn::model::{Spn, TransitionId};
 use spn::reach::ExploreOptions;
 use spn::reward::RewardSet;
 use spn::sim::{SimOptions, SimOutcome, Simulator};
@@ -123,6 +130,13 @@ impl ExactBackend {
                 "clustered specs are not template-batchable — use Backend::run".into(),
             ));
         }
+        if spec.scenario.is_some() {
+            // A scenario changes the net structure (extra places and
+            // transitions), not just rates — the cached graph does not apply.
+            return Err(EngineError::InvalidSpec(
+                "scenario specs are not template-batchable — use Backend::run".into(),
+            ));
+        }
         // detlint::allow(D002): feeds the report's explicit wall_seconds timing field only
         let t0 = Instant::now();
         let (e, survival) = template.evaluate_with_survival(&spec.system, &spec.mission_times)?;
@@ -174,7 +188,44 @@ impl ExactBackend {
                 transient_states: u64::from(s.transient_states),
                 absorbing_states: u64::from(s.absorbing_states),
             }),
+            detection: None,
         }
+    }
+}
+
+/// `false_alarms / (detections + false_alarms)`; `NaN` ("not estimable")
+/// when nothing was ever convicted.
+fn fp_rate(detections: f64, false_alarms: f64) -> f64 {
+    let convictions = detections + false_alarms;
+    if convictions > 0.0 {
+        false_alarms / convictions
+    } else {
+        f64::NAN
+    }
+}
+
+/// `1 − detections / compromises` clamped at 0; `NaN` when nothing was
+/// ever compromised.
+fn fn_rate(compromises: f64, detections: f64) -> f64 {
+    if compromises > 0.0 {
+        (1.0 - detections / compromises).max(0.0)
+    } else {
+        f64::NAN
+    }
+}
+
+/// Detection metrics from the exact chain's expected firing totals. Lead
+/// time is undefined on the exact backend (no per-replication ordering):
+/// `NaN` with zero observations.
+fn exact_detection(totals: &DetectionTotals) -> DetectionInfo {
+    DetectionInfo {
+        compromises: Estimate::exact(totals.compromises),
+        detections: Estimate::exact(totals.detections),
+        false_alarms: Estimate::exact(totals.false_alarms),
+        fp_rate: fp_rate(totals.detections, totals.false_alarms),
+        fn_rate: fn_rate(totals.compromises, totals.detections),
+        lead_time: Estimate::exact(f64::NAN),
+        lead_time_observations: 0,
     }
 }
 
@@ -205,6 +256,16 @@ impl Backend for ExactBackend {
             report.lumping_reduction = Some(ce.stats.reduction);
             return Ok(report);
         }
+        if let Some(sc) = &spec.scenario {
+            let model = build_scenario_model(&spec.system, sc);
+            let graph = spn::reach::explore(&model.net, &opts)?;
+            let (e, survival, totals) =
+                evaluate_scenario_graph(&model, &graph, &spec.mission_times)?;
+            let mut report =
+                Self::report_from_evaluation(spec, &e, survival, t0.elapsed().as_secs_f64());
+            report.detection = Some(exact_detection(&totals));
+            return Ok(report);
+        }
         let model = build_model(&spec.system);
         let graph = spn::reach::explore(&model.net, &opts)?;
         // One CTMC build serves both the absorption and the survival solve.
@@ -219,11 +280,41 @@ impl Backend for ExactBackend {
 }
 
 /// The per-replication summary every stochastic backend reduces to before
-/// aggregation.
-struct Rep {
-    time: f64,
-    cost_rate: f64,
-    cause: FailureCause,
+/// aggregation. Also the unit of pairing in [`crate::paired`]: replication
+/// `i` always runs under `child_seed(master_seed, i)`, so two specs
+/// sharing a master seed yield common-random-number-coupled `Rep` streams.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Rep {
+    pub(crate) time: f64,
+    pub(crate) cost_rate: f64,
+    pub(crate) cause: FailureCause,
+    /// Nodes compromised during the observation window.
+    pub(crate) compromises: f64,
+    /// Convictions of compromised nodes.
+    pub(crate) detections: f64,
+    /// Convictions of healthy nodes.
+    pub(crate) false_alarms: f64,
+    /// Time of the first compromise, if one happened.
+    pub(crate) first_compromise: Option<f64>,
+    /// Time of the first true detection, if one happened.
+    pub(crate) first_detection: Option<f64>,
+}
+
+impl Rep {
+    /// A summary with no detection observables (clustered composition
+    /// paths, which never carry a scenario).
+    fn basic(time: f64, cost_rate: f64, cause: FailureCause) -> Self {
+        Self {
+            time,
+            cost_rate,
+            cause,
+            compromises: 0.0,
+            detections: 0.0,
+            false_alarms: 0.0,
+            first_compromise: None,
+            first_detection: None,
+        }
+    }
 }
 
 /// Streaming aggregation of stochastic replications into the common
@@ -243,6 +334,13 @@ struct StochasticSink {
     zero_duration: u64,
     survival: SurvivalAccumulator,
     confidence: f64,
+    /// Detection observables, aggregated only into the report when the
+    /// spec carries a scenario (the counters themselves are always fed —
+    /// they cost nothing and keep `record` branch-free).
+    compromises: Welford,
+    detections: Welford,
+    false_alarms: Welford,
+    lead_time: Welford,
     /// First per-replication error in index order (aborts the run).
     error: Option<SpnError>,
 }
@@ -259,6 +357,10 @@ impl StochasticSink {
             zero_duration: 0,
             survival: SurvivalAccumulator::new(&spec.mission_times),
             confidence: spec.stochastic.confidence,
+            compromises: Welford::new(),
+            detections: Welford::new(),
+            false_alarms: Welford::new(),
+            lead_time: Welford::new(),
             error: None,
         }
     }
@@ -289,6 +391,17 @@ impl StochasticSink {
                 self.confidence,
             ))
         };
+        // Detection metrics are a scenario-mode observable: baseline specs
+        // keep their pre-scenario report shape byte-for-byte.
+        let detection = spec.scenario.is_some().then(|| DetectionInfo {
+            compromises: Estimate::from_welford(&self.compromises, self.confidence),
+            detections: Estimate::from_welford(&self.detections, self.confidence),
+            false_alarms: Estimate::from_welford(&self.false_alarms, self.confidence),
+            fp_rate: fp_rate(self.detections.mean(), self.false_alarms.mean()),
+            fn_rate: fn_rate(self.compromises.mean(), self.detections.mean()),
+            lead_time: Estimate::from_welford(&self.lead_time, self.confidence),
+            lead_time_observations: self.lead_time.count(),
+        });
         RunReport {
             scenario: spec.name.clone(),
             backend: kind,
@@ -307,6 +420,7 @@ impl StochasticSink {
             wall_seconds: wall,
             template_cache: None,
             transient: None,
+            detection,
         }
     }
 }
@@ -324,6 +438,11 @@ impl OutcomeSink<Result<Rep, SpnError>> for StochasticSink {
         };
         self.survival
             .push(rep.time, rep.cause == FailureCause::Censored);
+        if let (Some(c), Some(d)) = (rep.first_compromise, rep.first_detection) {
+            if d >= c {
+                self.lead_time.push(d - c);
+            }
+        }
         if rep.time <= 0.0 {
             // Censored-at-zero: nothing was observed, so the outcome's 0.0
             // cost rate is a placeholder, not a measurement (see
@@ -333,6 +452,9 @@ impl OutcomeSink<Result<Rep, SpnError>> for StochasticSink {
             return;
         }
         self.cost_rate.push(rep.cost_rate);
+        self.compromises.push(rep.compromises);
+        self.detections.push(rep.detections);
+        self.false_alarms.push(rep.false_alarms);
         match rep.cause {
             FailureCause::DataLeak => {
                 self.c1 += 1;
@@ -359,6 +481,10 @@ impl OutcomeSink<Result<Rep, SpnError>> for StochasticSink {
         self.censored += other.censored;
         self.zero_duration += other.zero_duration;
         self.survival.merge(&other.survival);
+        self.compromises.merge(&other.compromises);
+        self.detections.merge(&other.detections);
+        self.false_alarms.merge(&other.false_alarms);
+        self.lead_time.merge(&other.lead_time);
         // self covers the earlier index range, so its error stays first
         if self.error.is_none() {
             self.error = other.error;
@@ -435,10 +561,13 @@ fn spn_cause(places: &Places, o: &SimOutcome) -> FailureCause {
     }
 }
 
-/// One SPN-sim replication reduced to the common summary.
+/// One SPN-sim replication reduced to the common summary. With `detect`
+/// set (scenario mode), detection observables are read off the token
+/// game's firing counts and first-firing times of `[T_CP, T_IDS, T_FA]`.
 struct SpnSimTask<'a> {
     sim: Simulator<'a>,
     places: Places,
+    detect: Option<[TransitionId; 3]>,
 }
 
 impl Replicate for SpnSimTask<'_> {
@@ -449,10 +578,60 @@ impl Replicate for SpnSimTask<'_> {
         let hop_bits: f64 = o.accumulated.iter().sum();
         let cost_rate = if o.time > 0.0 { hop_bits / o.time } else { 0.0 };
         let cause = spn_cause(&self.places, &o);
-        Ok(Rep {
-            time: o.time,
-            cost_rate,
-            cause,
+        let mut rep = Rep::basic(o.time, cost_rate, cause);
+        if let Some([t_cp, t_ids, t_fa]) = self.detect {
+            let count = |t: TransitionId| o.firings.get(&t).map_or(0.0, |&n| n as f64);
+            rep.compromises = count(t_cp);
+            rep.detections = count(t_ids);
+            rep.false_alarms = count(t_fa);
+            rep.first_compromise = o.first_firings.get(&t_cp).copied();
+            rep.first_detection = o.first_firings.get(&t_ids).copied();
+        }
+        Ok(rep)
+    }
+}
+
+/// The net, rewards, and detection handles an SPN-sim run plays —
+/// scenario-aware: a spec with a scenario plays the scenario net with the
+/// response policy's action costs; one without plays the paper net
+/// unchanged.
+struct SpnSimSetup {
+    net: Spn,
+    rewards: RewardSet,
+    places: Places,
+    detect: Option<[TransitionId; 3]>,
+}
+
+fn spn_sim_setup(spec: &ScenarioSpec) -> Result<SpnSimSetup, EngineError> {
+    if let Some(sc) = &spec.scenario {
+        let model = build_scenario_model(&spec.system, sc);
+        let mut rewards = RewardSet::new().with_rate(scenario_cost_reward(&model));
+        for imp in scenario_impulses(&model)? {
+            rewards = rewards.with_impulse(imp);
+        }
+        let lookup = |name: &str| {
+            model.net.transition_by_name(name).ok_or_else(|| {
+                EngineError::Solver(SpnError::InvalidModel(format!("missing transition {name}")))
+            })
+        };
+        let detect = [lookup("T_CP")?, lookup("T_IDS")?, lookup("T_FA")?];
+        Ok(SpnSimSetup {
+            places: model.places.base,
+            net: model.net,
+            rewards,
+            detect: Some(detect),
+        })
+    } else {
+        let model = build_model(&spec.system);
+        let mut rewards = RewardSet::new().with_rate(total_cost_reward(&spec.system, &model));
+        for imp in eviction_impulses(&model)? {
+            rewards = rewards.with_impulse(imp);
+        }
+        Ok(SpnSimSetup {
+            places: model.places,
+            net: model.net,
+            rewards,
+            detect: None,
         })
     }
 }
@@ -496,11 +675,7 @@ fn compose_clusters(
         } else {
             0.0
         };
-        return Ok(Rep {
-            time: horizon,
-            cost_rate,
-            cause: FailureCause::Censored,
-        });
+        return Ok(Rep::basic(horizon, cost_rate, FailureCause::Censored));
     }
     failures.sort_by(|a, b| a.0.total_cmp(&b.0));
     let (t_sys, kth) = failures[threshold as usize - 1];
@@ -515,11 +690,7 @@ fn compose_clusters(
         }
     }
     let cost_rate = if t_sys > 0.0 { hop_bits / t_sys } else { 0.0 };
-    Ok(Rep {
-        time: t_sys,
-        cost_rate,
-        cause: reps[kth].cause,
-    })
+    Ok(Rep::basic(t_sys, cost_rate, reps[kth].cause))
 }
 
 /// One clustered SPN-sim replication: independent single-cluster
@@ -582,16 +753,14 @@ impl Backend for SpnSimBackend {
         spec.validate()?;
         // detlint::allow(D002): feeds the report's explicit wall_seconds timing field only
         let t0 = Instant::now();
-        let model = build_model(&spec.system);
-        let mut rewards = RewardSet::new().with_rate(total_cost_reward(&spec.system, &model));
-        for imp in eviction_impulses(&model)? {
-            rewards = rewards.with_impulse(imp);
-        }
+        let setup = spn_sim_setup(spec)?;
         if let Some(topo) = &spec.clustered {
+            // validate() rejects scenario + clustered, so this is always
+            // the paper net.
             let task = ClusteredSpnSimTask {
-                net: &model.net,
-                rewards: &rewards,
-                places: model.places,
+                net: &setup.net,
+                rewards: &setup.rewards,
+                places: setup.places,
                 clusters: topo.clusters,
                 threshold: topo.failure_threshold,
                 max_time: spec.stochastic.max_time,
@@ -603,8 +772,9 @@ impl Backend for SpnSimBackend {
             ..Default::default()
         };
         let task = SpnSimTask {
-            sim: Simulator::new(&model.net, &rewards, opts),
-            places: model.places,
+            sim: Simulator::new(&setup.net, &setup.rewards, opts),
+            places: setup.places,
+            detect: setup.detect,
         };
         run_stochastic(&task, spec, budget, BackendKind::SpnSim, t0, progress)
     }
@@ -626,8 +796,21 @@ impl Replicate for DesTask {
             time: o.time,
             cost_rate: o.mean_cost_rate,
             cause: o.cause,
+            compromises: o.compromises as f64,
+            detections: o.true_evictions as f64,
+            false_alarms: o.false_evictions as f64,
+            first_compromise: o.first_compromise,
+            first_detection: o.first_true_detection,
         })
     }
+}
+
+/// Protocol-DES configuration for a spec (scenario-aware).
+fn des_config(spec: &ScenarioSpec) -> DesConfig {
+    let mut cfg = DesConfig::new(spec.system.clone());
+    cfg.max_time = spec.stochastic.max_time;
+    cfg.scenario = spec.scenario_or_baseline();
+    cfg
 }
 
 /// One clustered DES replication: independent single-cluster protocol
@@ -679,8 +862,7 @@ impl Backend for DesBackend {
         spec.validate()?;
         // detlint::allow(D002): feeds the report's explicit wall_seconds timing field only
         let t0 = Instant::now();
-        let mut cfg = DesConfig::new(spec.system.clone());
-        cfg.max_time = spec.stochastic.max_time;
+        let cfg = des_config(spec);
         if let Some(topo) = &spec.clustered {
             let task = ClusteredDesTask {
                 cfg,
@@ -714,8 +896,24 @@ impl Replicate for MobilityTask {
             time: o.time,
             cost_rate,
             cause: o.cause,
+            compromises: o.compromises as f64,
+            detections: o.true_evictions as f64,
+            false_alarms: o.false_evictions as f64,
+            first_compromise: o.first_compromise,
+            first_detection: o.first_true_detection,
         })
     }
+}
+
+/// Mobility-DES configuration for a spec (attacker axis only; validate()
+/// rejects non-evict response policies on this backend).
+fn mobility_config(spec: &ScenarioSpec) -> MobilityDesConfig {
+    let mut cfg = MobilityDesConfig::new(spec.system.clone());
+    cfg.radio_range = spec.mobility.radio_range;
+    cfg.dt = spec.mobility.dt;
+    cfg.max_time = spec.stochastic.max_time;
+    cfg.scenario = spec.scenario_or_baseline();
+    cfg
 }
 
 impl Backend for MobilityDesBackend {
@@ -736,18 +934,86 @@ impl Backend for MobilityDesBackend {
         spec.validate()?;
         // detlint::allow(D002): feeds the report's explicit wall_seconds timing field only
         let t0 = Instant::now();
-        let mut cfg = MobilityDesConfig::new(spec.system.clone());
-        cfg.radio_range = spec.mobility.radio_range;
-        cfg.dt = spec.mobility.dt;
-        cfg.max_time = spec.stochastic.max_time;
         run_stochastic(
-            &MobilityTask(cfg),
+            &MobilityTask(mobility_config(spec)),
             spec,
             budget,
             BackendKind::MobilityDes,
             t0,
             progress,
         )
+    }
+}
+
+/// Run replications `0..n` of a stochastic spec and return each one's
+/// summary in index order — the paired engine's inner loop. Replication
+/// `i` runs under `child_seed(master_seed, i)`, exactly the seed the
+/// chunked plan executor hands it, so these outcomes are bit-identical to
+/// the ones a [`Backend::run`] of the same spec aggregates.
+///
+/// # Errors
+/// [`EngineError::InvalidSpec`] for invalid specs and for the exact
+/// backend (which has no replications), [`EngineError::Solver`] when a
+/// replication fails.
+pub(crate) fn per_replication_outcomes(
+    spec: &ScenarioSpec,
+    n: u64,
+) -> Result<Vec<Rep>, EngineError> {
+    fn collect<R: Replicate<Outcome = Result<Rep, SpnError>>>(
+        task: &R,
+        master: u64,
+        n: u64,
+    ) -> Result<Vec<Rep>, EngineError> {
+        (0..n)
+            .map(|i| {
+                task.run_one(child_seed(master, i))
+                    .map_err(EngineError::from)
+            })
+            .collect()
+    }
+    spec.validate()?;
+    let master = spec.stochastic.master_seed;
+    match spec.backend {
+        BackendKind::Exact => Err(EngineError::InvalidSpec(
+            "per-replication outcomes require a stochastic backend".into(),
+        )),
+        BackendKind::SpnSim => {
+            let setup = spn_sim_setup(spec)?;
+            if let Some(topo) = &spec.clustered {
+                let task = ClusteredSpnSimTask {
+                    net: &setup.net,
+                    rewards: &setup.rewards,
+                    places: setup.places,
+                    clusters: topo.clusters,
+                    threshold: topo.failure_threshold,
+                    max_time: spec.stochastic.max_time,
+                };
+                return collect(&task, master, n);
+            }
+            let opts = SimOptions {
+                max_time: spec.stochastic.max_time,
+                ..Default::default()
+            };
+            let task = SpnSimTask {
+                sim: Simulator::new(&setup.net, &setup.rewards, opts),
+                places: setup.places,
+                detect: setup.detect,
+            };
+            collect(&task, master, n)
+        }
+        BackendKind::Des => {
+            let cfg = des_config(spec);
+            if let Some(topo) = &spec.clustered {
+                let task = ClusteredDesTask {
+                    cfg,
+                    clusters: topo.clusters,
+                    threshold: topo.failure_threshold,
+                };
+                return collect(&task, master, n);
+            }
+            collect(&DesTask(cfg), master, n)
+        }
+        BackendKind::MobilityDes => collect(&MobilityTask(mobility_config(spec)), master, n),
     }
 }
 

@@ -9,6 +9,9 @@
 //! runner serve --spool <dir> --results <dir> [--workers N] [--queue-limit N]
 //!        [--poll-ms N] [--max-states N] [--max-replications N]
 //!        [--cache-templates N] [--cache-states N] [--drain]
+//!
+//! runner compare --baseline <spec.json> --variant <spec.json> [--out <file>]
+//!        [--backend <kind>] [--max-replications N] [--max-states N]
 //! ```
 //!
 //! **Cross-validation mode** (the default): every `*.json`
@@ -22,6 +25,12 @@
 //! named in the report, never aborting the rest of the directory) — ready
 //! for CI.
 //!
+//! **Compare mode**: a CRN-paired A/B comparison (see [`engine::paired`])
+//! of two stochastic specs sharing a master seed and replication grid.
+//! The [`engine::ComparisonReport`] JSON — per-replication-differenced
+//! ΔMTTSF, Δcost, and Δsurvival with paired *and* unpaired interval
+//! half-widths — goes to `--out` (or stdout), a summary to stderr.
+//!
 //! **Serve mode**: a persistent daemon watching `--spool` for spec files
 //! and streaming reports (plus adaptive-sampling progress) into
 //! `--results`, with a cross-request template cache — see
@@ -29,7 +38,7 @@
 //! zero when every processed spec succeeded, 1 otherwise.
 
 use engine::service::{serve, ServiceConfig};
-use engine::{cross_validate_dir, CrossValOptions, CrossValReport};
+use engine::{cross_validate_dir, CrossValOptions, CrossValReport, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -50,7 +59,11 @@ fn usage() -> ! {
          runner serve --spool <dir> --results <dir> [--workers <n>] \
          [--queue-limit <n>] [--poll-ms <n>] [--max-states <n>] \
          [--max-replications <n>] [--cache-templates <n>] [--cache-states <n>] \
-         [--drain]"
+         [--drain]\n\
+         \n\
+         runner compare --baseline <spec.json> --variant <spec.json> \
+         [--out <file>] [--backend <kind>] [--max-replications <n>] \
+         [--max-states <n>]"
     );
     std::process::exit(2);
 }
@@ -263,11 +276,106 @@ fn serve_main(args: &mut dyn Iterator<Item = String>) -> ExitCode {
     }
 }
 
+fn compare_main(args: &mut dyn Iterator<Item = String>) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut variant: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut backend: Option<engine::BackendKind> = None;
+    let mut budget = engine::RunBudget::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(next_value(args, "--baseline"))),
+            "--variant" => variant = Some(PathBuf::from(next_value(args, "--variant"))),
+            "--out" => out = Some(PathBuf::from(next_value(args, "--out"))),
+            // pairing needs replications, but committed specs often carry
+            // the exact backend — let the caller re-target both arms
+            "--backend" => {
+                let name = next_value(args, "--backend");
+                match engine::BackendKind::from_name(&name) {
+                    Ok(k) => backend = Some(k),
+                    Err(e) => {
+                        eprintln!("--backend: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-replications" => {
+                budget.max_replications = Some(parse_count(
+                    &next_value(args, "--max-replications"),
+                    "--max-replications",
+                ))
+            }
+            "--max-states" => {
+                budget.max_states =
+                    parse_count(&next_value(args, "--max-states"), "--max-states") as usize
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let (Some(baseline), Some(variant)) = (baseline, variant) else {
+        eprintln!("compare requires --baseline and --variant");
+        usage()
+    };
+    let load = |path: &PathBuf| -> Result<ScenarioSpec, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut spec =
+            ScenarioSpec::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(kind) = backend {
+            spec.backend = kind;
+        }
+        Ok(spec)
+    };
+    let report = load(&baseline)
+        .and_then(|b| Ok((b, load(&variant)?)))
+        .and_then(|(b, v)| {
+            engine::compare(&b, &v, &budget).map_err(|e| format!("comparison failed: {e}"))
+        });
+    let report = match report {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("runner compare: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "{} vs {} [{}], {} pairs: ΔMTTSF {:.4e} (paired ±{:.3e}, unpaired ±{:.3e}), Δcost {:.4e}",
+        report.variant,
+        report.baseline,
+        report.backend.name(),
+        report.replications,
+        report.delta_mttsf.delta.value,
+        report.delta_mttsf.paired_halfwidth,
+        report.delta_mttsf.unpaired_halfwidth,
+        report.delta_cost.delta.value,
+    );
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("runner compare: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("comparison report written to {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("serve") {
         raw.next();
         return serve_main(&mut raw);
+    }
+    if raw.peek().map(String::as_str) == Some("compare") {
+        raw.next();
+        return compare_main(&mut raw);
     }
     let args = parse_args(&mut raw);
     let report = match cross_validate_dir(&args.specs, &args.opts) {

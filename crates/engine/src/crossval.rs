@@ -670,6 +670,7 @@ mod tests {
             wall_seconds: 0.0,
             template_cache: None,
             transient: None,
+            detection: None,
         }
     }
 
@@ -930,11 +931,24 @@ mod tests {
         invalid.system.node_count = 0;
         invalid.name = "invalid".into();
         std::fs::write(dir.join("c_invalid.json"), invalid.to_json()).unwrap();
+        // a scenario block with a missing strategy parameter: the decode
+        // error must name the field and must not abort the directory
+        let burst = good.clone().with_scenario(crate::ScenarioConfig {
+            attacker: crate::AttackerStrategy::Burst {
+                on_rate: 2.0e-4,
+                off_rate: 2.0e-4,
+                multiplier: 6.0,
+            },
+            response: crate::ResponsePolicy::Evict,
+        });
+        let bad_scenario = burst.to_json().replace("\"on_rate\":0.0002,", "");
+        assert!(bad_scenario.contains("\"strategy\":\"burst\""));
+        std::fs::write(dir.join("d_bad_scenario.json"), bad_scenario).unwrap();
 
         let report = cross_validate_dir(&dir, &CrossValOptions::default()).unwrap();
         assert_eq!(report.specs.len(), 1, "{:?}", report.failures);
         assert_eq!(report.specs[0].name, good.name);
-        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures.len(), 3);
         assert!(report
             .failures
             .iter()
@@ -943,9 +957,19 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.spec.contains("c_invalid.json")));
+        let scenario_failure = report
+            .failures
+            .iter()
+            .find(|f| f.spec.contains("d_bad_scenario.json"))
+            .expect("scenario decode failure is isolated and named");
+        assert!(
+            scenario_failure.error.contains("on_rate"),
+            "error names the missing field: {}",
+            scenario_failure.error
+        );
         assert!(!report.clean());
         let v = crate::json::Value::parse(&report.to_json()).unwrap();
-        assert_eq!(v.field("failures").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.field("failures").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.field("clean").unwrap(), &Value::Bool(false));
         let _ = std::fs::remove_dir_all(&dir);
     }

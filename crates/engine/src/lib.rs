@@ -48,6 +48,7 @@ pub mod backend;
 pub mod crossval;
 pub mod error;
 pub mod json;
+pub mod paired;
 pub mod report;
 pub mod runner;
 pub mod service;
@@ -60,11 +61,13 @@ pub use crossval::{
 };
 pub use error::EngineError;
 pub use gcsids::config::ClusterTopology;
+pub use paired::{compare, ComparisonReport, DeltaEstimate};
 pub use report::{
-    survival_estimates, survival_estimates_streaming, CacheOutcome, Estimate, FailureSplit,
-    RunReport, TemplateCacheInfo, TransientInfo,
+    survival_estimates, survival_estimates_streaming, CacheOutcome, DetectionInfo, Estimate,
+    FailureSplit, RunReport, TemplateCacheInfo, TransientInfo,
 };
 pub use runner::{Runner, ScenarioGrid};
+pub use scenario::{AttackerStrategy, ResponsePolicy, ScenarioConfig};
 pub use service::{
     serve, CacheBudget, CacheStats, FamilyKey, ServiceConfig, ServiceSummary, TemplateCache,
 };

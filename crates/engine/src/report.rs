@@ -271,6 +271,78 @@ impl TransientInfo {
     }
 }
 
+/// Detection-quality metrics attached to reports whose spec carries an
+/// adversary/response scenario (`None` otherwise, and the JSON key is
+/// omitted entirely in that case, so pre-scenario reports keep their
+/// historical byte encoding).
+///
+/// Stochastic backends report per-replication means with confidence
+/// intervals; the exact backend reports expected transition-firing totals
+/// (no interval) and cannot observe per-replication lead times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionInfo {
+    /// Nodes compromised per replication (expected firings of `T_CP` on
+    /// the exact backend).
+    pub compromises: Estimate,
+    /// True detections — convictions of compromised nodes — per
+    /// replication (expected firings of `T_IDS`).
+    pub detections: Estimate,
+    /// False alarms — convictions of healthy nodes — per replication
+    /// (expected firings of `T_FA`).
+    pub false_alarms: Estimate,
+    /// Fraction of convictions that hit healthy nodes:
+    /// `false_alarms / (detections + false_alarms)`. `NaN` ("not
+    /// estimable", encoded as null) when nothing was ever convicted.
+    pub fp_rate: f64,
+    /// Fraction of compromises never convicted before the run ended:
+    /// `1 − detections / compromises`, clamped at 0. `NaN` when nothing
+    /// was ever compromised.
+    pub fn_rate: f64,
+    /// Detection lead time: mean delay from a replication's first
+    /// compromise to its first true detection, over replications that saw
+    /// both. `NaN` with no such replication — and always on the exact
+    /// backend, which has no per-replication ordering.
+    pub lead_time: Estimate,
+    /// Replications contributing to `lead_time`.
+    pub lead_time_observations: u64,
+}
+
+impl DetectionInfo {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("compromises", est_to_value(&self.compromises)),
+            ("detections", est_to_value(&self.detections)),
+            ("false_alarms", est_to_value(&self.false_alarms)),
+            ("fp_rate", num(self.fp_rate)),
+            ("fn_rate", num(self.fn_rate)),
+            ("lead_time", est_to_value(&self.lead_time)),
+            (
+                "lead_time_observations",
+                Value::Num(self.lead_time_observations as f64),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, EngineError> {
+        // null = the NaN "not estimable" marker
+        let rate = |name: &str| -> Result<f64, EngineError> {
+            match v.field(name)? {
+                Value::Null => Ok(f64::NAN),
+                other => other.as_f64(),
+            }
+        };
+        Ok(Self {
+            compromises: est_from_value(v.field("compromises")?)?,
+            detections: est_from_value(v.field("detections")?)?,
+            false_alarms: est_from_value(v.field("false_alarms")?)?,
+            fp_rate: rate("fp_rate")?,
+            fn_rate: rate("fn_rate")?,
+            lead_time: est_from_value(v.field("lead_time")?)?,
+            lead_time_observations: v.field("lead_time_observations")?.as_u64()?,
+        })
+    }
+}
+
 /// How the observed runs ended, as probabilities.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FailureSplit {
@@ -334,6 +406,9 @@ pub struct RunReport {
     /// when the spec has no grid or the backend is stochastic; the JSON key
     /// is omitted entirely in that case).
     pub transient: Option<TransientInfo>,
+    /// Detection-quality metrics (`None` unless the spec carries a
+    /// scenario; the JSON key is omitted entirely in that case).
+    pub detection: Option<DetectionInfo>,
 }
 
 /// Non-finite numbers (the "not estimable" marker) encode as null.
@@ -345,7 +420,7 @@ pub(crate) fn num(x: f64) -> Value {
     }
 }
 
-fn est_to_value(e: &Estimate) -> Value {
+pub(crate) fn est_to_value(e: &Estimate) -> Value {
     match e.ci {
         Some((lo, hi)) => Value::obj([
             ("value", num(e.value)),
@@ -356,7 +431,7 @@ fn est_to_value(e: &Estimate) -> Value {
     }
 }
 
-fn est_from_value(v: &Value) -> Result<Estimate, EngineError> {
+pub(crate) fn est_from_value(v: &Value) -> Result<Estimate, EngineError> {
     // null value = the NaN "not estimable" marker
     let value = match v.opt_field("value") {
         Some(x) => x.as_f64()?,
@@ -447,6 +522,13 @@ impl RunReport {
             };
             fields.insert("transient".into(), info.to_value());
         }
+        if let Some(info) = self.detection {
+            let Value::Obj(fields) = &mut root else {
+                // detlint::allow(R001): structural invariant — `root` is the Value::obj literal built above
+                unreachable!("report root is an object")
+            };
+            fields.insert("detection".into(), info.to_value());
+        }
         root.encode()
     }
 
@@ -510,6 +592,10 @@ impl RunReport {
             transient: v
                 .opt_field("transient")
                 .map(TransientInfo::from_value)
+                .transpose()?,
+            detection: v
+                .opt_field("detection")
+                .map(DetectionInfo::from_value)
                 .transpose()?,
         })
     }
@@ -635,6 +721,7 @@ mod tests {
             wall_seconds: 0.5,
             template_cache: None,
             transient: None,
+            detection: None,
         }
     }
 
@@ -696,6 +783,77 @@ mod tests {
         let mut stripped = back;
         stripped.template_cache = None;
         assert_eq!(stripped.to_json(), plain.to_json());
+    }
+
+    #[test]
+    fn detection_field_is_omitted_when_absent_and_roundtrips_when_set() {
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"detection\""));
+
+        let mut r = sample_report();
+        r.detection = Some(DetectionInfo {
+            compromises: Estimate {
+                value: 3.2,
+                ci: Some((2.9, 3.5)),
+            },
+            detections: Estimate {
+                value: 2.1,
+                ci: Some((1.8, 2.4)),
+            },
+            false_alarms: Estimate {
+                value: 0.4,
+                ci: Some((0.2, 0.6)),
+            },
+            fp_rate: 0.16,
+            fn_rate: 0.34,
+            lead_time: Estimate {
+                value: 812.0,
+                ci: Some((700.0, 924.0)),
+            },
+            lead_time_observations: 37,
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"detection\":{"));
+        assert!(text.contains("\"lead_time_observations\":37.0"));
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // stripping the field restores the plain byte encoding
+        let mut stripped = back;
+        stripped.detection = None;
+        assert_eq!(stripped.to_json(), plain.to_json());
+    }
+
+    #[test]
+    fn non_estimable_detection_metrics_encode_as_null_not_nan() {
+        // a run where nothing was ever compromised: every detection metric
+        // that divides by zero is the NaN marker, which must serialize as
+        // null (valid JSON) and come back as NaN
+        let mut r = sample_report();
+        r.detection = Some(DetectionInfo {
+            compromises: Estimate::exact(0.0),
+            detections: Estimate::exact(0.0),
+            false_alarms: Estimate::exact(0.0),
+            fp_rate: f64::NAN,
+            fn_rate: f64::NAN,
+            lead_time: Estimate {
+                value: f64::NAN,
+                ci: None,
+            },
+            lead_time_observations: 0,
+        });
+        let text = r.to_json();
+        assert!(!text.contains("NaN"), "NaN is not valid JSON: {text}");
+        assert!(text.contains("\"fp_rate\":null"));
+        assert!(text.contains("\"fn_rate\":null"));
+        assert!(text.contains("\"lead_time\":{\"value\":null}"));
+        let back = RunReport::from_json(&text).unwrap();
+        let d = back.detection.unwrap();
+        assert!(d.fp_rate.is_nan());
+        assert!(d.fn_rate.is_nan());
+        assert!(d.lead_time.value.is_nan());
+        assert_eq!(d.lead_time_observations, 0);
+        // canonical: re-encoding is byte-identical
+        assert_eq!(back.to_json(), text);
     }
 
     #[test]

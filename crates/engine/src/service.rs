@@ -257,7 +257,10 @@ impl TemplateCache {
         opts: &ExploreOptions,
     ) -> Result<CacheLookup, EngineError> {
         let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if spec.backend != BackendKind::Exact || spec.clustered.is_some() {
+        // Scenario specs bypass too: a scenario net has extra places and
+        // transitions, so the cached single-system graph does not apply.
+        if spec.backend != BackendKind::Exact || spec.clustered.is_some() || spec.scenario.is_some()
+        {
             s.bypasses += 1;
             return Ok((None, CacheOutcome::Bypass));
         }

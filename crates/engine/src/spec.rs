@@ -14,6 +14,7 @@ use gcsids::config::{ClusterTopology, KeyAgreementProtocol, SystemConfig};
 use ids::functions::{AttackerProfile, DetectionProfile, RateShape};
 use ids::voting::CollusionModel;
 pub use numerics::replicate::SamplingPlan;
+pub use scenario::{AttackerStrategy, ResponsePolicy, ScenarioConfig};
 
 /// Which evaluator runs the scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +146,14 @@ pub struct ScenarioSpec {
     /// DES composes per-cluster replications by order statistics. Not
     /// supported by the mobility backend.
     pub clustered: Option<ClusterTopology>,
+    /// Optional adversary strategy and response policy (see the `scenario`
+    /// crate). `None` means the paper's baseline behavior on every backend
+    /// (and keeps committed pre-scenario spec files canonical byte-for-
+    /// byte). When set, the report additionally carries detection-quality
+    /// metrics ([`crate::RunReport::detection`]). Not combinable with
+    /// `clustered`; the mobility backend models attacker strategies only,
+    /// so non-evict response policies are rejected there.
+    pub scenario: Option<ScenarioConfig>,
 }
 
 impl ScenarioSpec {
@@ -158,6 +167,7 @@ impl ScenarioSpec {
             mobility: MobilityOptions::default(),
             mission_times: Vec::new(),
             clustered: None,
+            scenario: None,
         }
     }
 
@@ -171,6 +181,17 @@ impl ScenarioSpec {
     pub fn with_clusters(mut self, topology: ClusterTopology) -> Self {
         self.clustered = Some(topology);
         self
+    }
+
+    /// Same spec under an adversary/response scenario (builder style).
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// The effective scenario: the explicit one, or the baseline.
+    pub fn scenario_or_baseline(&self) -> ScenarioConfig {
+        self.scenario.unwrap_or_else(ScenarioConfig::baseline)
     }
 
     /// Validate the spec (system consistency plus engine-level constraints).
@@ -223,6 +244,23 @@ impl ScenarioSpec {
                 return Err(EngineError::InvalidSpec(
                     "the mobility backend has no clustered variant — \
                      use exact, spn-sim, or des"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(sc) = &self.scenario {
+            sc.validate().map_err(EngineError::InvalidSpec)?;
+            if self.clustered.is_some() {
+                return Err(EngineError::InvalidSpec(
+                    "scenario and clustered cannot be combined — evaluate the \
+                     scenario on a single-cluster spec"
+                        .into(),
+                ));
+            }
+            if self.backend == BackendKind::MobilityDes && sc.response != ResponsePolicy::Evict {
+                return Err(EngineError::InvalidSpec(
+                    "the mobility backend models attacker strategies only — \
+                     scenario.response must be `evict` there"
                         .into(),
                 ));
             }
@@ -308,6 +346,9 @@ impl ScenarioSpec {
                 ]),
             ));
         }
+        if let Some(sc) = &self.scenario {
+            fields.push(("scenario", scenario_to_value(sc)));
+        }
         Value::obj(fields).encode()
     }
 
@@ -349,6 +390,10 @@ impl ScenarioSpec {
                     clusters: o.field("clusters")?.as_u32()?,
                     failure_threshold: o.field("failure_threshold")?.as_u32()?,
                 }),
+                None => None,
+            },
+            scenario: match v.opt_field("scenario") {
+                Some(o) => Some(scenario_from_value(o)?),
                 None => None,
             },
         };
@@ -394,6 +439,127 @@ fn seed_from_value(v: &Value) -> Result<u64, EngineError> {
             .map_err(|_| EngineError::Json(format!("bad seed `{s}`"))),
         other => other.as_u64(),
     }
+}
+
+fn scenario_to_value(sc: &ScenarioConfig) -> Value {
+    let attacker = match sc.attacker {
+        AttackerStrategy::Baseline => Value::obj([("strategy", Value::Str("baseline".into()))]),
+        AttackerStrategy::Burst {
+            on_rate,
+            off_rate,
+            multiplier,
+        } => Value::obj([
+            ("strategy", Value::Str("burst".into())),
+            ("on_rate", Value::Num(on_rate)),
+            ("off_rate", Value::Num(off_rate)),
+            ("multiplier", Value::Num(multiplier)),
+        ]),
+        AttackerStrategy::Stealth {
+            rate_factor,
+            evasion,
+        } => Value::obj([
+            ("strategy", Value::Str("stealth".into())),
+            ("rate_factor", Value::Num(rate_factor)),
+            ("evasion", Value::Num(evasion)),
+        ]),
+        AttackerStrategy::Targeted { focus } => Value::obj([
+            ("strategy", Value::Str("targeted".into())),
+            ("focus", Value::Num(focus)),
+        ]),
+    };
+    let response = match sc.response {
+        ResponsePolicy::Evict => Value::obj([("policy", Value::Str("evict".into()))]),
+        ResponsePolicy::QuarantineRejoin {
+            release_rate,
+            false_release_prob,
+        } => Value::obj([
+            ("policy", Value::Str("quarantine-and-rejoin".into())),
+            ("release_rate", Value::Num(release_rate)),
+            ("false_release_prob", Value::Num(false_release_prob)),
+        ]),
+        ResponsePolicy::RekeyThrottle { max_rate } => Value::obj([
+            ("policy", Value::Str("rekey-throttle".into())),
+            ("max_rate", Value::Num(max_rate)),
+        ]),
+    };
+    Value::obj([("attacker", attacker), ("response", response)])
+}
+
+/// Pull a required numeric parameter of a scenario sub-object, naming the
+/// full field path in the error so a malformed spec file pinpoints itself.
+fn scenario_num(o: &Value, section: &str, kind: &str, param: &str) -> Result<f64, EngineError> {
+    o.opt_field(param)
+        .ok_or_else(|| {
+            EngineError::Json(format!(
+                "scenario.{section}: `{kind}` requires the `{param}` field"
+            ))
+        })?
+        .as_f64()
+        .map_err(|_| {
+            EngineError::Json(format!(
+                "scenario.{section}.{param} must be a number for `{kind}`"
+            ))
+        })
+}
+
+fn scenario_from_value(v: &Value) -> Result<ScenarioConfig, EngineError> {
+    let att = v
+        .opt_field("attacker")
+        .ok_or_else(|| EngineError::Json("scenario requires an `attacker` object".into()))?;
+    let resp = v
+        .opt_field("response")
+        .ok_or_else(|| EngineError::Json("scenario requires a `response` object".into()))?;
+    let attacker = match att
+        .opt_field("strategy")
+        .ok_or_else(|| EngineError::Json("scenario.attacker requires a `strategy` name".into()))?
+        .as_str()?
+    {
+        "baseline" => AttackerStrategy::Baseline,
+        "burst" => AttackerStrategy::Burst {
+            on_rate: scenario_num(att, "attacker", "burst", "on_rate")?,
+            off_rate: scenario_num(att, "attacker", "burst", "off_rate")?,
+            multiplier: scenario_num(att, "attacker", "burst", "multiplier")?,
+        },
+        "stealth" => AttackerStrategy::Stealth {
+            rate_factor: scenario_num(att, "attacker", "stealth", "rate_factor")?,
+            evasion: scenario_num(att, "attacker", "stealth", "evasion")?,
+        },
+        "targeted" => AttackerStrategy::Targeted {
+            focus: scenario_num(att, "attacker", "targeted", "focus")?,
+        },
+        other => {
+            return Err(EngineError::Json(format!(
+                "unknown scenario.attacker.strategy `{other}` — expected \
+                 baseline, burst, stealth, or targeted"
+            )))
+        }
+    };
+    let response = match resp
+        .opt_field("policy")
+        .ok_or_else(|| EngineError::Json("scenario.response requires a `policy` name".into()))?
+        .as_str()?
+    {
+        "evict" => ResponsePolicy::Evict,
+        "quarantine-and-rejoin" => ResponsePolicy::QuarantineRejoin {
+            release_rate: scenario_num(resp, "response", "quarantine-and-rejoin", "release_rate")?,
+            false_release_prob: scenario_num(
+                resp,
+                "response",
+                "quarantine-and-rejoin",
+                "false_release_prob",
+            )?,
+        },
+        "rekey-throttle" => ResponsePolicy::RekeyThrottle {
+            max_rate: scenario_num(resp, "response", "rekey-throttle", "max_rate")?,
+        },
+        other => {
+            return Err(EngineError::Json(format!(
+                "unknown scenario.response.policy `{other}` — expected \
+                 evict, quarantine-and-rejoin, or rekey-throttle"
+            )))
+        }
+    };
+    Ok(ScenarioConfig { attacker, response })
 }
 
 fn shape_name(s: RateShape) -> &'static str {
@@ -712,6 +878,128 @@ mod tests {
         let text = spec.to_json();
         assert!(text.contains("\"clustered\":{\"clusters\":10.0,\"failure_threshold\":3.0}"));
         assert_eq!(ScenarioSpec::from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn scenario_roundtrips_and_is_omitted_when_absent() {
+        let plain = ScenarioSpec::paper_default(BackendKind::Des);
+        assert!(!plain.to_json().contains("scenario"));
+        assert_eq!(ScenarioSpec::from_json(&plain.to_json()).unwrap(), plain);
+
+        let combos = [
+            (AttackerStrategy::Baseline, ResponsePolicy::Evict),
+            (
+                AttackerStrategy::Burst {
+                    on_rate: 0.001,
+                    off_rate: 0.002,
+                    multiplier: 5.0,
+                },
+                ResponsePolicy::QuarantineRejoin {
+                    release_rate: 0.01,
+                    false_release_prob: 0.1,
+                },
+            ),
+            (
+                AttackerStrategy::Stealth {
+                    rate_factor: 0.5,
+                    evasion: 0.25,
+                },
+                ResponsePolicy::RekeyThrottle { max_rate: 0.02 },
+            ),
+            (
+                AttackerStrategy::Targeted { focus: 0.7 },
+                ResponsePolicy::Evict,
+            ),
+        ];
+        for (attacker, response) in combos {
+            let spec = ScenarioSpec::paper_default(BackendKind::Des)
+                .with_scenario(ScenarioConfig { attacker, response });
+            let text = spec.to_json();
+            assert!(text.contains("\"scenario\""));
+            assert_eq!(ScenarioSpec::from_json(&text).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn scenario_decode_errors_name_the_field() {
+        let spec = ScenarioSpec::paper_default(BackendKind::Des).with_scenario(ScenarioConfig {
+            attacker: AttackerStrategy::Burst {
+                on_rate: 0.001,
+                off_rate: 0.002,
+                multiplier: 5.0,
+            },
+            response: ResponsePolicy::Evict,
+        });
+        let text = spec.to_json();
+
+        // a missing burst parameter names itself
+        let broken = text.replace("\"on_rate\":0.001,", "");
+        let err = ScenarioSpec::from_json(&broken).unwrap_err().to_string();
+        assert!(err.contains("scenario.attacker"), "{err}");
+        assert!(err.contains("on_rate"), "{err}");
+
+        // an unknown strategy names the valid set
+        let broken = text.replace("\"strategy\":\"burst\"", "\"strategy\":\"sneaky\"");
+        let err = ScenarioSpec::from_json(&broken).unwrap_err().to_string();
+        assert!(err.contains("sneaky") && err.contains("stealth"), "{err}");
+
+        // a non-numeric parameter names the path
+        let broken = text.replace("\"multiplier\":5.0", "\"multiplier\":\"big\"");
+        let err = ScenarioSpec::from_json(&broken).unwrap_err().to_string();
+        assert!(err.contains("scenario.attacker.multiplier"), "{err}");
+
+        // an unknown response policy names the valid set
+        let spec2 = ScenarioSpec::paper_default(BackendKind::Des).with_scenario(ScenarioConfig {
+            attacker: AttackerStrategy::Baseline,
+            response: ResponsePolicy::RekeyThrottle { max_rate: 0.02 },
+        });
+        let broken = spec2
+            .to_json()
+            .replace("\"policy\":\"rekey-throttle\"", "\"policy\":\"banhammer\"");
+        let err = ScenarioSpec::from_json(&broken).unwrap_err().to_string();
+        assert!(
+            err.contains("banhammer") && err.contains("quarantine"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn scenario_validation_constraints() {
+        // out-of-range parameters are rejected with the field named
+        let bad = ScenarioSpec::paper_default(BackendKind::Des).with_scenario(ScenarioConfig {
+            attacker: AttackerStrategy::Stealth {
+                rate_factor: 0.0,
+                evasion: 0.2,
+            },
+            response: ResponsePolicy::Evict,
+        });
+        match bad.validate() {
+            Err(EngineError::InvalidSpec(msg)) => assert!(msg.contains("rate_factor"), "{msg}"),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+
+        // scenario + clustered is rejected
+        let bad = ScenarioSpec::paper_default(BackendKind::Exact)
+            .with_clusters(ClusterTopology {
+                clusters: 4,
+                failure_threshold: 2,
+            })
+            .with_scenario(ScenarioConfig::baseline());
+        assert!(matches!(bad.validate(), Err(EngineError::InvalidSpec(_))));
+
+        // mobility + non-evict response is rejected; evict is fine
+        let sc = ScenarioConfig {
+            attacker: AttackerStrategy::Targeted { focus: 0.5 },
+            response: ResponsePolicy::RekeyThrottle { max_rate: 0.01 },
+        };
+        let bad = ScenarioSpec::paper_default(BackendKind::MobilityDes).with_scenario(sc);
+        assert!(matches!(bad.validate(), Err(EngineError::InvalidSpec(_))));
+        let ok =
+            ScenarioSpec::paper_default(BackendKind::MobilityDes).with_scenario(ScenarioConfig {
+                attacker: AttackerStrategy::Targeted { focus: 0.5 },
+                response: ResponsePolicy::Evict,
+            });
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -308,11 +308,7 @@ impl Csr {
         assert_eq!(y.len(), self.rows(), "gather output dimension mismatch");
         for (r, out) in y.iter_mut().enumerate() {
             let range = self.pattern.row_range(r);
-            *out = gather_row(
-                &self.pattern.col_idx[range.clone()],
-                &self.values[range],
-                x,
-            );
+            *out = gather_row(&self.pattern.col_idx[range.clone()], &self.values[range], x);
         }
     }
 
@@ -334,11 +330,7 @@ impl Csr {
                 let base = ci * GATHER_CHUNK;
                 for (k, out) in rows.iter_mut().enumerate() {
                     let range = self.pattern.row_range(base + k);
-                    *out = gather_row(
-                        &self.pattern.col_idx[range.clone()],
-                        &self.values[range],
-                        x,
-                    );
+                    *out = gather_row(&self.pattern.col_idx[range.clone()], &self.values[range], x);
                 }
             })
             .collect();

@@ -56,10 +56,10 @@ pub mod structural;
 pub mod transient;
 
 pub use ctmc::{AbsorptionAnalysis, Ctmc, TransientOptions};
-pub use transient::{TransientEngine, TransientStats};
 pub use error::SpnError;
 pub use model::{Marking, PlaceId, Spn, SpnBuilder, TransitionDef, TransitionId};
 pub use reach::{explore, ExploreOptions, ReachabilityGraph};
 pub use reward::{ImpulseReward, RateReward, RewardSet};
 pub use sim::{ReplicationStats, SimOptions, SimOutcome, Simulator};
 pub use structural::{analyze as structural_analyze, StructuralReport};
+pub use transient::{TransientEngine, TransientStats};

@@ -51,6 +51,10 @@ pub struct SimOutcome {
     pub accumulated: Vec<f64>,
     /// Firing counts per transition.
     pub firings: HashMap<TransitionId, u64>,
+    /// Simulated time of each transition's first firing (absent if it never
+    /// fired). Lets callers derive first-passage observables — e.g. the
+    /// delay from first compromise to first detection — without replaying.
+    pub first_firings: HashMap<TransitionId, f64>,
     /// Final marking.
     pub final_marking: Marking,
 }
@@ -202,10 +206,18 @@ impl<'a> Simulator<'a> {
         let n_rates = self.rewards.rates.len();
         let mut accumulated = vec![0.0_f64; n_rates + self.rewards.impulses.len()];
         let mut firings: HashMap<TransitionId, u64> = HashMap::new();
+        let mut first_firings: HashMap<TransitionId, f64> = HashMap::new();
         let mut timed_firings = 0u64;
 
         // Resolve immediates at t=0 (vanishing initial marking).
-        self.settle_immediates(&mut marking, &mut rng, &mut firings, &mut accumulated)?;
+        self.settle_immediates(
+            &mut marking,
+            &mut rng,
+            &mut firings,
+            &mut first_firings,
+            time,
+            &mut accumulated,
+        )?;
 
         loop {
             if self.net.is_absorbing_marking(&marking) {
@@ -214,6 +226,7 @@ impl<'a> Simulator<'a> {
                     absorbed: true,
                     accumulated,
                     firings,
+                    first_firings,
                     final_marking: marking,
                 });
             }
@@ -224,6 +237,7 @@ impl<'a> Simulator<'a> {
                     absorbed: true,
                     accumulated,
                     firings,
+                    first_firings,
                     final_marking: marking,
                 });
             }
@@ -240,6 +254,7 @@ impl<'a> Simulator<'a> {
                     absorbed: false,
                     accumulated,
                     firings,
+                    first_firings,
                     final_marking: marking,
                 });
             }
@@ -262,6 +277,7 @@ impl<'a> Simulator<'a> {
             }
             marking = self.net.fire(chosen, &marking);
             *firings.entry(chosen).or_insert(0) += 1;
+            first_firings.entry(chosen).or_insert(time);
             timed_firings += 1;
             if timed_firings >= self.opts.max_firings {
                 return Ok(SimOutcome {
@@ -269,10 +285,18 @@ impl<'a> Simulator<'a> {
                     absorbed: false,
                     accumulated,
                     firings,
+                    first_firings,
                     final_marking: marking,
                 });
             }
-            self.settle_immediates(&mut marking, &mut rng, &mut firings, &mut accumulated)?;
+            self.settle_immediates(
+                &mut marking,
+                &mut rng,
+                &mut firings,
+                &mut first_firings,
+                time,
+                &mut accumulated,
+            )?;
         }
     }
 
@@ -283,6 +307,8 @@ impl<'a> Simulator<'a> {
         marking: &mut Marking,
         rng: &mut SmallRng,
         firings: &mut HashMap<TransitionId, u64>,
+        first_firings: &mut HashMap<TransitionId, f64>,
+        time: f64,
         accumulated: &mut [f64],
     ) -> Result<(), SpnError> {
         let n_rates = self.rewards.rates.len();
@@ -308,6 +334,7 @@ impl<'a> Simulator<'a> {
             }
             *marking = self.net.fire(chosen, marking);
             *firings.entry(chosen).or_insert(0) += 1;
+            first_firings.entry(chosen).or_insert(time);
         }
         Err(SpnError::VanishingLoop {
             marking: format!("{marking:?}"),

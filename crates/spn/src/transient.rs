@@ -347,7 +347,7 @@ impl TransientEngine {
                 self.g.gather_into(&self.v, &mut self.next);
             }
             self.stats.matvecs += 1;
-            if self.detect_tolerance > 0.0 && self.stats.matvecs % DETECT_STRIDE == 0 {
+            if self.detect_tolerance > 0.0 && self.stats.matvecs.is_multiple_of(DETECT_STRIDE) {
                 let dmax = max_abs_diff(&self.next, &self.v);
                 if dmax <= self.detect_tolerance {
                     // Fixed point to working precision: every remaining
@@ -412,8 +412,7 @@ impl TransientEngine {
                 now = t;
             }
             out.push(self.survival());
-            if self.early_exit_enabled && i + 1 < times.len() && self.live_mass() < self.epsilon
-            {
+            if self.early_exit_enabled && i + 1 < times.len() && self.live_mass() < self.epsilon {
                 self.stats.early_exit = true;
                 out.resize(times.len(), 0.0);
                 break;
@@ -489,7 +488,7 @@ impl TransientEngine {
                 self.g.gather_into(&self.v, &mut self.next);
             }
             self.stats.matvecs += 1;
-            if self.detect_tolerance > 0.0 && self.stats.matvecs % DETECT_STRIDE == 0 {
+            if self.detect_tolerance > 0.0 && self.stats.matvecs.is_multiple_of(DETECT_STRIDE) {
                 let dmax = max_abs_diff(&self.next, &self.v);
                 if dmax <= self.detect_tolerance {
                     std::mem::swap(&mut self.v, &mut self.next);

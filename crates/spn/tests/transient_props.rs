@@ -194,7 +194,10 @@ fn survival_is_bit_identical_across_thread_counts() {
     let c1 = curve_at("1");
     let c2 = curve_at("2");
     let c8 = curve_at("8");
-    assert!(c1[0] > 0.0 && c1[0] < 1.0, "grid must hit a nontrivial regime");
+    assert!(
+        c1[0] > 0.0 && c1[0] < 1.0,
+        "grid must hit a nontrivial regime"
+    );
     for i in 0..times.len() {
         assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "t[{i}]: 1 vs 2 threads");
         assert_eq!(c1[i].to_bits(), c8[i].to_bits(), "t[{i}]: 1 vs 8 threads");

@@ -193,7 +193,22 @@ fn crossval_harness_agrees_on_committed_fixture_specs() {
         ..Default::default()
     };
     let report = cross_validate_dir(&dir, &opts).unwrap();
-    assert_eq!(report.specs.len(), 5);
+    assert_eq!(report.specs.len(), 11);
+    // every scenario-axis fixture is in the validated set: one per
+    // attacker strategy and one per response policy
+    for name in [
+        "ab-baseline",
+        "ab-burst",
+        "ab-stealth",
+        "ab-targeted",
+        "ab-quarantine",
+        "ab-throttle",
+    ] {
+        assert!(
+            report.specs.iter().any(|s| s.name == name),
+            "{name} fixture missing from crossval"
+        );
+    }
     assert!(
         report.agrees(),
         "cross-backend disagreement: {}",

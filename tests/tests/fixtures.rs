@@ -93,12 +93,82 @@ fn fixture_specs() -> Vec<(&'static str, ScenarioSpec)> {
     clustered.mission_times = vec![0.0, 4.0e2, 1.0e3, 2.0e3, 4.0e3];
     clustered.stochastic.max_time = 1.0e5;
 
+    // Adversary & response scenario fixtures: one per attacker strategy
+    // and one per response policy, all on the hot system with the same
+    // mission grid and stochastic options, so ANY pair of them forms a
+    // valid CRN-paired A/B comparison (`engine::compare` requires
+    // identical grids and options on both arms). Exact MTTSFs — baseline
+    // ≈5.0e3 s, burst ≈3.3e3, stealth ≈3.0e3, targeted ≈4.9e3,
+    // quarantine ≈5.1e3, throttle ≈3.0e3 — all inside the hot-mission
+    // grid's decay region, so the crossval survival checks bite.
+    let ab = |name: &'static str, sc: engine::ScenarioConfig| {
+        let mut s = mission.clone();
+        s.name = name.into();
+        s.scenario = Some(sc);
+        s
+    };
+    use engine::{AttackerStrategy, ResponsePolicy, ScenarioConfig};
+    let ab_baseline = ab("ab-baseline", ScenarioConfig::baseline());
+    let ab_burst = ab(
+        "ab-burst",
+        ScenarioConfig {
+            attacker: AttackerStrategy::Burst {
+                on_rate: 1.0 / 5.0e3,
+                off_rate: 1.0 / 5.0e3,
+                multiplier: 6.0,
+            },
+            response: ResponsePolicy::Evict,
+        },
+    );
+    let ab_stealth = ab(
+        "ab-stealth",
+        ScenarioConfig {
+            attacker: AttackerStrategy::Stealth {
+                rate_factor: 0.5,
+                evasion: 0.3,
+            },
+            response: ResponsePolicy::Evict,
+        },
+    );
+    let ab_targeted = ab(
+        "ab-targeted",
+        ScenarioConfig {
+            attacker: AttackerStrategy::Targeted { focus: 0.8 },
+            response: ResponsePolicy::Evict,
+        },
+    );
+    let ab_quarantine = ab(
+        "ab-quarantine",
+        ScenarioConfig {
+            attacker: AttackerStrategy::Baseline,
+            response: ResponsePolicy::QuarantineRejoin {
+                release_rate: 1.0 / 2.0e3,
+                false_release_prob: 0.1,
+            },
+        },
+    );
+    let ab_throttle = ab(
+        "ab-throttle",
+        ScenarioConfig {
+            attacker: AttackerStrategy::Baseline,
+            response: ResponsePolicy::RekeyThrottle {
+                max_rate: 1.0 / 1.0e3,
+            },
+        },
+    );
+
     vec![
-        ("hot-mission.json", mission),
+        ("hot-mission.json", mission.clone()),
         ("hot-longrun.json", longrun),
         ("hot-adaptive.json", adaptive),
         ("collusion-none-mission.json", collusion),
         ("clustered-mission.json", clustered),
+        ("ab-baseline.json", ab_baseline),
+        ("ab-burst.json", ab_burst),
+        ("ab-stealth.json", ab_stealth),
+        ("ab-targeted.json", ab_targeted),
+        ("ab-quarantine.json", ab_quarantine),
+        ("ab-throttle.json", ab_throttle),
     ]
 }
 
@@ -150,6 +220,7 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
             transient_states: 617,
             absorbing_states: 617,
         }),
+        detection: None,
     };
 
     let all_censored = RunReport {
@@ -184,6 +255,7 @@ fn fixture_reports() -> Vec<(&'static str, RunReport)> {
         template_cache: None,
         // stochastic backends never carry transient telemetry
         transient: None,
+        detection: None,
     };
 
     vec![
